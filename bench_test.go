@@ -1,0 +1,395 @@
+package bordercontrol
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/core"
+	"bordercontrol/internal/harness"
+	"bordercontrol/internal/hostos"
+	"bordercontrol/internal/memory"
+	"bordercontrol/internal/sim"
+)
+
+func hostosNew(store *memory.Store) *hostos.OS { return hostos.New(store) }
+
+// The benches below regenerate every table and figure of the paper's
+// evaluation section. Each prints its artifact once (so `go test -bench .`
+// reproduces the paper's rows/series) and reports the headline numbers as
+// benchmark metrics.
+
+var printOnce sync.Map
+
+func printArtifact(b *testing.B, key, text string) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Printf("\n%s\n", text)
+	}
+	_ = b
+}
+
+// BenchmarkTable1 regenerates the qualitative approach comparison.
+func BenchmarkTable1(b *testing.B) {
+	var s string
+	for i := 0; i < b.N; i++ {
+		s = RenderTable1()
+	}
+	printArtifact(b, "table1", s)
+}
+
+// BenchmarkTable2 regenerates the configurations-under-study table.
+func BenchmarkTable2(b *testing.B) {
+	var s string
+	for i := 0; i < b.N; i++ {
+		s = RenderTable2()
+	}
+	printArtifact(b, "table2", s)
+}
+
+// BenchmarkTable3 regenerates the simulation-configuration table.
+func BenchmarkTable3(b *testing.B) {
+	var s string
+	for i := 0; i < b.N; i++ {
+		s = RenderTable3(DefaultParams())
+	}
+	printArtifact(b, "table3", s)
+}
+
+func benchFigure4(b *testing.B, class GPUClass) {
+	var res harness.Figure4Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = Figure4(class, DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printArtifact(b, "figure4-"+class.String(), res.Render())
+	b.ReportMetric(res.GeoMean[FullIOMMU]*100, "%iommu")
+	b.ReportMetric(res.GeoMean[CAPILike]*100, "%capi")
+	b.ReportMetric(res.GeoMean[BCNoBCC]*100, "%bc-nobcc")
+	b.ReportMetric(res.GeoMean[BCBCC]*100, "%bc-bcc")
+}
+
+// BenchmarkFigure4HighlyThreaded regenerates paper Figure 4a: runtime
+// overhead of the four safe configurations vs the unsafe baseline on the
+// 8-CU GPU (paper geomeans: 374%, 3.81%, 2.04%, 0.15%).
+func BenchmarkFigure4HighlyThreaded(b *testing.B) { benchFigure4(b, HighlyThreaded) }
+
+// BenchmarkFigure4ModeratelyThreaded regenerates paper Figure 4b (paper
+// geomeans: 85%, 16.5%, 7.26%, 0.84%).
+func BenchmarkFigure4ModeratelyThreaded(b *testing.B) { benchFigure4(b, ModeratelyThreaded) }
+
+// BenchmarkFigure5 regenerates paper Figure 5: requests per cycle checked
+// by Border Control (paper: mean 0.11, max 0.29 for bfs).
+func BenchmarkFigure5(b *testing.B) {
+	var res harness.Figure5Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = Figure5(DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printArtifact(b, "figure5", res.Render())
+	b.ReportMetric(res.Average, "req/cycle")
+}
+
+// BenchmarkFigure6 regenerates paper Figure 6: BCC miss ratio vs size for
+// 1/2/32/512 pages per entry (paper: 512 pages/entry reaches <0.1% miss
+// under 1 KB).
+func BenchmarkFigure6(b *testing.B) {
+	var res harness.Figure6Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = Figure6(DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printArtifact(b, "figure6", res.Render())
+	curve := res.Curves[512]
+	if len(curve) > 1 {
+		b.ReportMetric(curve[1].MissRatio, "miss@2x512")
+	}
+}
+
+// BenchmarkFigure7 regenerates paper Figure 7: overhead vs permission
+// downgrade rate for BC-BCC and ATS-only on both GPU classes (paper:
+// ~0.02% at context-switch rates; BC roughly twice the trusted baseline).
+func BenchmarkFigure7(b *testing.B) {
+	var res harness.Figure7Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = Figure7(DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printArtifact(b, "figure7", res.Render())
+	for _, pt := range res.Points {
+		if pt.Mode == BCBCC && pt.Class == HighlyThreaded && pt.DowngradesPerSec == 1000 {
+			b.ReportMetric(pt.Overhead*100, "%bc@1000/s")
+		}
+	}
+}
+
+// --- Ablation benches: the design choices DESIGN.md calls out. ---
+
+// runWorkload runs one (mode, workload) pair and returns cycles.
+func runWorkload(b *testing.B, mode Mode, name string, p Params) Result {
+	res, err := Run(mode, HighlyThreaded, name, p, RunOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.VerifyErr != nil {
+		b.Fatalf("wrong results: %v", res.VerifyErr)
+	}
+	return res
+}
+
+// BenchmarkAblationBCCSize sweeps BCC geometry (entries x pages/entry) on
+// the irregular bfs workload. At the paper's 512 pages/entry even a
+// few-entry BCC covers the footprint (miss ratio ~0 — the 8 KB default is
+// far past the knee); shrinking the sub-blocking factor makes capacity
+// matter and the runtime cost of misses visible.
+func BenchmarkAblationBCCSize(b *testing.B) {
+	geometries := []struct{ entries, ppe int }{
+		{64, 512}, // the paper's 8 KB BCC
+		{4, 512},  // tiny but wide: still covers the footprint
+		{64, 1},   // page-granular entries: capacity bound
+		{16, 1},   // tiny and narrow: thrashing
+	}
+	for _, g := range geometries {
+		g := g
+		b.Run(fmt.Sprintf("%dx%d", g.entries, g.ppe), func(b *testing.B) {
+			p := DefaultParams()
+			p.BCC = core.BCCConfig{Entries: g.entries, PagesPerEntry: g.ppe, TagBits: 36}
+			var res Result
+			for i := 0; i < b.N; i++ {
+				res = runWorkload(b, BCBCC, "bfs", p)
+			}
+			b.ReportMetric(res.BCCMissRatio, "missRatio")
+			b.ReportMetric(float64(res.Cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationPTLatency sweeps extra Protection Table latency beyond
+// DRAM, isolating how much the parallel-lookup trick (paper §3.1.1) buys.
+func BenchmarkAblationPTLatency(b *testing.B) {
+	base := runWorkload(b, ATSOnly, "pathfinder", DefaultParams())
+	for _, extra := range []uint64{0, 100, 400} {
+		extra := extra
+		b.Run(fmt.Sprintf("extraCycles=%d", extra), func(b *testing.B) {
+			p := DefaultParams()
+			p.TableLatencyCyc = extra
+			var cyc uint64
+			for i := 0; i < b.N; i++ {
+				cyc = runWorkload(b, BCNoBCC, "pathfinder", p).Cycles
+			}
+			b.ReportMetric(float64(cyc)/float64(base.Cycles)*100-100, "%overhead")
+		})
+	}
+}
+
+// BenchmarkAblationEagerPT compares the paper's lazy Protection Table
+// population against eagerly populating every mapped page at process start.
+func BenchmarkAblationEagerPT(b *testing.B) {
+	for _, eager := range []bool{false, true} {
+		eager := eager
+		name := "lazy"
+		if eager {
+			name = "eager"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := DefaultParams()
+			p.EagerPopulate = eager
+			var cyc uint64
+			for i := 0; i < b.N; i++ {
+				cyc = runWorkload(b, BCBCC, "hotspot", p).Cycles
+			}
+			b.ReportMetric(float64(cyc), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationSelectiveFlush compares the per-page downgrade flush
+// against flushing the whole accelerator cache + zeroing the table
+// (§3.2.4's two equivalent-correctness alternatives), under downgrade
+// injection.
+func BenchmarkAblationSelectiveFlush(b *testing.B) {
+	for _, selective := range []bool{true, false} {
+		selective := selective
+		name := "full"
+		if selective {
+			name = "selective"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := DefaultParams()
+			p.SelectiveFlush = selective
+			var cyc uint64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(BCBCC, HighlyThreaded, "pathfinder", p, RunOptions{
+					FixedDowngrades: 20,
+					SpreadOver:      100 * sim.Microsecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.VerifyErr != nil {
+					b.Fatalf("wrong results: %v", res.VerifyErr)
+				}
+				cyc = res.Cycles
+			}
+			b.ReportMetric(float64(cyc), "cycles")
+		})
+	}
+}
+
+// --- Micro-benches of the core structures (host-time performance). ---
+
+// BenchmarkProtectionTableLookup measures the functional table lookup.
+func BenchmarkProtectionTableLookup(b *testing.B) {
+	store, err := memory.NewStore(16 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	table, err := core.NewProtectionTable(store, 0, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for p := arch.PPN(0); p < 4096; p += 3 {
+		table.Merge(p, arch.PermRW)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table.Lookup(arch.PPN(i) % 4096)
+	}
+}
+
+// BenchmarkBCCProbe measures the functional BCC probe.
+func BenchmarkBCCProbe(b *testing.B) {
+	store, _ := memory.NewStore(16 << 20)
+	table, _ := core.NewProtectionTable(store, 0, 1<<20)
+	bcc, err := core.NewBCC(core.DefaultBCCConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for p := arch.PPN(0); p < 1<<15; p += 512 {
+		bcc.Update(p, arch.PermRW, table)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bcc.Probe(arch.PPN(i) % (1 << 15))
+	}
+}
+
+// BenchmarkEngine measures raw event throughput of the simulation engine.
+func BenchmarkEngine(b *testing.B) {
+	var eng sim.Engine
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			eng.After(100, tick)
+		}
+	}
+	eng.After(100, tick)
+	b.ResetTimer()
+	eng.Run()
+}
+
+// BenchmarkAblationHugePageInsert compares populating 2 MB of permissions
+// via one huge-page translation fan-out against 512 individual base-page
+// insertions (paper §3.4.4: the fan-out costs one table-block write).
+func BenchmarkAblationHugePageInsert(b *testing.B) {
+	newBC := func() *core.BorderControl {
+		store, err := memory.NewStore(64 << 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dram, err := memory.NewDRAM(store, memory.DefaultDRAMConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		osm := hostosNew(store)
+		eng := &sim.Engine{}
+		clock := sim.MustClock(700e6)
+		bcu, err := core.New("gpu0", core.DefaultConfig(clock), osm, dram, eng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := osm.NewProcess("p")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bcu.ProcessStart(p.ASID()); err != nil {
+			b.Fatal(err)
+		}
+		benchASID = p.ASID()
+		return bcu
+	}
+	b.Run("huge-fanout", func(b *testing.B) {
+		bcu := newBC()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bcu.OnTranslation(0, benchASID, 512, 1024, arch.PermRW, true)
+		}
+	})
+	b.Run("512-base-pages", func(b *testing.B) {
+		bcu := newBC()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for p := arch.PPN(0); p < 512; p++ {
+				bcu.OnTranslation(0, benchASID, 512+arch.VPN(p), 1024+p, arch.PermRW, false)
+			}
+		}
+	})
+}
+
+var benchASID arch.ASID
+
+// BenchmarkAblationSparseTable compares the paper's flat Protection Table
+// against the sparse two-level layout §3.1.1 mentions but does not
+// evaluate: resident footprint for a small working set, and lookup cost.
+func BenchmarkAblationSparseTable(b *testing.B) {
+	physPages := uint64(4 << 20) // 16 GB of physical memory
+	b.Run("flat-lookup", func(b *testing.B) {
+		store, err := memory.NewStore(64 << 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		flat, err := core.NewProtectionTable(store, 0, physPages)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for p := arch.PPN(0); p < 4096; p++ {
+			flat.Merge(p, arch.PermRW)
+		}
+		b.ReportMetric(float64(core.TableBytes(physPages)), "residentBytes")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			flat.Lookup(arch.PPN(i) % 4096)
+		}
+	})
+	b.Run("sparse-lookup", func(b *testing.B) {
+		store, err := memory.NewStore(64 << 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sparse := core.NewSparseProtectionTable(store, hostosNew(store).Frames(), physPages)
+		for p := arch.PPN(0); p < 4096; p++ {
+			if _, err := sparse.Merge(p, arch.PermRW); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(sparse.ResidentBytes()), "residentBytes")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sparse.Lookup(arch.PPN(i) % 4096)
+		}
+	})
+}

@@ -1,0 +1,270 @@
+// Package bordercontrol is a full-system reproduction of "Border Control:
+// Sandboxing Accelerators" (Olson, Power, Hill, Wood — MICRO-48, 2015).
+//
+// Border Control is a hardware sandbox at the boundary between an untrusted
+// accelerator (with its own TLBs and physically-addressed caches) and the
+// trusted host memory system: every memory request crossing the border is
+// checked against a per-accelerator, physically-indexed Protection Table
+// (2 bits per physical page, populated lazily from IOMMU/ATS translations)
+// backed by a small Border Control Cache.
+//
+// The package exposes two levels of API:
+//
+//   - The mechanism: ProtectionTable, BCC and BorderControl — the paper's
+//     contribution, usable inside any simulated memory system.
+//   - The evaluation: fully assembled simulated systems (CPU + OS + page
+//     tables + IOMMU/ATS + coherent GPU cache hierarchies + DRAM) for the
+//     five safety configurations the paper compares, the seven
+//     Rodinia-derived workloads, and generators for every table and figure
+//     in the paper's evaluation section.
+//
+// Quick start:
+//
+//	res, err := bordercontrol.Run(bordercontrol.BCBCC,
+//	    bordercontrol.HighlyThreaded, "bfs", bordercontrol.DefaultParams(),
+//	    bordercontrol.RunOptions{})
+//
+// See examples/ for runnable programs and DESIGN.md for the system map.
+package bordercontrol
+
+import (
+	"fmt"
+
+	"bordercontrol/internal/accel"
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/core"
+	"bordercontrol/internal/harness"
+	"bordercontrol/internal/hostos"
+	"bordercontrol/internal/memory"
+	"bordercontrol/internal/sim"
+	"bordercontrol/internal/workload"
+)
+
+// Mode selects one of the five evaluated safety configurations.
+type Mode = harness.Mode
+
+// The configurations under study (paper Table 2).
+const (
+	// ATSOnly is the unsafe baseline: translations served by the IOMMU,
+	// physical requests unchecked.
+	ATSOnly = harness.ATSOnly
+	// FullIOMMU translates and checks every request; no accelerator caches.
+	FullIOMMU = harness.FullIOMMU
+	// CAPILike keeps TLB and cache in trusted hardware, CAPI-style.
+	CAPILike = harness.CAPILike
+	// BCNoBCC is Border Control with only the in-memory Protection Table.
+	BCNoBCC = harness.BCNoBCC
+	// BCBCC is Border Control with the Border Control Cache — the paper's
+	// headline configuration.
+	BCBCC = harness.BCBCC
+)
+
+// GPUClass selects the accelerator proxy.
+type GPUClass = harness.GPUClass
+
+// The two GPU proxies of paper §5.1.
+const (
+	// HighlyThreaded is the 8-CU, latency-tolerant GPU.
+	HighlyThreaded = harness.HighlyThreaded
+	// ModeratelyThreaded is the 1-CU, latency-sensitive GPU.
+	ModeratelyThreaded = harness.ModeratelyThreaded
+)
+
+// Params collects every system parameter (paper Table 3 by default).
+type Params = harness.Params
+
+// RunOptions tunes one execution (downgrade injection, verification).
+type RunOptions = harness.RunOptions
+
+// Result reports one workload execution.
+type Result = harness.RunResult
+
+// System is a fully assembled simulated machine; use it directly for
+// custom experiments beyond the stock Run entry point.
+type System = harness.System
+
+// DefaultParams returns the paper's Table 3 system configuration.
+func DefaultParams() Params { return harness.DefaultParams() }
+
+// Modes lists the five configurations in the paper's order.
+func Modes() []Mode { return harness.Modes() }
+
+// Workloads lists the seven Rodinia-derived benchmark names in the paper's
+// order.
+func Workloads() []string { return workload.Names() }
+
+// NewSystem assembles a simulated machine for the given configuration.
+func NewSystem(mode Mode, class GPUClass, p Params) (*System, error) {
+	return harness.NewSystem(mode, class, p)
+}
+
+// Run executes the named workload on a fresh system and reports its
+// runtime, border statistics, and functional-verification outcome.
+func Run(mode Mode, class GPUClass, workloadName string, p Params, opts RunOptions) (Result, error) {
+	spec, ok := workload.ByName(workloadName)
+	if !ok {
+		return Result{}, fmt.Errorf("bordercontrol: unknown workload %q (have %v)", workloadName, workload.Names())
+	}
+	return harness.Run(mode, class, spec, p, opts)
+}
+
+// Figure4, Figure5, Figure6 and Figure7 regenerate the paper's evaluation
+// figures; each result renders itself as a text table.
+var (
+	Figure4 = harness.Figure4
+	Figure5 = harness.Figure5
+	Figure6 = harness.Figure6
+	Figure7 = harness.Figure7
+)
+
+// RenderTable1, RenderTable2 and RenderTable3 regenerate the paper's
+// tables.
+var (
+	RenderTable1 = harness.RenderTable1
+	RenderTable2 = harness.RenderTable2
+	RenderTable3 = harness.RenderTable3
+)
+
+// SecurityMatrix probes every configuration with the paper's §2.1 threat
+// vectors (wild reads/writes, stale-TLB writes, late writebacks) and
+// RenderSecurityMatrix prints the BLOCKED/VULNERABLE table.
+var (
+	SecurityMatrix       = harness.SecurityMatrix
+	RenderSecurityMatrix = harness.RenderSecurityMatrix
+)
+
+// The mechanism-level API: the paper's structures, reusable inside any
+// simulated memory system.
+
+// ProtectionTable is the flat, physically-indexed permission table (2 bits
+// per physical page) living in simulated physical memory.
+type ProtectionTable = core.ProtectionTable
+
+// BCC is the Border Control Cache over the Protection Table.
+type BCC = core.BCC
+
+// BCCConfig sets BCC geometry (entries, pages per entry).
+type BCCConfig = core.BCCConfig
+
+// BorderControl implements the Figure 3 event protocol for one
+// accelerator.
+type BorderControl = core.BorderControl
+
+// BorderConfig sets Border Control structures and policies.
+type BorderConfig = core.Config
+
+// Store is the functional physical-memory backing store.
+type Store = memory.Store
+
+// OS is the trusted operating-system model (processes, page tables,
+// shootdowns, violation policy).
+type OS = hostos.OS
+
+// NewProtectionTable places a Protection Table covering physPages pages at
+// base inside the store.
+func NewProtectionTable(store *Store, base uint64, physPages uint64) (*ProtectionTable, error) {
+	return core.NewProtectionTable(store, phys(base), physPages)
+}
+
+// NewBCC builds a Border Control Cache.
+func NewBCC(cfg BCCConfig) (*BCC, error) { return core.NewBCC(cfg) }
+
+// NewStore allocates a functional physical memory of the given byte size.
+func NewStore(size uint64) (*Store, error) { return memory.NewStore(size) }
+
+// NewOS builds a trusted OS model owning the store.
+func NewOS(store *Store) *OS { return hostos.New(store) }
+
+// ProtectionTableBytes returns the table footprint for a physical memory of
+// the given page count — 0.006% of physical memory (1 MB per 16 GB).
+func ProtectionTableBytes(physPages uint64) uint64 { return core.TableBytes(physPages) }
+
+// Time is a simulation timestamp in picoseconds.
+type Time = sim.Time
+
+// Phys is a host physical address.
+type Phys = arch.Phys
+
+func phys(a uint64) Phys { return Phys(a) }
+
+// Trojan models a malicious accelerator with direct physical-address access
+// — the paper's threat vector. Attach it to a system's border port and try
+// arbitrary reads and writes; under Border Control they are blocked and
+// reported to the OS.
+type Trojan = accel.Trojan
+
+// NewTrojan attaches a malicious accelerator to the system's border.
+func NewTrojan(sys *System) *Trojan { return accel.NewTrojan(sys.Port) }
+
+// Perm is a page access-permission set.
+type Perm = arch.Perm
+
+// Permission bits.
+const (
+	PermRead  = arch.PermRead
+	PermWrite = arch.PermWrite
+	PermRW    = arch.PermRW
+)
+
+// Virt is a process virtual address.
+type Virt = arch.Virt
+
+// Process is one simulated address space managed by the OS model.
+type Process = hostos.Process
+
+// Virtualization support (paper §3.4.2).
+
+// VMM is a minimal trusted virtual-machine monitor: it partitions host
+// physical memory into guest regions and keeps Protection Tables in
+// VMM-private memory no guest can name.
+type VMM = hostos.VMM
+
+// Guest is one guest OS and its host-physical partition.
+type Guest = hostos.Guest
+
+// NewVMM builds a VMM over the store, reserving the given number of
+// frames for the VMM itself.
+func NewVMM(store *Store, reserveFrames uint64) (*VMM, error) {
+	return hostos.NewVMM(store, reserveFrames)
+}
+
+// Alternate permission sources (paper §3.4.1).
+
+// Segment is a physical range with permissions, the unit of a
+// Mondriaan-style protection table.
+type Segment = core.Segment
+
+// SegmentSource is a Mondriaan-style fine-grained permission table.
+type SegmentSource = core.SegmentSource
+
+// PLB is a protection-lookaside buffer whose misses populate Border
+// Control's table, mirroring the paper's TLB-miss insertion path.
+type PLB = core.PLB
+
+// CapabilityTable is a trusted capability registry whose validated
+// invocations populate Border Control's table.
+type CapabilityTable = core.CapabilityTable
+
+// NewSegmentSource returns an empty Mondriaan-style permission table.
+func NewSegmentSource() *SegmentSource { return core.NewSegmentSource() }
+
+// NewPLB builds a protection-lookaside buffer over the source, feeding bc.
+func NewPLB(src *SegmentSource, b *BorderControl, capacity int) (*PLB, error) {
+	return core.NewPLB(src, b, capacity)
+}
+
+// NewCapabilityTable returns an empty capability registry.
+func NewCapabilityTable() *CapabilityTable { return core.NewCapabilityTable() }
+
+// Streaming accelerators (beyond GPUs).
+
+// Streamer is a fixed-function streaming accelerator (crypto, compression,
+// video-style IP): cacheless DMA channels whose every block crosses the
+// checked border.
+type Streamer = accel.Streamer
+
+// StreamJob is one DMA-style transfer processed by a Streamer.
+type StreamJob = accel.StreamJob
+
+// StreamerConfig sizes a streaming accelerator.
+type StreamerConfig = accel.StreamerConfig

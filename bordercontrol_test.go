@@ -1,0 +1,134 @@
+package bordercontrol_test
+
+import (
+	"strings"
+	"testing"
+
+	bc "bordercontrol"
+)
+
+// The facade tests exercise the library the way a downstream user would:
+// only through the public API.
+
+func TestWorkloadsAndModes(t *testing.T) {
+	ws := bc.Workloads()
+	if len(ws) != 7 {
+		t.Fatalf("workloads = %v", ws)
+	}
+	if ws[0] != "backprop" || ws[6] != "pathfinder" {
+		t.Errorf("workload order = %v", ws)
+	}
+	if len(bc.Modes()) != 5 {
+		t.Error("five configurations under study")
+	}
+}
+
+func TestRunPublicAPI(t *testing.T) {
+	res, err := bc.Run(bc.BCBCC, bc.ModeratelyThreaded, "lud", bc.DefaultParams(), bc.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VerifyErr != nil {
+		t.Errorf("results wrong: %v", res.VerifyErr)
+	}
+	if res.Cycles == 0 {
+		t.Error("no cycles measured")
+	}
+	if _, err := bc.Run(bc.BCBCC, bc.HighlyThreaded, "nonesuch", bc.DefaultParams(), bc.RunOptions{}); err == nil {
+		t.Error("unknown workload should error")
+	}
+}
+
+func TestTablesPublicAPI(t *testing.T) {
+	if !strings.Contains(bc.RenderTable1(), "Border Control") {
+		t.Error("table 1 wrong")
+	}
+	if !strings.Contains(bc.RenderTable2(), "configurations") {
+		t.Error("table 2 wrong")
+	}
+	if !strings.Contains(bc.RenderTable3(bc.DefaultParams()), "700 MHz") {
+		t.Error("table 3 wrong")
+	}
+}
+
+func TestProtectionTableBytes(t *testing.T) {
+	// 16 GB -> 1 MB: the 0.006% headline.
+	if got := bc.ProtectionTableBytes((16 << 30) / 4096); got != 1<<20 {
+		t.Errorf("table bytes = %d", got)
+	}
+}
+
+func TestMechanismLevelAPI(t *testing.T) {
+	store, err := bc.NewStore(16 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := bc.NewProtectionTable(store, 0, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt.Set(7, bc.PermRW)
+	if pt.Lookup(7) != bc.PermRW {
+		t.Error("protection table via facade broken")
+	}
+	cache, err := bc.NewBCC(bc.BCCConfig{Entries: 4, PagesPerEntry: 512, TagBits: 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Fill(7, pt); got != bc.PermRW {
+		t.Errorf("BCC fill = %v", got)
+	}
+}
+
+func TestTrojanScenarioPublicAPI(t *testing.T) {
+	sys, err := bc.NewSystem(bc.BCBCC, bc.HighlyThreaded, bc.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.OS.KeepProcessOnViolation = true
+	victim, err := sys.OS.NewProcess("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := victim.Mmap(4096, bc.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := victim.Write(buf, []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	user, err := sys.OS.NewProcess("user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.ATS.Activate(sys.Name, user.ASID())
+	if err := sys.BC.ProcessStart(user.ASID()); err != nil {
+		t.Fatal(err)
+	}
+	ppn, _ := victim.PPNOf(buf.PageOf())
+	trojan := bc.NewTrojan(sys)
+	if _, ok := trojan.TryRead(0, ppn.Base()); ok {
+		t.Error("trojan read should be blocked under Border Control")
+	}
+	if len(sys.OS.Violations) == 0 {
+		t.Error("violation not reported")
+	}
+}
+
+func TestUnsafeBaselineIsUnsafe(t *testing.T) {
+	sys, err := bc.NewSystem(bc.ATSOnly, bc.HighlyThreaded, bc.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, _ := sys.OS.NewProcess("victim")
+	buf, _ := victim.Mmap(4096, bc.PermRW)
+	if err := victim.Write(buf, []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	ppn, _ := victim.PPNOf(buf.PageOf())
+	trojan := bc.NewTrojan(sys)
+	data, ok := trojan.TryRead(0, ppn.Base())
+	if !ok || string(data[:6]) != "secret" {
+		t.Error("the ATS-only baseline should NOT stop the trojan — that is the paper's threat")
+	}
+}

@@ -1,0 +1,210 @@
+// Command bctool regenerates the evaluation artifacts of "Border Control:
+// Sandboxing Accelerators" (MICRO-48, 2015): every table and figure of the
+// paper's evaluation section, plus single-run inspection of any workload
+// under any safety configuration.
+//
+// Usage:
+//
+//	bctool table1|table2|table3        print a paper table
+//	bctool fig4|fig5|fig6|fig7         regenerate a paper figure
+//	bctool all                         everything above, in order
+//	bctool security                    run the threat-model probe matrix
+//	bctool run -mode bc-bcc -class high -workload bfs [-downgrades N]
+//	bctool list                        list workloads and modes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	bc "bordercontrol"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	var err error
+	switch cmd {
+	case "table1":
+		fmt.Print(bc.RenderTable1())
+	case "table2":
+		fmt.Print(bc.RenderTable2())
+	case "table3":
+		fmt.Print(bc.RenderTable3(bc.DefaultParams()))
+	case "fig4":
+		err = fig4(wantCSV())
+	case "fig5":
+		err = fig5(wantCSV())
+	case "fig6":
+		err = fig6(wantCSV())
+	case "fig7":
+		err = fig7(wantCSV())
+	case "all":
+		fmt.Print(bc.RenderTable1(), "\n", bc.RenderTable2(), "\n", bc.RenderTable3(bc.DefaultParams()), "\n")
+		for _, f := range []func(bool) error{fig4, fig5, fig6, fig7} {
+			if err = f(false); err != nil {
+				break
+			}
+		}
+	case "security":
+		err = security()
+	case "run":
+		err = runOne(os.Args[2:])
+	case "list":
+		fmt.Println("workloads:", strings.Join(bc.Workloads(), " "))
+		fmt.Println("modes:     ats-only full-iommu capi bc-nobcc bc-bcc")
+		fmt.Println("classes:   high moderate")
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bctool:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: bctool <table1|table2|table3|fig4|fig5|fig6|fig7|security|all|run|list> [csv] [flags]`)
+}
+
+// wantCSV reports whether the figure should be emitted as CSV (for
+// plotting) instead of a text table.
+func wantCSV() bool {
+	return len(os.Args) > 2 && os.Args[2] == "csv"
+}
+
+func fig4(csv bool) error {
+	for _, class := range []bc.GPUClass{bc.HighlyThreaded, bc.ModeratelyThreaded} {
+		res, err := bc.Figure4(class, bc.DefaultParams())
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Print(res.CSV())
+		} else {
+			fmt.Println(res.Render())
+		}
+	}
+	return nil
+}
+
+func fig5(csv bool) error {
+	res, err := bc.Figure5(bc.DefaultParams())
+	if err != nil {
+		return err
+	}
+	if csv {
+		fmt.Print(res.CSV())
+	} else {
+		fmt.Println(res.Render())
+	}
+	return nil
+}
+
+func fig6(csv bool) error {
+	res, err := bc.Figure6(bc.DefaultParams())
+	if err != nil {
+		return err
+	}
+	if csv {
+		fmt.Print(res.CSV())
+	} else {
+		fmt.Println(res.Render())
+	}
+	return nil
+}
+
+func fig7(csv bool) error {
+	res, err := bc.Figure7(bc.DefaultParams())
+	if err != nil {
+		return err
+	}
+	if csv {
+		fmt.Print(res.CSV())
+	} else {
+		fmt.Println(res.Render())
+	}
+	return nil
+}
+
+func security() error {
+	results, err := bc.SecurityMatrix(bc.DefaultParams())
+	if err != nil {
+		return err
+	}
+	fmt.Print(bc.RenderSecurityMatrix(results))
+	return nil
+}
+
+func parseMode(s string) (bc.Mode, error) {
+	switch s {
+	case "ats-only":
+		return bc.ATSOnly, nil
+	case "full-iommu":
+		return bc.FullIOMMU, nil
+	case "capi":
+		return bc.CAPILike, nil
+	case "bc-nobcc":
+		return bc.BCNoBCC, nil
+	case "bc-bcc":
+		return bc.BCBCC, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+func runOne(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	mode := fs.String("mode", "bc-bcc", "safety configuration (see bctool list)")
+	class := fs.String("class", "high", "GPU class: high or moderate")
+	name := fs.String("workload", "bfs", "workload name")
+	downgrades := fs.Float64("downgrades", 0, "permission downgrades per second to inject")
+	scale := fs.Int("scale", 1, "workload problem-size multiplier")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := parseMode(*mode)
+	if err != nil {
+		return err
+	}
+	cl := bc.HighlyThreaded
+	if strings.HasPrefix(*class, "mod") {
+		cl = bc.ModeratelyThreaded
+	}
+	p := bc.DefaultParams()
+	p.Scale = *scale
+	res, err := bc.Run(m, cl, *name, p, bc.RunOptions{DowngradesPerSec: *downgrades})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload      %s\n", res.Workload)
+	fmt.Printf("mode          %v\n", res.Mode)
+	fmt.Printf("class         %v\n", res.Class)
+	fmt.Printf("GPU cycles    %d\n", res.Cycles)
+	fmt.Printf("runtime       %.3f ms\n", float64(res.Runtime)/1e9)
+	fmt.Printf("memory ops    %d\n", res.Ops)
+	fmt.Printf("DRAM util     %.1f%%\n", res.DRAMUtilization*100)
+	if res.L1MissRatio > 0 || res.L2MissRatio > 0 {
+		fmt.Printf("L1 miss       %.3f\n", res.L1MissRatio)
+		fmt.Printf("L2 miss       %.3f\n", res.L2MissRatio)
+		fmt.Printf("L1 TLB miss   %.4f\n", res.TLBMissRatio)
+	}
+	fmt.Printf("translations  %d (%d page walks)\n", res.Translations, res.PageWalks)
+	if m == bc.BCNoBCC || m == bc.BCBCC {
+		fmt.Printf("BC checks     %d (%.3f/cycle)\n", res.BCChecks, res.RequestsPerCycle())
+		fmt.Printf("BCC miss      %.4f\n", res.BCCMissRatio)
+	}
+	if res.Downgrades > 0 {
+		fmt.Printf("downgrades    %d\n", res.Downgrades)
+	}
+	if res.VerifyErr != nil {
+		return fmt.Errorf("results INCORRECT: %w", res.VerifyErr)
+	}
+	fmt.Println("results       verified correct")
+	return nil
+}

@@ -1,0 +1,61 @@
+// Downgrade: memory-mapping updates while the accelerator runs (paper
+// §3.2.4 and Figure 7).
+//
+// The OS periodically downgrades page permissions under a running kernel
+// (as context switches, swapping, or memory compaction would). Each
+// downgrade triggers a TLB shootdown; with Border Control the accelerator
+// additionally flushes the affected page's dirty blocks THROUGH the border
+// — where they are still checked against the pre-downgrade permissions —
+// before the Protection Table and BCC entries are updated. The program
+// shows the cost stays negligible at realistic rates and that results
+// remain functionally correct throughout.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	bc "bordercontrol"
+)
+
+func main() {
+	params := bc.DefaultParams()
+	const workload = "pathfinder"
+
+	quiet, err := bc.Run(bc.BCBCC, bc.HighlyThreaded, workload, params, bc.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-24s %12s %12s %10s\n", "downgrades injected", "GPU cycles", "overhead", "results")
+	fmt.Printf("%-24d %12d %12s %10s\n", 0, quiet.Cycles, "—", verdict(quiet))
+
+	for _, n := range []int{8, 32, 128} {
+		res, err := bc.Run(bc.BCBCC, bc.HighlyThreaded, workload, params, bc.RunOptions{
+			FixedDowngrades: n,
+			SpreadOver:      quiet.Runtime,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ov := float64(res.Cycles)/float64(quiet.Cycles)*100 - 100
+		perDowngrade := float64(res.Runtime-quiet.Runtime) / float64(res.Downgrades) / 1000 // ns
+		fmt.Printf("%-24d %12d %11.3f%% %10s   (%.2f us per downgrade)\n",
+			res.Downgrades, res.Cycles, ov, verdict(res), perDowngrade/1000)
+	}
+
+	fmt.Println("\nNote: a sub-millisecond kernel with dozens of injected downgrades is an")
+	fmt.Println("EXTREME rate — tens of thousands per second. At the 10-200/s of real")
+	fmt.Println("context switching, the measured ~1.5 us per downgrade costs well under")
+	fmt.Println("0.05% of runtime (paper Figure 7).")
+	fmt.Println("\nEach downgrade: TLB shootdown + drain on any accelerator; plus, under")
+	fmt.Println("Border Control, a selective flush of the page's dirty blocks (checked at")
+	fmt.Println("the border under the old permissions) before the table entry is updated.")
+}
+
+func verdict(r bc.Result) string {
+	if r.VerifyErr != nil {
+		return "WRONG"
+	}
+	return "correct"
+}

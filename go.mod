@@ -1,0 +1,3 @@
+module bordercontrol
+
+go 1.22

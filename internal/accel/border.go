@@ -1,0 +1,141 @@
+package accel
+
+import (
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/coherence"
+	"bordercontrol/internal/core"
+	"bordercontrol/internal/memory"
+	"bordercontrol/internal/sim"
+	"bordercontrol/internal/stats"
+)
+
+// BorderPort is the physical-address path from an accelerator's outermost
+// cache into the trusted memory system. Depending on configuration it
+// applies a Border Control check (nil bc means unchecked — the unsafe
+// ATS-only baseline or the inherently-trusted CAPI path), then goes through
+// the coherence directory to DRAM.
+type BorderPort struct {
+	bc         *core.BorderControl // nil unless Border Control guards this port
+	check      core.Checker        // nil: no border checking
+	dir        *coherence.Directory
+	agent      coherence.AgentID
+	dram       *memory.DRAM
+	dirLatency sim.Time
+
+	Reads         stats.Counter
+	Writes        stats.Counter
+	BlockedReads  stats.Counter
+	BlockedWrites stats.Counter
+}
+
+// NewBorderPort wires a border port. bc may be nil for unchecked paths.
+// agent is the accelerator's directory agent ID.
+func NewBorderPort(bc *core.BorderControl, dir *coherence.Directory, agent coherence.AgentID, dram *memory.DRAM, dirLatency sim.Time) *BorderPort {
+	p := &BorderPort{bc: bc, dir: dir, agent: agent, dram: dram, dirLatency: dirLatency}
+	if bc != nil {
+		p.check = bc
+	}
+	return p
+}
+
+// BC returns the attached Border Control, or nil.
+func (p *BorderPort) BC() *core.BorderControl { return p.bc }
+
+// SetChecker installs an arbitrary border checker (e.g. core.TrustZone) in
+// place of Border Control. Pass nil to remove checking entirely.
+func (p *BorderPort) SetChecker(c core.Checker) {
+	p.check = c
+	p.bc, _ = c.(*core.BorderControl)
+}
+
+// ReadBlock requests the 128-byte block at addr from host memory. intent
+// is Read for a plain fill and Write for a fill-for-ownership (a store
+// miss): Border Control checks the permission the accelerator will
+// ultimately exercise. The block data is copied into buf on success.
+//
+// The permission check proceeds in parallel with the memory access (paper
+// §3.1.1): the returned time is the max of the two, but a failed check
+// discards the data — it never reaches the accelerator.
+func (p *BorderPort) ReadBlock(at sim.Time, addr arch.Phys, intent arch.AccessKind, buf *[arch.BlockSize]byte) (sim.Time, bool) {
+	addr = addr.BlockOf()
+	p.Reads.Inc()
+	checkDone := at
+	if p.check != nil {
+		dec := p.check.Check(at, addr, intent)
+		if !dec.Allowed {
+			p.BlockedReads.Inc()
+			return dec.Done, false
+		}
+		checkDone = dec.Done
+	}
+	// Coherence: a fill-for-ownership is a GetM, a plain fill a GetS.
+	if intent == arch.Write {
+		p.dir.RequestModified(p.agent, addr)
+	} else {
+		p.dir.RequestShared(p.agent, addr)
+	}
+	memDone := p.dram.AccessDone(at+p.dirLatency, addr, arch.Read)
+	p.dram.Store().ReadInto(addr, buf[:])
+	if checkDone > memDone {
+		return checkDone, true
+	}
+	return memDone, true
+}
+
+// WriteBlock writes a dirty block back to host memory. The check must pass
+// before the data is applied: a blocked writeback leaves memory untouched
+// (paper §3.2.4).
+func (p *BorderPort) WriteBlock(at sim.Time, addr arch.Phys, data *[arch.BlockSize]byte) (sim.Time, bool) {
+	addr = addr.BlockOf()
+	p.Writes.Inc()
+	checkDone := at
+	if p.check != nil {
+		dec := p.check.Check(at, addr, arch.Write)
+		if !dec.Allowed {
+			p.BlockedWrites.Inc()
+			return dec.Done, false
+		}
+		checkDone = dec.Done
+	}
+	if err := p.dir.Writeback(p.agent, addr, data[:], false); err != nil {
+		// The directory did not consider us owner (e.g. a trusted recall
+		// already collected the block); apply the data directly — the
+		// check above already authorized it.
+		p.dram.Store().Write(addr, data[:])
+	}
+	// The write buffers at the memory controller on arrival and drains
+	// once the check passes: the channel slot is claimed at arrival, and
+	// completion cannot precede the check.
+	done := p.dram.AccessDone(at+p.dirLatency, addr, arch.Write)
+	if checkDone > done {
+		done = checkDone
+	}
+	return done, true
+}
+
+// Upgrade requests write ownership of a block the accelerator already
+// holds shared (a store hit on a read-filled block). No data moves, but
+// the request crosses the border and is checked.
+func (p *BorderPort) Upgrade(at sim.Time, addr arch.Phys) (sim.Time, bool) {
+	addr = addr.BlockOf()
+	done := at
+	if p.check != nil {
+		dec := p.check.Check(at, addr, arch.Write)
+		if !dec.Allowed {
+			p.BlockedWrites.Inc()
+			return dec.Done, false
+		}
+		done = dec.Done
+	}
+	p.dir.RequestModified(p.agent, addr)
+	return done + p.dirLatency, true
+}
+
+// Owned reports whether the accelerator currently owns the block (may hold
+// it dirty).
+func (p *BorderPort) Owned(addr arch.Phys) bool {
+	return p.dir.OwnerOf(addr) == p.agent
+}
+
+// Evict tells the directory the accelerator silently dropped a clean block.
+func (p *BorderPort) Evict(addr arch.Phys) { p.dir.Evict(p.agent, addr) }

@@ -1,0 +1,173 @@
+package accel
+
+import (
+	"fmt"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/sim"
+	"bordercontrol/internal/stats"
+)
+
+// GPUConfig sets the compute side of the accelerator: how many compute
+// units, and how many wavefront contexts each can keep in flight. The
+// paper's two proxies are 8 CUs (highly threaded, latency tolerant) and 1
+// CU with few contexts (moderately threaded, latency sensitive).
+type GPUConfig struct {
+	Name       string
+	Clock      sim.Clock
+	CUs        int
+	WavesPerCU int
+}
+
+// GPU executes Programs: each phase's traces are dispatched dynamically to
+// wavefront slots, each wavefront replays its trace in order (one
+// outstanding access at a time — latency tolerance comes from the number of
+// wavefronts), and phases are separated by a full barrier, like kernel
+// launches.
+type GPU struct {
+	cfg  GPUConfig
+	eng  *sim.Engine
+	hier Hierarchy
+
+	asid     arch.ASID
+	prog     *Program
+	phaseIdx int
+	queue    []Trace
+	running  int
+	nextSlot int
+
+	// issue serializes memory-op issue per CU: one operation per GPU cycle,
+	// the LSU port limit that makes throughput (not just latency) a first-
+	// class constraint.
+	issue []*sim.Resource
+
+	launched bool
+	finished bool
+	start    sim.Time
+	finish   sim.Time
+	err      error
+
+	// OpsDone counts completed memory operations.
+	OpsDone stats.Counter
+}
+
+// NewGPU returns a GPU over the given hierarchy.
+func NewGPU(cfg GPUConfig, eng *sim.Engine, hier Hierarchy) (*GPU, error) {
+	if cfg.CUs <= 0 || cfg.WavesPerCU <= 0 {
+		return nil, fmt.Errorf("accel: bad GPU geometry CUs=%d waves/CU=%d", cfg.CUs, cfg.WavesPerCU)
+	}
+	g := &GPU{cfg: cfg, eng: eng, hier: hier}
+	for i := 0; i < cfg.CUs; i++ {
+		g.issue = append(g.issue, sim.NewResource(cfg.Clock.Cycles(1)))
+	}
+	return g, nil
+}
+
+// Config returns the GPU configuration.
+func (g *GPU) Config() GPUConfig { return g.cfg }
+
+// Hierarchy returns the memory hierarchy.
+func (g *GPU) Hierarchy() Hierarchy { return g.hier }
+
+// Slots returns the number of concurrent wavefront contexts.
+func (g *GPU) Slots() int { return g.cfg.CUs * g.cfg.WavesPerCU }
+
+// Launch schedules prog to run as process asid, starting now. Call
+// Engine.Run (or RunUntil) afterwards to execute it.
+func (g *GPU) Launch(prog *Program, asid arch.ASID) error {
+	if g.launched && !g.finished {
+		return fmt.Errorf("accel: GPU %s already running %q", g.cfg.Name, g.prog.Name)
+	}
+	g.prog = prog
+	g.asid = asid
+	g.phaseIdx = -1
+	g.launched = true
+	g.finished = false
+	g.err = nil
+	g.start = g.eng.Now()
+	g.nextPhase(g.eng.Now())
+	return nil
+}
+
+// Finished reports whether the launched program has completed (or aborted).
+func (g *GPU) Finished() bool { return g.finished }
+
+// Err returns the abort cause, if the program did not complete cleanly.
+func (g *GPU) Err() error { return g.err }
+
+// FinishTime returns when the program (including its final cache drain)
+// completed.
+func (g *GPU) FinishTime() sim.Time { return g.finish }
+
+// Runtime returns the program's duration in simulated time.
+func (g *GPU) Runtime() sim.Time { return g.finish - g.start }
+
+// Cycles returns the program's duration in GPU cycles.
+func (g *GPU) Cycles() uint64 { return g.cfg.Clock.CyclesAt(g.Runtime()) }
+
+func (g *GPU) nextPhase(at sim.Time) {
+	g.phaseIdx++
+	if g.err != nil || g.phaseIdx >= len(g.prog.Phases) {
+		done := g.hier.Drain(at)
+		g.finished = true
+		g.finish = done
+		return
+	}
+	ph := &g.prog.Phases[g.phaseIdx]
+	g.queue = append(g.queue[:0], ph.Traces...)
+	if len(g.queue) == 0 {
+		g.nextPhase(at)
+		return
+	}
+	g.nextSlot = 0
+	slots := g.Slots()
+	for s := 0; s < slots && len(g.queue) > 0; s++ {
+		g.dispatch(at, s%g.cfg.CUs)
+	}
+}
+
+// dispatch starts the next queued trace on compute unit cu.
+func (g *GPU) dispatch(at sim.Time, cu int) {
+	t := g.queue[0]
+	g.queue = g.queue[1:]
+	g.running++
+	g.step(at, cu, t, 0)
+}
+
+// step executes trace position i on cu at the given time and schedules the
+// continuation.
+func (g *GPU) step(at sim.Time, cu int, t Trace, i int) {
+	if g.err != nil {
+		g.retire(at)
+		return
+	}
+	if i >= len(t) {
+		g.retire(at)
+		return
+	}
+	op := t[i]
+	at += g.cfg.Clock.Cycles(uint64(op.Compute))
+	at = g.issue[cu].Claim(at) // LSU port: one memory op per CU per cycle
+	done, err := g.hier.Access(at, cu, g.asid, op)
+	if err != nil {
+		g.err = err
+		g.retire(done)
+		return
+	}
+	g.OpsDone.Inc()
+	g.eng.At(done, func() { g.step(done, cu, t, i+1) })
+}
+
+// retire ends one wavefront's trace: pick up more work, or close the phase.
+func (g *GPU) retire(at sim.Time) {
+	g.running--
+	if g.err == nil && len(g.queue) > 0 {
+		cu := g.nextSlot % g.cfg.CUs
+		g.nextSlot++
+		g.dispatch(at, cu)
+		return
+	}
+	if g.running == 0 {
+		g.nextPhase(at)
+	}
+}

@@ -1,0 +1,74 @@
+package accel
+
+import (
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/sim"
+)
+
+// Trojan models a malicious accelerator (or one carrying a hardware
+// trojan): arbitrary logic with direct access to physical memory, exactly
+// the paper's threat vector (§2.1). It fabricates physical addresses
+// without consulting the ATS and fires them across the border.
+type Trojan struct {
+	border *BorderPort
+}
+
+// NewTrojan returns a trojan attached to the given border port.
+func NewTrojan(border *BorderPort) *Trojan { return &Trojan{border: border} }
+
+// TryRead attempts to read the block at pa. It returns the data and true
+// if the request reached memory; false if the border blocked it.
+func (t *Trojan) TryRead(at sim.Time, pa arch.Phys) ([arch.BlockSize]byte, bool) {
+	var buf [arch.BlockSize]byte
+	_, ok := t.border.ReadBlock(at, pa, arch.Read, &buf)
+	if !ok {
+		return [arch.BlockSize]byte{}, false
+	}
+	return buf, true
+}
+
+// TryWrite attempts to overwrite the block at pa. It reports whether the
+// write reached memory.
+func (t *Trojan) TryWrite(at sim.Time, pa arch.Phys, data [arch.BlockSize]byte) bool {
+	// A malicious cache claims ownership first; the upgrade is itself a
+	// border crossing, so try it, then fall back to a bare writeback.
+	if _, ok := t.border.Upgrade(at, pa); !ok {
+		return false
+	}
+	_, ok := t.border.WriteBlock(at, pa, &data)
+	return ok
+}
+
+// BuggyShootdown wraps a Sandboxed hierarchy with a broken TLB-shootdown
+// implementation (the incorrect-accelerator example from paper §2.1): it
+// ignores invalidations, so wavefronts keep using stale translations after
+// the OS revokes or remaps a page.
+type BuggyShootdown struct {
+	*Sandboxed
+}
+
+// NewBuggyShootdown wraps h.
+func NewBuggyShootdown(h *Sandboxed) *BuggyShootdown { return &BuggyShootdown{Sandboxed: h} }
+
+// InvalidateTLBPage does nothing: the bug.
+func (b *BuggyShootdown) InvalidateTLBPage(asid arch.ASID, vpn arch.VPN) {}
+
+// InvalidateTLBAll does nothing: the bug.
+func (b *BuggyShootdown) InvalidateTLBAll() {}
+
+// OnDowngrade ignores the shootdown entirely.
+func (b *BuggyShootdown) OnDowngrade(d interface{}) {}
+
+// FlushIgnorer wraps a Sandboxed hierarchy that ignores downgrade flush
+// requests (paper §3.2.4's "even if the accelerator ignores the request to
+// flush its caches, there is no security vulnerability"): dirty blocks stay
+// in its caches and are caught at the border when finally written back.
+type FlushIgnorer struct {
+	*Sandboxed
+}
+
+// NewFlushIgnorer wraps h.
+func NewFlushIgnorer(h *Sandboxed) *FlushIgnorer { return &FlushIgnorer{Sandboxed: h} }
+
+// FlushPage refuses to flush and returns immediately.
+func (f *FlushIgnorer) FlushPage(at sim.Time, ppn arch.PPN) sim.Time { return at }

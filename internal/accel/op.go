@@ -1,0 +1,79 @@
+// Package accel models the untrusted accelerators: a GPU built from compute
+// units running many wavefronts, its L1 TLBs and L1/L2 caches, and the
+// memory-path variants evaluated in the paper (ATS-only, full IOMMU,
+// CAPI-like, Border Control with and without a BCC). It also provides the
+// misbehaving accelerators used to exercise the threat model.
+package accel
+
+import (
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/hostos"
+)
+
+// Op is one memory operation of a wavefront: some compute, then a single
+// coalesced access. Traces are produced by internal/workload from real
+// algorithm executions.
+type Op struct {
+	// Compute is the number of GPU cycles of computation preceding the
+	// access.
+	Compute uint16
+	// Kind is read or write.
+	Kind arch.AccessKind
+	// Size is the access width in bytes (1..32, one coalesced sector at
+	// most; block-sized traffic is modelled by the caches, not the ops).
+	Size uint8
+	// Addr is the virtual address accessed.
+	Addr arch.Virt
+	// Data holds the stored bytes (Kind == Write only, len == Size);
+	// replaying stores with their real values keeps simulated memory
+	// functionally correct.
+	Data []byte
+}
+
+// Trace is the in-order memory behaviour of one wavefront within a phase.
+type Trace []Op
+
+// Phase is one kernel launch: its traces run concurrently across the GPU's
+// wavefront slots, and the next phase starts only when all complete (the
+// kernel-boundary barrier).
+type Phase struct {
+	Name   string
+	Traces []Trace
+}
+
+// Program is a whole accelerator workload: an ordered list of phases plus
+// an optional functional check of the results it left in process memory.
+type Program struct {
+	Name   string
+	Phases []Phase
+	// Verify, when set, checks the output the program left in the process
+	// address space. It runs after the GPU finishes and all caches are
+	// flushed.
+	Verify func(p *hostos.Process) error
+}
+
+// Ops returns the total operation count across all phases.
+func (p *Program) Ops() uint64 {
+	var n uint64
+	for _, ph := range p.Phases {
+		for _, t := range ph.Traces {
+			n += uint64(len(t))
+		}
+	}
+	return n
+}
+
+// Reads returns the total read-operation count.
+func (p *Program) Reads() uint64 {
+	var n uint64
+	for _, ph := range p.Phases {
+		for _, t := range ph.Traces {
+			for _, op := range t {
+				if op.Kind == arch.Read {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}

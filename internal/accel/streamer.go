@@ -1,0 +1,193 @@
+package accel
+
+import (
+	"fmt"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/ats"
+	"bordercontrol/internal/sim"
+	"bordercontrol/internal/stats"
+)
+
+// Streamer models the other major accelerator class the paper's
+// introduction motivates: a fixed-function streaming engine (crypto,
+// compression, regex, video). Unlike the GPU it keeps no caches — it
+// reads a source buffer block by block, transforms it, and writes a
+// destination buffer, with a few concurrent DMA channels for overlap.
+// Every block still crosses the border, so Border Control guards it with
+// the same Protection Table mechanism, unchanged.
+type Streamer struct {
+	name    string
+	eng     *sim.Engine
+	ats     *ats.ATS
+	border  *BorderPort
+	clock   sim.Clock
+	latency sim.Time // per-block transform latency
+
+	channels int
+	queue    []*StreamJob
+	running  int
+	finished bool
+	err      error
+	start    sim.Time
+	finish   sim.Time
+
+	Blocks stats.Counter
+	Jobs   stats.Counter
+}
+
+// StreamJob is one DMA-style transfer: read Len bytes at Src, apply
+// Transform block-wise, write the result at Dst. Src and Dst must be
+// block-aligned and must not overlap.
+type StreamJob struct {
+	ASID      arch.ASID
+	Src, Dst  arch.Virt
+	Len       uint64
+	Transform func(block []byte) // in-place; nil = plain copy
+}
+
+// StreamerConfig sizes the engine.
+type StreamerConfig struct {
+	Name     string
+	Clock    sim.Clock
+	Channels int      // concurrent DMA contexts
+	Latency  sim.Time // per-block processing time
+}
+
+// NewStreamer builds a streaming accelerator over the given border port.
+func NewStreamer(cfg StreamerConfig, eng *sim.Engine, atsvc *ats.ATS, border *BorderPort) (*Streamer, error) {
+	if cfg.Channels <= 0 {
+		return nil, fmt.Errorf("accel: streamer needs at least one channel, got %d", cfg.Channels)
+	}
+	if cfg.Latency == 0 {
+		cfg.Latency = cfg.Clock.Cycles(8)
+	}
+	return &Streamer{
+		name:     cfg.Name,
+		eng:      eng,
+		ats:      atsvc,
+		border:   border,
+		clock:    cfg.Clock,
+		latency:  cfg.Latency,
+		channels: cfg.Channels,
+	}, nil
+}
+
+// Border returns the streamer's border port.
+func (s *Streamer) Border() *BorderPort { return s.border }
+
+// Launch enqueues jobs and starts the channels. Run the engine afterwards.
+func (s *Streamer) Launch(jobs []*StreamJob) error {
+	for _, j := range jobs {
+		if uint64(j.Src)%arch.BlockSize != 0 || uint64(j.Dst)%arch.BlockSize != 0 || j.Len%arch.BlockSize != 0 {
+			return fmt.Errorf("accel: stream job [%#x->%#x, %d) not block aligned", j.Src, j.Dst, j.Len)
+		}
+	}
+	s.queue = append(s.queue, jobs...)
+	s.finished = false
+	s.err = nil
+	s.start = s.eng.Now()
+	for c := 0; c < s.channels && len(s.queue) > 0; c++ {
+		s.dispatch(s.eng.Now())
+	}
+	if s.running == 0 {
+		s.finished = true
+		s.finish = s.eng.Now()
+	}
+	return nil
+}
+
+// Finished reports whether all jobs completed or aborted.
+func (s *Streamer) Finished() bool { return s.finished }
+
+// Err returns the abort cause, if any.
+func (s *Streamer) Err() error { return s.err }
+
+// Runtime returns the duration of the last Launch.
+func (s *Streamer) Runtime() sim.Time { return s.finish - s.start }
+
+func (s *Streamer) dispatch(at sim.Time) {
+	job := s.queue[0]
+	s.queue = s.queue[1:]
+	s.running++
+	s.step(at, job, 0)
+}
+
+// step processes one block of the job and schedules the next.
+func (s *Streamer) step(at sim.Time, job *StreamJob, off uint64) {
+	if s.err != nil {
+		s.retire(at)
+		return
+	}
+	if off >= job.Len {
+		s.Jobs.Inc()
+		s.retire(at)
+		return
+	}
+	// Translate both endpoints through the ATS (no accelerator TLB: the
+	// streamer's access pattern is fully sequential, so translation cost
+	// amortizes over a page of blocks; the ATS's own TLB absorbs repeats).
+	srcRes, err := s.ats.Translate(s.name, job.ASID, job.Src+arch.Virt(off), arch.Read, at)
+	if err != nil {
+		s.fail(at, err)
+		return
+	}
+	dstRes, err := s.ats.Translate(s.name, job.ASID, job.Dst+arch.Virt(off), arch.Write, srcRes.Done)
+	if err != nil {
+		s.fail(at, err)
+		return
+	}
+	at = dstRes.Done
+
+	srcPA := srcRes.Entry.PPN.Base() + arch.Phys((job.Src + arch.Virt(off)).Offset())
+	dstPA := dstRes.Entry.PPN.Base() + arch.Phys((job.Dst + arch.Virt(off)).Offset())
+
+	var buf [arch.BlockSize]byte
+	done, ok := s.border.ReadBlock(at, srcPA, arch.Read, &buf)
+	if !ok {
+		s.fail(at, fmt.Errorf("%w: stream read of %#x", ErrBlocked, srcPA))
+		return
+	}
+	done += s.latency
+	if job.Transform != nil {
+		job.Transform(buf[:])
+	}
+	wbDone, ok := s.border.WriteBlock(done, dstPA, &buf)
+	if !ok {
+		s.fail(done, fmt.Errorf("%w: stream write of %#x", ErrBlocked, dstPA))
+		return
+	}
+	s.Blocks.Inc()
+	if wbDone > done {
+		done = wbDone
+	}
+	s.eng.At(done, func() { s.step(done, job, off+arch.BlockSize) })
+}
+
+func (s *Streamer) fail(at sim.Time, err error) {
+	if s.err == nil {
+		s.err = err
+	}
+	s.retire(at)
+}
+
+func (s *Streamer) retire(at sim.Time) {
+	s.running--
+	if s.err == nil && len(s.queue) > 0 {
+		s.dispatch(at)
+		return
+	}
+	if s.running == 0 {
+		s.finished = true
+		s.finish = at
+	}
+}
+
+// Name implements coherence.Agent.
+func (s *Streamer) Name() string { return s.name }
+
+// Trusted implements coherence.Agent: the streamer is third-party IP.
+func (s *Streamer) Trusted() bool { return false }
+
+// Recall implements coherence.Agent: nothing cached.
+func (s *Streamer) Recall(arch.Phys) ([]byte, bool) { return nil, false }

@@ -1,0 +1,190 @@
+package accel
+
+import (
+	"bytes"
+	"testing"
+
+	"bordercontrol/internal/arch"
+)
+
+// streamRig wires a Streamer into the rig's memory system, guarded by the
+// rig's Border Control when safe.
+func streamRig(t testing.TB, safe bool) (*rig, *Streamer) {
+	t.Helper()
+	r := newRig(t, safe)
+	agent := r.dir.ReserveAgent()
+	var port *BorderPort
+	if safe {
+		port = NewBorderPort(r.bc, r.dir, agent, r.dram, r.clock.Cycles(4))
+	} else {
+		port = NewBorderPort(nil, r.dir, agent, r.dram, r.clock.Cycles(4))
+	}
+	st, err := NewStreamer(StreamerConfig{Name: "gpu0", Clock: r.clock, Channels: 2}, r.eng, r.ats, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.dir.BindAgent(agent, st)
+	return r, st
+}
+
+func xorMask(mask byte) func([]byte) {
+	return func(b []byte) {
+		for i := range b {
+			b[i] ^= mask
+		}
+	}
+}
+
+func TestStreamerCopiesAndTransforms(t *testing.T) {
+	r, st := streamRig(t, true)
+	src := r.buffer(t, arch.PageSize)
+	dst := r.buffer(t, arch.PageSize)
+	want := bytes.Repeat([]byte{0x11, 0x22, 0x33, 0x44}, arch.PageSize/4)
+	if err := r.proc.Write(src, want); err != nil {
+		t.Fatal(err)
+	}
+	job := &StreamJob{
+		ASID: r.proc.ASID(), Src: src, Dst: dst, Len: arch.PageSize,
+		Transform: xorMask(0xFF),
+	}
+	if err := st.Launch([]*StreamJob{job}); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if !st.Finished() || st.Err() != nil {
+		t.Fatalf("finished=%v err=%v", st.Finished(), st.Err())
+	}
+	got := make([]byte, arch.PageSize)
+	if err := r.proc.Read(dst, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i]^0xFF {
+			t.Fatalf("byte %d = %#x, want %#x", i, got[i], want[i]^0xFF)
+		}
+	}
+	if st.Blocks.Value() != arch.PageSize/arch.BlockSize {
+		t.Errorf("blocks = %d", st.Blocks.Value())
+	}
+	if r.bc.Checks.Value() == 0 {
+		t.Error("streamer traffic was not checked at the border")
+	}
+}
+
+func TestStreamerChannelsOverlap(t *testing.T) {
+	r, st := streamRig(t, false)
+	src := r.buffer(t, 4*arch.PageSize)
+	dst := r.buffer(t, 4*arch.PageSize)
+	one := &StreamJob{ASID: r.proc.ASID(), Src: src, Dst: dst, Len: arch.PageSize}
+	if err := st.Launch([]*StreamJob{one}); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	serial := st.Runtime()
+
+	r2, st2 := streamRig(t, false)
+	src2 := r2.buffer(t, 4*arch.PageSize)
+	dst2 := r2.buffer(t, 4*arch.PageSize)
+	var jobs []*StreamJob
+	for i := uint64(0); i < 2; i++ {
+		jobs = append(jobs, &StreamJob{
+			ASID: r2.proc.ASID(),
+			Src:  src2 + arch.Virt(i*arch.PageSize),
+			Dst:  dst2 + arch.Virt(i*arch.PageSize),
+			Len:  arch.PageSize,
+		})
+	}
+	if err := st2.Launch(jobs); err != nil {
+		t.Fatal(err)
+	}
+	r2.eng.Run()
+	if st2.Runtime() >= 2*serial {
+		t.Errorf("two jobs on two channels took %d ps vs %d serial — no overlap", st2.Runtime(), serial)
+	}
+}
+
+func TestStreamerBlockedOnRevokedPage(t *testing.T) {
+	// The OS revokes the destination mid-setup: the streamer's write
+	// translation faults, the job aborts, memory is untouched.
+	r, st := streamRig(t, true)
+	r.os.KeepProcessOnViolation = true
+	src := r.buffer(t, arch.PageSize)
+	dst := r.buffer(t, arch.PageSize)
+	if err := r.proc.Write(src, bytes.Repeat([]byte{7}, arch.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.os.Protect(r.proc, dst, arch.PageSize, arch.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	job := &StreamJob{ASID: r.proc.ASID(), Src: src, Dst: dst, Len: arch.PageSize}
+	if err := st.Launch([]*StreamJob{job}); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if st.Err() == nil {
+		t.Fatal("job into a read-only destination must abort")
+	}
+	var b [1]byte
+	if err := r.proc.Read(dst, b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0 {
+		t.Error("blocked stream wrote to the destination")
+	}
+}
+
+func TestStreamerValidation(t *testing.T) {
+	r, st := streamRig(t, false)
+	_ = r
+	if err := st.Launch([]*StreamJob{{Src: 3}}); err == nil {
+		t.Error("misaligned job should be rejected")
+	}
+	if _, err := NewStreamer(StreamerConfig{Channels: 0}, r.eng, r.ats, nil); err == nil {
+		t.Error("zero channels should be rejected")
+	}
+	// Empty launch finishes immediately.
+	if err := st.Launch(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Finished() {
+		t.Error("empty launch should finish")
+	}
+}
+
+func TestStreamerTrojanJobBlocked(t *testing.T) {
+	// A malicious job naming another process's memory: the ATS refuses the
+	// translation (wrong address space), so nothing ever reaches the
+	// border — and even a fabricated physical request would be caught
+	// there (see TestTrojanBlockedBySandbox).
+	r, st := streamRig(t, true)
+	r.os.KeepProcessOnViolation = true
+	victim, err := r.os.NewProcess("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret, err := victim.Mmap(arch.PageSize, arch.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := victim.Write(secret, []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	dst := r.buffer(t, arch.PageSize)
+	// The job presents the victim's ASID, which is not active on this
+	// accelerator.
+	job := &StreamJob{ASID: victim.ASID(), Src: secret.PageOf().Base(), Dst: dst, Len: arch.PageSize}
+	if err := st.Launch([]*StreamJob{job}); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if st.Err() == nil {
+		t.Fatal("cross-process stream job must abort")
+	}
+	got := make([]byte, 6)
+	if err := r.proc.Read(dst, got); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, []byte("secret")) {
+		t.Error("the secret leaked into the attacker's buffer")
+	}
+}

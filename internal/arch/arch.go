@@ -1,0 +1,173 @@
+// Package arch defines the base architectural vocabulary shared by every
+// component of the simulator: physical and virtual addresses, page numbers,
+// page geometry, access permissions, and cache-block geometry.
+//
+// The values follow the system evaluated in the paper (Table 3): 4 KB base
+// pages, optional 2 MB huge pages, and 128-byte memory blocks.
+package arch
+
+import "fmt"
+
+// Phys is a host physical address.
+type Phys uint64
+
+// Virt is a process virtual address.
+type Virt uint64
+
+// PPN is a physical page number (Phys >> PageShift).
+type PPN uint64
+
+// VPN is a virtual page number (Virt >> PageShift).
+type VPN uint64
+
+// ASID identifies a process address space.
+type ASID uint16
+
+// Page geometry. The minimum page size is 4 KB; huge pages are 2 MB.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift // 4096
+	PageMask  = PageSize - 1
+
+	HugePageShift = 21
+	HugePageSize  = 1 << HugePageShift // 2 MiB
+	// PagesPerHugePage is the number of base pages a huge page spans.
+	PagesPerHugePage = HugePageSize / PageSize // 512
+)
+
+// Cache-block geometry. The evaluated memory system uses 128-byte blocks,
+// so one block of the Protection Table covers 512 pages (2 bits per page).
+const (
+	BlockShift = 7
+	BlockSize  = 1 << BlockShift // 128
+	BlockMask  = BlockSize - 1
+)
+
+// PageOf returns the physical page number containing p.
+func (p Phys) PageOf() PPN { return PPN(p >> PageShift) }
+
+// BlockOf returns the address of the memory block containing p.
+func (p Phys) BlockOf() Phys { return p &^ Phys(BlockMask) }
+
+// Offset returns the offset of p within its page.
+func (p Phys) Offset() uint64 { return uint64(p) & PageMask }
+
+// PageOf returns the virtual page number containing v.
+func (v Virt) PageOf() VPN { return VPN(v >> PageShift) }
+
+// Offset returns the offset of v within its page.
+func (v Virt) Offset() uint64 { return uint64(v) & PageMask }
+
+// Base returns the first physical address of the page.
+func (n PPN) Base() Phys { return Phys(n) << PageShift }
+
+// Base returns the first virtual address of the page.
+func (n VPN) Base() Virt { return Virt(n) << PageShift }
+
+// HugeAligned reports whether the page number is 2 MB aligned.
+func (n PPN) HugeAligned() bool { return n%PagesPerHugePage == 0 }
+
+// HugeAligned reports whether the page number is 2 MB aligned.
+func (n VPN) HugeAligned() bool { return n%PagesPerHugePage == 0 }
+
+// Perm is a page access-permission set. Border Control tracks only read and
+// write: once a block is inside the accelerator the border cannot observe
+// whether it is consumed as data or instructions (paper §3.1.1), so execute
+// permission is not represented at the border. The OS-side page tables still
+// carry NX for completeness.
+type Perm uint8
+
+const (
+	// PermNone grants nothing; the Protection Table's fail-closed default.
+	PermNone Perm = 0
+	// PermRead grants read access.
+	PermRead Perm = 1 << 0
+	// PermWrite grants write access.
+	PermWrite Perm = 1 << 1
+	// PermExec marks an executable mapping in the OS page tables. It never
+	// reaches the Protection Table.
+	PermExec Perm = 1 << 2
+
+	// PermRW is the common read-write grant.
+	PermRW = PermRead | PermWrite
+)
+
+// CanRead reports whether p includes read permission.
+func (p Perm) CanRead() bool { return p&PermRead != 0 }
+
+// CanWrite reports whether p includes write permission.
+func (p Perm) CanWrite() bool { return p&PermWrite != 0 }
+
+// CanExec reports whether p includes execute permission.
+func (p Perm) CanExec() bool { return p&PermExec != 0 }
+
+// Allows reports whether p grants everything need does.
+func (p Perm) Allows(need Perm) bool { return p&need == need }
+
+// Union returns the union of the two permission sets. Multiprocess
+// accelerators are checked against the union of all co-scheduled processes'
+// permissions (paper §3.3).
+func (p Perm) Union(q Perm) Perm { return p | q }
+
+// Border returns the permission restricted to the bits Border Control
+// stores (read and write).
+func (p Perm) Border() Perm { return p & PermRW }
+
+func (p Perm) String() string {
+	buf := []byte{'-', '-', '-'}
+	if p.CanRead() {
+		buf[0] = 'r'
+	}
+	if p.CanWrite() {
+		buf[1] = 'w'
+	}
+	if p.CanExec() {
+		buf[2] = 'x'
+	}
+	return string(buf)
+}
+
+// AccessKind distinguishes the two request types checked at the border.
+type AccessKind uint8
+
+const (
+	// Read is a load, instruction fetch, or cache-fill request.
+	Read AccessKind = iota
+	// Write is a store, or a dirty writeback crossing the border.
+	Write
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return fmt.Sprintf("AccessKind(%d)", uint8(k))
+	}
+}
+
+// Need returns the permission an access of kind k requires.
+func (k AccessKind) Need() Perm {
+	if k == Write {
+		return PermWrite
+	}
+	return PermRead
+}
+
+// PagesSpanned returns how many pages the byte range [a, a+size) touches.
+func PagesSpanned(a Virt, size uint64) int {
+	if size == 0 {
+		return 0
+	}
+	first := uint64(a) >> PageShift
+	last := (uint64(a) + size - 1) >> PageShift
+	return int(last - first + 1)
+}
+
+// AlignDown rounds a down to a multiple of align (a power of two).
+func AlignDown(a, align uint64) uint64 { return a &^ (align - 1) }
+
+// AlignUp rounds a up to a multiple of align (a power of two).
+func AlignUp(a, align uint64) uint64 { return (a + align - 1) &^ (align - 1) }

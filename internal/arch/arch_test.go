@@ -1,0 +1,172 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageMath(t *testing.T) {
+	cases := []struct {
+		addr Phys
+		ppn  PPN
+		off  uint64
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{4095, 0, 4095},
+		{4096, 1, 0},
+		{0x12345678, 0x12345, 0x678},
+	}
+	for _, c := range cases {
+		if got := c.addr.PageOf(); got != c.ppn {
+			t.Errorf("PageOf(%#x) = %#x, want %#x", c.addr, got, c.ppn)
+		}
+		if got := c.addr.Offset(); got != c.off {
+			t.Errorf("Offset(%#x) = %#x, want %#x", c.addr, got, c.off)
+		}
+	}
+}
+
+func TestPageRoundTrip(t *testing.T) {
+	f := func(a uint64) bool {
+		p := Phys(a)
+		return p.PageOf().Base()+Phys(p.Offset()) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVirtRoundTrip(t *testing.T) {
+	f := func(a uint64) bool {
+		v := Virt(a)
+		return v.PageOf().Base()+Virt(v.Offset()) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockOf(t *testing.T) {
+	if got := Phys(0x1234).BlockOf(); got != 0x1200 {
+		t.Errorf("BlockOf(0x1234) = %#x, want 0x1200", got)
+	}
+	f := func(a uint64) bool {
+		b := Phys(a).BlockOf()
+		return uint64(b)%BlockSize == 0 && uint64(a)-uint64(b) < BlockSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHugeAlignment(t *testing.T) {
+	if !PPN(0).HugeAligned() || !PPN(512).HugeAligned() {
+		t.Error("0 and 512 should be huge-aligned")
+	}
+	if PPN(511).HugeAligned() || PPN(513).HugeAligned() {
+		t.Error("511 and 513 should not be huge-aligned")
+	}
+	if PagesPerHugePage != 512 {
+		t.Errorf("PagesPerHugePage = %d, want 512", PagesPerHugePage)
+	}
+}
+
+func TestPermBits(t *testing.T) {
+	if PermNone.CanRead() || PermNone.CanWrite() || PermNone.CanExec() {
+		t.Error("PermNone grants something")
+	}
+	if !PermRead.CanRead() || PermRead.CanWrite() {
+		t.Error("PermRead wrong")
+	}
+	if !PermRW.Allows(PermRead) || !PermRW.Allows(PermWrite) || !PermRW.Allows(PermRW) {
+		t.Error("PermRW should allow read, write, and both")
+	}
+	if PermRead.Allows(PermWrite) {
+		t.Error("read-only should not allow write")
+	}
+	if got := (PermRead | PermExec).Border(); got != PermRead {
+		t.Errorf("Border() kept exec: %v", got)
+	}
+	if got := PermRead.Union(PermWrite); got != PermRW {
+		t.Errorf("Union = %v, want rw", got)
+	}
+}
+
+func TestPermUnionMonotone(t *testing.T) {
+	f := func(a, b uint8) bool {
+		pa, pb := Perm(a&7), Perm(b&7)
+		u := pa.Union(pb)
+		return u.Allows(pa) && u.Allows(pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermString(t *testing.T) {
+	cases := map[Perm]string{
+		PermNone:             "---",
+		PermRead:             "r--",
+		PermWrite:            "-w-",
+		PermRW:               "rw-",
+		PermRW | PermExec:    "rwx",
+		PermRead | PermExec:  "r-x",
+		PermWrite | PermExec: "-wx",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestAccessKind(t *testing.T) {
+	if Read.Need() != PermRead || Write.Need() != PermWrite {
+		t.Error("Need() wrong")
+	}
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Error("String() wrong")
+	}
+	if AccessKind(9).String() == "" {
+		t.Error("unknown kind should still print")
+	}
+}
+
+func TestPagesSpanned(t *testing.T) {
+	cases := []struct {
+		a    Virt
+		size uint64
+		want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 4096, 1},
+		{0, 4097, 2},
+		{4095, 2, 2},
+		{4095, 1, 1},
+		{8192, 3 * 4096, 3},
+	}
+	for _, c := range cases {
+		if got := PagesSpanned(c.a, c.size); got != c.want {
+			t.Errorf("PagesSpanned(%#x, %d) = %d, want %d", c.a, c.size, got, c.want)
+		}
+	}
+}
+
+func TestAlign(t *testing.T) {
+	if AlignDown(4097, 4096) != 4096 || AlignUp(4097, 4096) != 8192 {
+		t.Error("align wrong")
+	}
+	if AlignUp(4096, 4096) != 4096 || AlignDown(4096, 4096) != 4096 {
+		t.Error("aligned values must be fixed points")
+	}
+	f := func(a uint64) bool {
+		a &= 1<<40 - 1 // keep AlignUp from overflowing
+		d, u := AlignDown(a, BlockSize), AlignUp(a, BlockSize)
+		return d%BlockSize == 0 && u%BlockSize == 0 && d <= a && a <= u && u-d < 2*BlockSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

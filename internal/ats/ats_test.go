@@ -1,0 +1,255 @@
+package ats
+
+import (
+	"errors"
+	"testing"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/hostos"
+	"bordercontrol/internal/memory"
+	"bordercontrol/internal/sim"
+)
+
+type env struct {
+	os    *hostos.OS
+	ats   *ATS
+	clock sim.Clock
+}
+
+func newEnv(t testing.TB) *env {
+	t.Helper()
+	store, err := memory.NewStore(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dram, err := memory.NewDRAM(store, memory.DefaultDRAMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	osm := hostos.New(store)
+	clock := sim.MustClock(700e6)
+	a, err := New(DefaultConfig(clock), osm, dram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{os: osm, ats: a, clock: clock}
+}
+
+func (e *env) procWithPage(t testing.TB, perm arch.Perm) (*hostos.Process, arch.Virt) {
+	t.Helper()
+	p, err := e.os.NewProcess("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.Mmap(arch.PageSize, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, v
+}
+
+func TestRejectUnknownASID(t *testing.T) {
+	e := newEnv(t)
+	p, v := e.procWithPage(t, arch.PermRW)
+	// Not activated on the accelerator: rejected outright (§3.2.2).
+	if _, err := e.ats.Translate("gpu0", p.ASID(), v, arch.Read, 0); !errors.Is(err, ErrBadASID) {
+		t.Errorf("err = %v, want ErrBadASID", err)
+	}
+	if e.ats.Rejected.Value() != 1 {
+		t.Error("rejection not counted")
+	}
+}
+
+func TestTranslateWalksAndCaches(t *testing.T) {
+	e := newEnv(t)
+	p, v := e.procWithPage(t, arch.PermRW)
+	// Touch the page so it is mapped before the accelerator asks.
+	if _, err := p.Translate(v, arch.Write); err != nil {
+		t.Fatal(err)
+	}
+	e.ats.Activate("gpu0", p.ASID())
+	res, err := e.ats.Translate("gpu0", p.ASID(), v+100, arch.Read, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPPN, _ := p.PPNOf(v.PageOf())
+	if res.Entry.PPN != wantPPN || res.Entry.Perm != arch.PermRW {
+		t.Errorf("translation = %+v", res.Entry)
+	}
+	if e.ats.Walks.Value() != 1 {
+		t.Error("first translation should walk")
+	}
+	if res.Done <= 1000 {
+		t.Error("walk must take time")
+	}
+	// Second request: L2 TLB hit, no walk, fast.
+	res2, err := e.ats.Translate("gpu0", p.ASID(), v, arch.Read, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ats.Walks.Value() != 1 {
+		t.Error("second translation should hit the L2 TLB")
+	}
+	if res2.Done != 1000+e.clock.Cycles(2) {
+		t.Errorf("TLB hit done at %d", res2.Done)
+	}
+}
+
+func TestTranslateServicesPageFault(t *testing.T) {
+	// The page is in a valid VMA but never touched: the ATS asks the OS to
+	// fault it in, then retries the walk.
+	e := newEnv(t)
+	p, v := e.procWithPage(t, arch.PermRW)
+	e.ats.Activate("gpu0", p.ASID())
+	res, err := e.ats.Translate("gpu0", p.ASID(), v, arch.Write, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ats.Faults.Value() != 1 {
+		t.Error("fault not counted")
+	}
+	if !p.Mapped(v.PageOf()) {
+		t.Error("page not faulted in")
+	}
+	if res.Done < sim.Time(DefaultConfig(e.clock).FaultPenalty) {
+		t.Error("fault penalty not charged")
+	}
+}
+
+func TestTranslateInvalidAddress(t *testing.T) {
+	e := newEnv(t)
+	p, _ := e.procWithPage(t, arch.PermRW)
+	e.ats.Activate("gpu0", p.ASID())
+	if _, err := e.ats.Translate("gpu0", p.ASID(), 0x10, arch.Read, 0); !errors.Is(err, ErrFault) {
+		t.Errorf("err = %v, want ErrFault", err)
+	}
+}
+
+func TestTranslatePermissionDenied(t *testing.T) {
+	e := newEnv(t)
+	p, v := e.procWithPage(t, arch.PermRead)
+	e.ats.Activate("gpu0", p.ASID())
+	// Unmapped + unwritable VMA: the fault itself fails.
+	if _, err := e.ats.Translate("gpu0", p.ASID(), v, arch.Write, 0); !errors.Is(err, ErrFault) {
+		t.Errorf("write fault on read-only VMA = %v, want ErrFault", err)
+	}
+	// Mapped read-only page: the walk succeeds but the permission check
+	// refuses the write.
+	if _, err := p.Translate(v, arch.Read); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ats.Translate("gpu0", p.ASID(), v, arch.Write, 0); !errors.Is(err, ErrPerm) {
+		t.Errorf("write to read-only = %v, want ErrPerm", err)
+	}
+	if _, err := e.ats.Translate("gpu0", p.ASID(), v, arch.Read, 0); err != nil {
+		t.Errorf("read should pass: %v", err)
+	}
+}
+
+type obs struct {
+	events []struct {
+		asid arch.ASID
+		vpn  arch.VPN
+		ppn  arch.PPN
+		perm arch.Perm
+		at   sim.Time
+	}
+}
+
+func (o *obs) OnTranslation(at sim.Time, asid arch.ASID, vpn arch.VPN, ppn arch.PPN, perm arch.Perm, huge bool) {
+	o.events = append(o.events, struct {
+		asid arch.ASID
+		vpn  arch.VPN
+		ppn  arch.PPN
+		perm arch.Perm
+		at   sim.Time
+	}{asid, vpn, ppn, perm, at})
+}
+
+func TestObserverNotifiedOnEveryTranslation(t *testing.T) {
+	// Even L2-TLB hits notify the observer: the paper's table insertion
+	// happens "whether or not the accelerator caches the translation".
+	e := newEnv(t)
+	o := &obs{}
+	e.ats.AddObserver(o)
+	p, v := e.procWithPage(t, arch.PermRW)
+	e.ats.Activate("gpu0", p.ASID())
+	if _, err := e.ats.Translate("gpu0", p.ASID(), v, arch.Read, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ats.Translate("gpu0", p.ASID(), v, arch.Read, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(o.events) != 2 {
+		t.Fatalf("observer saw %d events, want 2", len(o.events))
+	}
+	wantPPN, _ := p.PPNOf(v.PageOf())
+	for _, ev := range o.events {
+		if ev.ppn != wantPPN || ev.perm != arch.PermRW || ev.asid != p.ASID() {
+			t.Errorf("event = %+v", ev)
+		}
+	}
+}
+
+func TestDeactivateDropsTranslations(t *testing.T) {
+	e := newEnv(t)
+	p, v := e.procWithPage(t, arch.PermRW)
+	e.ats.Activate("gpu0", p.ASID())
+	if _, err := e.ats.Translate("gpu0", p.ASID(), v, arch.Read, 0); err != nil {
+		t.Fatal(err)
+	}
+	if e.ats.L2TLB().Valid() != 1 {
+		t.Fatal("translation not cached")
+	}
+	e.ats.Deactivate("gpu0", p.ASID())
+	if e.ats.ActiveOn("gpu0", p.ASID()) {
+		t.Error("still active after deactivate")
+	}
+	if e.ats.L2TLB().Valid() != 0 {
+		t.Error("L2 TLB entries survive deactivation")
+	}
+	if _, err := e.ats.Translate("gpu0", p.ASID(), v, arch.Read, 0); !errors.Is(err, ErrBadASID) {
+		t.Error("deactivated ASID should be rejected")
+	}
+}
+
+func TestPerAcceleratorActivation(t *testing.T) {
+	e := newEnv(t)
+	p, v := e.procWithPage(t, arch.PermRW)
+	e.ats.Activate("gpu0", p.ASID())
+	if _, err := e.ats.Translate("gpu1", p.ASID(), v, arch.Read, 0); !errors.Is(err, ErrBadASID) {
+		t.Error("activation must be per accelerator")
+	}
+}
+
+func TestInvalidatePage(t *testing.T) {
+	e := newEnv(t)
+	p, v := e.procWithPage(t, arch.PermRW)
+	e.ats.Activate("gpu0", p.ASID())
+	if _, err := e.ats.Translate("gpu0", p.ASID(), v, arch.Read, 0); err != nil {
+		t.Fatal(err)
+	}
+	e.ats.InvalidatePage(p.ASID(), v.PageOf())
+	walks := e.ats.Walks.Value()
+	if _, err := e.ats.Translate("gpu0", p.ASID(), v, arch.Read, 0); err != nil {
+		t.Fatal(err)
+	}
+	if e.ats.Walks.Value() != walks+1 {
+		t.Error("invalidated translation should force a new walk")
+	}
+}
+
+func TestWalkConsumesDRAMBandwidth(t *testing.T) {
+	e := newEnv(t)
+	p, v := e.procWithPage(t, arch.PermRW)
+	if _, err := p.Translate(v, arch.Read); err != nil {
+		t.Fatal(err)
+	}
+	e.ats.Activate("gpu0", p.ASID())
+	if _, err := e.ats.Translate("gpu0", p.ASID(), v, arch.Read, 0); err != nil {
+		t.Fatal(err)
+	}
+	if e.ats.WalkReads.Value() == 0 {
+		t.Error("walk reads not counted")
+	}
+}

@@ -1,0 +1,247 @@
+// Package coherence implements a null-directory MOESI-style coherence point
+// for the trusted side of the border. The directory sits logically between
+// the last-level caches of all agents (CPU cache hierarchy, accelerator L2s)
+// and DRAM.
+//
+// It also encodes the cache-organization invariant Border Control requires
+// (paper §3.4.3): an untrusted cache must never become the owner (supplier)
+// of a dirty block for which it does not hold write permission. The
+// directory enforces this structurally: read-only requests from untrusted
+// agents are never granted an ownership state, and a dirty block passed down
+// to an untrusted agent with a read request is first written back to memory
+// so memory stays up to date.
+package coherence
+
+import (
+	"fmt"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/stats"
+)
+
+// AgentID identifies a coherence participant.
+type AgentID int
+
+// State is a MOESI cache-coherence state as tracked by the directory for
+// one agent.
+type State uint8
+
+// MOESI states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Owned
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Owned:
+		return "O"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Agent is the directory's view of one caching agent. Recall asks the agent
+// to surrender (and return, if dirty) a block; the agent returns the data if
+// it was dirty.
+type Agent interface {
+	// Name identifies the agent in diagnostics.
+	Name() string
+	// Trusted reports whether the agent is inside the trusted boundary.
+	// Untrusted agents are subject to the ownership restriction.
+	Trusted() bool
+	// Recall invalidates the block at addr in the agent's caches, returning
+	// the dirty data if the agent held it modified.
+	Recall(addr arch.Phys) (data []byte, dirty bool)
+}
+
+type blockState struct {
+	owner   AgentID // agent in E/M/O, or -1
+	sharers map[AgentID]bool
+}
+
+// MemoryWriter applies recalled dirty data to the backing store.
+type MemoryWriter interface {
+	Write(a arch.Phys, data []byte)
+	Read(a arch.Phys, n uint64) []byte
+}
+
+// Directory is a full-map directory over 128-byte blocks. It is functional
+// (state only); timing is charged by the border port that invokes it.
+type Directory struct {
+	agents []Agent
+	blocks map[arch.Phys]*blockState
+	mem    MemoryWriter
+
+	GetS      stats.Counter
+	GetM      stats.Counter
+	Recalls   stats.Counter
+	WBRecalls stats.Counter
+}
+
+// NewDirectory returns an empty directory writing recalled data to mem.
+func NewDirectory(mem MemoryWriter) *Directory {
+	return &Directory{blocks: make(map[arch.Phys]*blockState), mem: mem}
+}
+
+// AddAgent registers an agent and returns its ID.
+func (d *Directory) AddAgent(a Agent) AgentID {
+	d.agents = append(d.agents, a)
+	return AgentID(len(d.agents) - 1)
+}
+
+// ReserveAgent allocates an agent ID to be bound later with BindAgent.
+// Construction-order helper: a cache hierarchy needs its border port (which
+// needs the agent ID) before the hierarchy itself exists.
+func (d *Directory) ReserveAgent() AgentID {
+	d.agents = append(d.agents, nil)
+	return AgentID(len(d.agents) - 1)
+}
+
+// BindAgent attaches the agent for a reserved ID.
+func (d *Directory) BindAgent(id AgentID, a Agent) {
+	if d.agents[id] != nil {
+		panic(fmt.Sprintf("coherence: agent %d already bound", id))
+	}
+	d.agents[id] = a
+}
+
+func (d *Directory) block(addr arch.Phys) *blockState {
+	b, ok := d.blocks[addr]
+	if !ok {
+		b = &blockState{owner: -1, sharers: make(map[AgentID]bool)}
+		d.blocks[addr] = b
+	}
+	return b
+}
+
+// RequestShared handles a GetS: agent id wants a readable copy of the block
+// at addr. It returns the coherence state granted to the requestor.
+//
+// Rules:
+//   - If another agent owns the block dirty, its data is recalled to memory
+//     first (memory stays the supplier for untrusted requestors), then both
+//     become sharers.
+//   - Trusted requestors with no other sharers get Exclusive; untrusted
+//     requestors never get an ownership state on a read (the §3.4.3
+//     invariant), they get Shared.
+func (d *Directory) RequestShared(id AgentID, addr arch.Phys) State {
+	addr = addr.BlockOf()
+	d.GetS.Inc()
+	b := d.block(addr)
+	if b.owner >= 0 && b.owner != id {
+		d.recall(b.owner, addr)
+		b.sharers[b.owner] = true
+		b.owner = -1
+	}
+	b.sharers[id] = true
+	if len(b.sharers) == 1 && d.agents[id].Trusted() {
+		b.owner = id
+		delete(b.sharers, id)
+		return Exclusive
+	}
+	return Shared
+}
+
+// RequestModified handles a GetM: agent id wants a writable copy. All other
+// copies are recalled/invalidated and the requestor becomes Modified owner.
+// Border Control has already checked write permission by the time a GetM
+// from an untrusted agent reaches the directory.
+func (d *Directory) RequestModified(id AgentID, addr arch.Phys) State {
+	addr = addr.BlockOf()
+	d.GetM.Inc()
+	b := d.block(addr)
+	if b.owner >= 0 && b.owner != id {
+		d.recall(b.owner, addr)
+		b.owner = -1
+	}
+	for s := range b.sharers {
+		if s != id {
+			d.recall(s, addr)
+		}
+		delete(b.sharers, s)
+	}
+	b.owner = id
+	return Modified
+}
+
+// Writeback handles a PutM: the owner returns dirty data to memory and
+// drops to Invalid (or stays as a clean sharer when keepShared is set).
+func (d *Directory) Writeback(id AgentID, addr arch.Phys, data []byte, keepShared bool) error {
+	addr = addr.BlockOf()
+	b := d.block(addr)
+	if b.owner != id {
+		return fmt.Errorf("coherence: writeback of %#x by non-owner %s (owner=%d)",
+			addr, d.agents[id].Name(), b.owner)
+	}
+	d.mem.Write(addr, data)
+	b.owner = -1
+	if keepShared {
+		b.sharers[id] = true
+	}
+	return nil
+}
+
+// Evict notes that agent id silently dropped a clean block.
+func (d *Directory) Evict(id AgentID, addr arch.Phys) {
+	addr = addr.BlockOf()
+	b := d.block(addr)
+	if b.owner == id {
+		b.owner = -1
+	}
+	delete(b.sharers, id)
+}
+
+// recall invalidates an agent's copy, writing dirty data back to memory.
+func (d *Directory) recall(id AgentID, addr arch.Phys) {
+	d.Recalls.Inc()
+	data, dirty := d.agents[id].Recall(addr)
+	if dirty {
+		d.WBRecalls.Inc()
+		d.mem.Write(addr, data)
+	}
+}
+
+// OwnerOf returns the owning agent of the block, or -1.
+func (d *Directory) OwnerOf(addr arch.Phys) AgentID {
+	if b, ok := d.blocks[addr.BlockOf()]; ok {
+		return b.owner
+	}
+	return -1
+}
+
+// SharersOf returns how many agents share the block.
+func (d *Directory) SharersOf(addr arch.Phys) int {
+	if b, ok := d.blocks[addr.BlockOf()]; ok {
+		return len(b.sharers)
+	}
+	return 0
+}
+
+// CheckInvariant verifies the §3.4.3 invariant for a block: if an untrusted
+// agent owns it, the ownership must have been granted through a write
+// request (which Border Control checked). The canWrite callback reports
+// whether the border would permit the owner to write the block now.
+func (d *Directory) CheckInvariant(addr arch.Phys, canWrite func(agent Agent, addr arch.Phys) bool) error {
+	b, ok := d.blocks[addr.BlockOf()]
+	if !ok || b.owner < 0 {
+		return nil
+	}
+	owner := d.agents[b.owner]
+	if !owner.Trusted() && !canWrite(owner, addr.BlockOf()) {
+		return fmt.Errorf("coherence: untrusted agent %q owns block %#x without write permission",
+			owner.Name(), addr.BlockOf())
+	}
+	return nil
+}

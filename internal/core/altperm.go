@@ -1,0 +1,218 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/sim"
+)
+
+// This file implements paper §3.4.1: Border Control with permission
+// sources other than the process page tables. The requirement is only
+// that permissions correspond to physical addresses; then the alternate
+// source drives Protection Table insertions exactly like the ATS does on
+// a TLB miss.
+
+// Insert grants border permissions for ppn on behalf of an alternate
+// permission source (a Mondriaan-style PLB miss handler, a capability
+// system, a shadow page table). It follows the same rules as ATS-driven
+// insertion: the address space must be active on the accelerator, and
+// permissions only widen (revocation goes through the downgrade protocol).
+func (bc *BorderControl) Insert(at sim.Time, asid arch.ASID, ppn arch.PPN, perm arch.Perm) error {
+	if !bc.active[asid] || bc.table == nil {
+		return fmt.Errorf("core: insert for asid %d not active on %q", asid, bc.name)
+	}
+	if !bc.table.InBounds(ppn) {
+		return fmt.Errorf("core: insert for out-of-bounds page %#x", ppn)
+	}
+	bc.insert(at, ppn, perm)
+	return nil
+}
+
+// Segment is one physical range with permissions — the unit of a
+// Mondriaan-style protection table.
+type Segment struct {
+	Base arch.Phys
+	Len  uint64
+	Perm arch.Perm
+}
+
+// End returns one past the segment's last byte.
+func (s Segment) End() arch.Phys { return s.Base + arch.Phys(s.Len) }
+
+// SegmentSource is a Mondriaan-memory-protection-style permission table:
+// fine-grained permissions over physical ranges, per address space. It is
+// the trusted source a PLB consults on misses.
+type SegmentSource struct {
+	segs map[arch.ASID][]Segment
+}
+
+// NewSegmentSource returns an empty source.
+func NewSegmentSource() *SegmentSource {
+	return &SegmentSource{segs: make(map[arch.ASID][]Segment)}
+}
+
+// Grant adds a permission segment for the address space.
+func (s *SegmentSource) Grant(asid arch.ASID, seg Segment) {
+	s.segs[asid] = append(s.segs[asid], seg)
+	sort.Slice(s.segs[asid], func(i, j int) bool {
+		return s.segs[asid][i].Base < s.segs[asid][j].Base
+	})
+}
+
+// Revoke removes every segment intersecting [base, base+n) for the
+// address space and returns how many were dropped. (Partial revocation
+// splits are not needed by the border: the downgrade protocol re-derives
+// page permissions via PermFor.)
+func (s *SegmentSource) Revoke(asid arch.ASID, base arch.Phys, n uint64) int {
+	var kept []Segment
+	dropped := 0
+	for _, seg := range s.segs[asid] {
+		if seg.Base < base+arch.Phys(n) && base < seg.End() {
+			dropped++
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	s.segs[asid] = kept
+	return dropped
+}
+
+// PermFor returns the union of segment permissions covering any byte of
+// the physical page — the page-granularity projection Border Control's
+// Protection Table stores. (Finer-grained enforcement would need the
+// alternate table format the paper mentions; the projection is safe but
+// coarser: it grants the page if any byte of it is granted.)
+func (s *SegmentSource) PermFor(asid arch.ASID, ppn arch.PPN) arch.Perm {
+	var p arch.Perm
+	pageStart, pageEnd := ppn.Base(), ppn.Base()+arch.PageSize
+	for _, seg := range s.segs[asid] {
+		if seg.Base < pageEnd && pageStart < seg.End() {
+			p |= seg.Perm.Border()
+		}
+	}
+	return p
+}
+
+// PLB is the accelerator-side Protection Lookaside Buffer of a
+// Mondriaan-style design. On a miss it consults the trusted SegmentSource
+// and — mirroring the paper's "on a PLB miss, Border Control can update
+// the Protection Table, just as it would on a TLB miss" — pushes the
+// page's permissions into Border Control.
+type PLB struct {
+	src     *SegmentSource
+	bc      *BorderControl
+	entries map[plbKey]arch.Perm
+	order   []plbKey // FIFO replacement; small and simple
+	cap     int
+
+	Hits   uint64
+	Misses uint64
+}
+
+type plbKey struct {
+	asid arch.ASID
+	ppn  arch.PPN
+}
+
+// NewPLB returns a PLB of the given capacity over the source, feeding bc.
+func NewPLB(src *SegmentSource, bc *BorderControl, capacity int) (*PLB, error) {
+	if capacity <= 0 {
+		return nil, errors.New("core: PLB needs positive capacity")
+	}
+	return &PLB{src: src, bc: bc, entries: make(map[plbKey]arch.Perm), cap: capacity}, nil
+}
+
+// Access resolves the accelerator's access through the PLB: hit returns
+// the cached permission; miss consults the source, fills the PLB, and
+// inserts into Border Control. The returned permission is what the
+// accelerator may cache; the border remains the enforcement point.
+func (p *PLB) Access(at sim.Time, asid arch.ASID, pa arch.Phys, kind arch.AccessKind) (arch.Perm, error) {
+	k := plbKey{asid: asid, ppn: pa.PageOf()}
+	if perm, ok := p.entries[k]; ok {
+		p.Hits++
+		return perm, nil
+	}
+	p.Misses++
+	perm := p.src.PermFor(asid, k.ppn)
+	if perm != arch.PermNone {
+		if err := p.bc.Insert(at, asid, k.ppn, perm); err != nil {
+			return arch.PermNone, err
+		}
+	}
+	if len(p.entries) >= p.cap {
+		oldest := p.order[0]
+		p.order = p.order[1:]
+		delete(p.entries, oldest)
+	}
+	p.entries[k] = perm
+	p.order = append(p.order, k)
+	return perm, nil
+}
+
+// InvalidatePage drops the PLB entry (the PLB-shootdown analogue).
+func (p *PLB) InvalidatePage(asid arch.ASID, ppn arch.PPN) {
+	delete(p.entries, plbKey{asid: asid, ppn: ppn})
+}
+
+// Capability is an unforgeable token granting permissions over a physical
+// range. The accelerator never sees capability metadata (it could forge
+// it, paper §3.4.1); it presents an ID, and the trusted CapabilityTable
+// validates it before any Protection Table update.
+type Capability struct {
+	ID   uint64
+	Seg  Segment
+	ASID arch.ASID
+}
+
+// CapabilityTable is the trusted registry of minted capabilities.
+type CapabilityTable struct {
+	caps   map[uint64]Capability
+	nextID uint64
+}
+
+// NewCapabilityTable returns an empty registry.
+func NewCapabilityTable() *CapabilityTable {
+	return &CapabilityTable{caps: make(map[uint64]Capability), nextID: 1}
+}
+
+// Mint creates a capability for the address space over the segment and
+// returns its ID (the only thing the accelerator ever holds).
+func (c *CapabilityTable) Mint(asid arch.ASID, seg Segment) uint64 {
+	id := c.nextID
+	c.nextID++
+	c.caps[id] = Capability{ID: id, Seg: seg, ASID: asid}
+	return id
+}
+
+// Revoke destroys a capability. Pages it granted are revoked from the
+// border by the caller through the usual downgrade protocol.
+func (c *CapabilityTable) Revoke(id uint64) { delete(c.caps, id) }
+
+// ErrBadCapability is returned when an accelerator presents an ID that was
+// never minted (a forgery attempt) or that belongs to another address
+// space.
+var ErrBadCapability = errors.New("core: invalid capability")
+
+// Exercise validates the capability and inserts its pages' permissions
+// into Border Control. The fan-out is page-granular, like the huge-page
+// insertion path.
+func (c *CapabilityTable) Exercise(at sim.Time, bc *BorderControl, asid arch.ASID, id uint64) error {
+	cap, ok := c.caps[id]
+	if !ok || cap.ASID != asid {
+		return fmt.Errorf("%w: id %d for asid %d", ErrBadCapability, id, asid)
+	}
+	if cap.Seg.Len == 0 {
+		return nil
+	}
+	first := cap.Seg.Base.PageOf()
+	last := (cap.Seg.End() - 1).PageOf()
+	for ppn := first; ppn <= last; ppn++ {
+		if err := bc.Insert(at, asid, ppn, cap.Seg.Perm); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"bordercontrol/internal/arch"
+)
+
+func TestInsertRequiresActiveProcess(t *testing.T) {
+	e := newBCEnv(t, nil)
+	p := e.newProc(t)
+	if err := e.bc.Insert(0, p.ASID(), 5, arch.PermRead); err == nil {
+		t.Error("insert before ProcessStart should fail")
+	}
+	e.bc.ProcessStart(p.ASID())
+	if err := e.bc.Insert(0, p.ASID(), 5, arch.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if !e.bc.Check(0, arch.PPN(5).Base(), arch.Read).Allowed {
+		t.Error("inserted permission not honored")
+	}
+	if err := e.bc.Insert(0, p.ASID(), arch.PPN(1<<40), arch.PermRead); err == nil {
+		t.Error("out-of-bounds insert should fail")
+	}
+}
+
+func TestSegmentSource(t *testing.T) {
+	s := NewSegmentSource()
+	s.Grant(1, Segment{Base: 0x2000, Len: 0x100, Perm: arch.PermRead})
+	s.Grant(1, Segment{Base: 0x2100, Len: 0x100, Perm: arch.PermWrite})
+	// Both segments live in page 2: the page projection is the union.
+	if got := s.PermFor(1, 2); got != arch.PermRW {
+		t.Errorf("page projection = %v, want rw", got)
+	}
+	if got := s.PermFor(1, 3); got != arch.PermNone {
+		t.Errorf("uncovered page = %v", got)
+	}
+	if got := s.PermFor(2, 2); got != arch.PermNone {
+		t.Errorf("other asid = %v", got)
+	}
+	if n := s.Revoke(1, 0x2000, 0x80); n != 1 {
+		t.Errorf("revoked %d segments, want 1", n)
+	}
+	if got := s.PermFor(1, 2); got != arch.PermWrite {
+		t.Errorf("after revoke = %v, want w", got)
+	}
+}
+
+func TestPLBDrivesProtectionTable(t *testing.T) {
+	// Paper §3.4.1: "On a PLB miss, Border Control can update the
+	// Protection Table, just as it would on a TLB miss."
+	e := newBCEnv(t, nil)
+	p := e.newProc(t)
+	e.bc.ProcessStart(p.ASID())
+	src := NewSegmentSource()
+	src.Grant(p.ASID(), Segment{Base: 0x10000, Len: 2 * arch.PageSize, Perm: arch.PermRW})
+	plb, err := NewPLB(src, e.bc, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any PLB activity the border fails closed.
+	if e.bc.Check(0, 0x10000, arch.Read).Allowed {
+		t.Fatal("border should fail closed before the PLB miss")
+	}
+	perm, err := plb.Access(0, p.ASID(), 0x10040, arch.Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm != arch.PermRW {
+		t.Errorf("PLB returned %v", perm)
+	}
+	if plb.Misses != 1 {
+		t.Error("first access should miss")
+	}
+	// The miss populated the Protection Table: the border now allows it.
+	if !e.bc.Check(0, 0x10000, arch.Write).Allowed {
+		t.Error("PLB miss did not update the protection table")
+	}
+	// Second access hits the PLB.
+	if _, err := plb.Access(0, p.ASID(), 0x10080, arch.Read); err != nil {
+		t.Fatal(err)
+	}
+	if plb.Hits != 1 {
+		t.Error("second access should hit")
+	}
+	// Ungranted ranges stay blocked even through the PLB.
+	perm, err = plb.Access(0, p.ASID(), 0x90000, arch.Read)
+	if err != nil || perm != arch.PermNone {
+		t.Errorf("ungranted access: perm=%v err=%v", perm, err)
+	}
+	if e.bc.Check(0, 0x90000, arch.Read).Allowed {
+		t.Error("ungranted page leaked into the table")
+	}
+}
+
+func TestPLBReplacement(t *testing.T) {
+	e := newBCEnv(t, nil)
+	p := e.newProc(t)
+	e.bc.ProcessStart(p.ASID())
+	src := NewSegmentSource()
+	src.Grant(p.ASID(), Segment{Base: 0, Len: 64 * arch.PageSize, Perm: arch.PermRead})
+	plb, _ := NewPLB(src, e.bc, 2)
+	for i := 0; i < 3; i++ {
+		if _, err := plb.Access(0, p.ASID(), arch.Phys(i)*arch.PageSize, arch.Read); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Page 0 was evicted (FIFO): touching it again misses.
+	misses := plb.Misses
+	if _, err := plb.Access(0, p.ASID(), 0, arch.Read); err != nil {
+		t.Fatal(err)
+	}
+	if plb.Misses != misses+1 {
+		t.Error("evicted entry should miss")
+	}
+	// Invalidation drops an entry.
+	plb.InvalidatePage(p.ASID(), 0)
+	misses = plb.Misses
+	if _, err := plb.Access(0, p.ASID(), 0, arch.Read); err != nil {
+		t.Fatal(err)
+	}
+	if plb.Misses != misses+1 {
+		t.Error("invalidated entry should miss")
+	}
+}
+
+func TestCapabilities(t *testing.T) {
+	e := newBCEnv(t, nil)
+	p := e.newProc(t)
+	e.bc.ProcessStart(p.ASID())
+	caps := NewCapabilityTable()
+	id := caps.Mint(p.ASID(), Segment{Base: 0x40000, Len: 3 * arch.PageSize, Perm: arch.PermRW})
+
+	if err := caps.Exercise(0, e.bc, p.ASID(), id); err != nil {
+		t.Fatal(err)
+	}
+	for i := arch.Phys(0); i < 3; i++ {
+		if !e.bc.Check(0, 0x40000+i*arch.PageSize, arch.Write).Allowed {
+			t.Errorf("capability page %d not granted", i)
+		}
+	}
+	if e.bc.Check(0, 0x40000+3*arch.PageSize, arch.Read).Allowed {
+		t.Error("capability overshot its range")
+	}
+}
+
+func TestForgedCapabilityRejected(t *testing.T) {
+	e := newBCEnv(t, nil)
+	p := e.newProc(t)
+	other := e.newProc(t)
+	e.bc.ProcessStart(p.ASID())
+	e.bc.ProcessStart(other.ASID())
+	caps := NewCapabilityTable()
+	id := caps.Mint(other.ASID(), Segment{Base: 0x40000, Len: arch.PageSize, Perm: arch.PermRW})
+
+	// A never-minted ID is a forgery.
+	if err := caps.Exercise(0, e.bc, p.ASID(), 999); !errors.Is(err, ErrBadCapability) {
+		t.Errorf("forged id = %v", err)
+	}
+	// Another process's capability cannot be exercised.
+	if err := caps.Exercise(0, e.bc, p.ASID(), id); !errors.Is(err, ErrBadCapability) {
+		t.Errorf("stolen capability = %v", err)
+	}
+	// Revoked capabilities stop working.
+	caps.Revoke(id)
+	if err := caps.Exercise(0, e.bc, other.ASID(), id); !errors.Is(err, ErrBadCapability) {
+		t.Errorf("revoked capability = %v", err)
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"bordercontrol/internal/arch"
+)
+
+func TestBCCConfigValidation(t *testing.T) {
+	bad := []BCCConfig{
+		{Entries: 0, PagesPerEntry: 512, TagBits: 36},
+		{Entries: 4, PagesPerEntry: 0, TagBits: 36},
+		{Entries: 4, PagesPerEntry: 3, TagBits: 36},    // not a power of two
+		{Entries: 4, PagesPerEntry: 1024, TagBits: 36}, // beyond a table block
+		{Entries: 4, PagesPerEntry: 512, TagBits: 0},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v should fail", cfg)
+		}
+	}
+	if err := DefaultBCCConfig().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBCCSizeBytes(t *testing.T) {
+	// The paper's 8 KB BCC: 64 entries x (36-bit tag + 1024 permission
+	// bits) = 8480 bytes ~ 8 KB.
+	got := DefaultBCCConfig().SizeBytes()
+	if math.Abs(got-8480) > 1 {
+		t.Errorf("default BCC size = %v bytes, want 8480", got)
+	}
+	// 1 page/entry: tag dominates (36+2 bits per entry).
+	c := BCCConfig{Entries: 8, PagesPerEntry: 1, TagBits: 36}
+	if math.Abs(c.SizeBytes()-38) > 0.01 {
+		t.Errorf("tiny BCC size = %v, want 38", c.SizeBytes())
+	}
+}
+
+func TestBCCProbeFill(t *testing.T) {
+	pt, _ := newPT(t, 4096)
+	pt.Set(100, arch.PermRW)
+	pt.Set(101, arch.PermRead)
+	bcc, err := NewBCC(DefaultBCCConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hit := bcc.Probe(100); hit {
+		t.Error("empty BCC should miss")
+	}
+	if got := bcc.Fill(100, pt); got != arch.PermRW {
+		t.Errorf("fill returned %v", got)
+	}
+	// Page 101 lives in the same 512-page entry: sub-blocking makes it hit.
+	p, hit := bcc.Probe(101)
+	if !hit || p != arch.PermRead {
+		t.Errorf("sub-blocked neighbor: hit=%v perm=%v", hit, p)
+	}
+	// Page 512 is the next entry: miss.
+	if _, hit := bcc.Probe(512); hit {
+		t.Error("different entry group should miss")
+	}
+	if bcc.CheckHitMiss.Misses.Value() != 2 || bcc.CheckHitMiss.Hits.Value() != 1 {
+		t.Error("stats wrong")
+	}
+}
+
+func TestBCCUpdate(t *testing.T) {
+	pt, _ := newPT(t, 4096)
+	bcc, _ := NewBCC(DefaultBCCConfig())
+	// Miss -> fill, then widen.
+	changed, filled := bcc.Update(7, arch.PermRead, pt)
+	if !filled || !changed {
+		t.Errorf("first update: changed=%v filled=%v", changed, filled)
+	}
+	// Same perm again: no change, no fill.
+	changed, filled = bcc.Update(7, arch.PermRead, pt)
+	if filled || changed {
+		t.Errorf("redundant update: changed=%v filled=%v", changed, filled)
+	}
+	// Widening on a present entry: change, no fill.
+	changed, filled = bcc.Update(7, arch.PermWrite, pt)
+	if filled || !changed {
+		t.Errorf("widening update: changed=%v filled=%v", changed, filled)
+	}
+	if p, hit := bcc.Probe(7); !hit || p != arch.PermRW {
+		t.Errorf("after updates: hit=%v perm=%v", hit, p)
+	}
+}
+
+func TestBCCDowngrade(t *testing.T) {
+	pt, _ := newPT(t, 4096)
+	bcc, _ := NewBCC(DefaultBCCConfig())
+	bcc.Update(9, arch.PermRW, pt)
+	bcc.Downgrade(9, arch.PermRead)
+	if p, hit := bcc.Probe(9); !hit || p != arch.PermRead {
+		t.Errorf("after downgrade: hit=%v perm=%v", hit, p)
+	}
+	// Downgrading an uncached page is a no-op, not a fill.
+	bcc.Downgrade(5000, arch.PermNone)
+	if bcc.ValidEntries() != 1 {
+		t.Error("downgrade must not allocate entries")
+	}
+}
+
+func TestBCCInvalidateAll(t *testing.T) {
+	pt, _ := newPT(t, 4096)
+	bcc, _ := NewBCC(DefaultBCCConfig())
+	bcc.Update(1, arch.PermRead, pt)
+	bcc.Update(600, arch.PermRead, pt)
+	if bcc.ValidEntries() != 2 {
+		t.Fatalf("valid = %d", bcc.ValidEntries())
+	}
+	bcc.InvalidateAll()
+	if bcc.ValidEntries() != 0 {
+		t.Error("invalidate all failed")
+	}
+	if _, hit := bcc.Probe(1); hit {
+		t.Error("probe hit after invalidate")
+	}
+}
+
+func TestBCCLRU(t *testing.T) {
+	pt, _ := newPT(t, 1<<20)
+	cfg := BCCConfig{Entries: 2, PagesPerEntry: 512, TagBits: 36}
+	bcc, _ := NewBCC(cfg)
+	bcc.Fill(0, pt)    // group 0
+	bcc.Fill(512, pt)  // group 1
+	bcc.Probe(0)       // touch group 0
+	bcc.Fill(1024, pt) // group 2 evicts LRU (group 1)
+	if _, hit := bcc.Probe(513); hit {
+		t.Error("LRU group should have been evicted")
+	}
+	if _, hit := bcc.Probe(1); !hit {
+		t.Error("recently used group should survive")
+	}
+}
+
+func TestBCCFillReflectsTable(t *testing.T) {
+	// A fill loads current table contents for the whole group; pages set
+	// after the fill are not visible until a refill (Border Control
+	// write-throughs keep them in sync in practice).
+	pt, _ := newPT(t, 4096)
+	pt.Set(10, arch.PermRW)
+	bcc, _ := NewBCC(DefaultBCCConfig())
+	bcc.Fill(0, pt)
+	if p, hit := bcc.Probe(10); !hit || p != arch.PermRW {
+		t.Errorf("fill missed table contents: hit=%v perm=%v", hit, p)
+	}
+}
+
+func TestBCCBoundsClamped(t *testing.T) {
+	// A group straddling the bounds register only caches in-bounds pages.
+	pt, _ := newPT(t, 600) // bounds inside group 1 (512..1023)
+	pt.Set(599, arch.PermRead)
+	bcc, _ := NewBCC(DefaultBCCConfig())
+	bcc.Fill(599, pt)
+	if p, hit := bcc.Probe(599); !hit || p != arch.PermRead {
+		t.Error("in-bounds page of boundary group wrong")
+	}
+	if p, hit := bcc.Probe(700); !hit || p != arch.PermNone {
+		t.Error("out-of-bounds page of boundary group must read none")
+	}
+}

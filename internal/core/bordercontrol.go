@@ -1,0 +1,444 @@
+package core
+
+import (
+	"fmt"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/hostos"
+	"bordercontrol/internal/memory"
+	"bordercontrol/internal/sim"
+	"bordercontrol/internal/stats"
+)
+
+// Sandboxed is what Border Control needs from the accelerator complex it
+// guards: the ability to request cache flushes (whose dirty writebacks come
+// back through the border, where they are still checked against the
+// pre-downgrade permissions) and TLB invalidations.
+type Sandboxed interface {
+	// FlushPage writes back and invalidates all accelerator-cached blocks
+	// of the physical page, returning when the flush completes. A
+	// misbehaving accelerator may do nothing; safety does not depend on it
+	// (paper §3.2.4).
+	FlushPage(at sim.Time, ppn arch.PPN) sim.Time
+	// FlushAll writes back and invalidates the entire accelerator cache
+	// hierarchy.
+	FlushAll(at sim.Time) sim.Time
+	// InvalidateTLBPage drops one accelerator TLB translation.
+	InvalidateTLBPage(asid arch.ASID, vpn arch.VPN)
+	// InvalidateTLBAll flushes the accelerator TLBs.
+	InvalidateTLBAll()
+}
+
+// Config sets Border Control's structures and policies.
+type Config struct {
+	// UseBCC enables the Border Control Cache; without it every check
+	// reads the Protection Table in memory (the BC-noBCC configuration).
+	UseBCC bool
+	// BCC is the cache geometry when UseBCC is set.
+	BCC BCCConfig
+	// BCCLatency is the BCC probe latency (10 GPU cycles in Table 3).
+	BCCLatency sim.Time
+	// TableLatency is EXTRA latency added to every Protection Table read
+	// beyond the DRAM access itself. The paper's 100-cycle table access
+	// (Table 3) emerges from the DRAM model (a row miss costs ~100 GPU
+	// cycles), so the default extra is zero; the ablation benches sweep it.
+	TableLatency sim.Time
+	// SelectiveFlush flushes only the affected page on a permission
+	// downgrade instead of the whole accelerator cache (paper §3.2.4's
+	// optimization).
+	SelectiveFlush bool
+	// EagerPopulate pre-fills the Protection Table with every page the
+	// process has mapped at ProcessStart, instead of the paper's lazy
+	// population. Ablation only; the paper argues lazy is cheaper.
+	EagerPopulate bool
+	// DisableOnViolation makes the border refuse all further traffic after
+	// the first violation (the "disabling the accelerator" OS response).
+	DisableOnViolation bool
+}
+
+// DefaultConfig returns the paper's evaluated Border Control-BCC
+// configuration for a GPU clock.
+func DefaultConfig(gpuClock sim.Clock) Config {
+	return Config{
+		UseBCC:         true,
+		BCC:            DefaultBCCConfig(),
+		BCCLatency:     gpuClock.Cycles(10),
+		SelectiveFlush: true,
+	}
+}
+
+// TraceEvent is one Border Control event, exported through TraceSink for
+// trace-driven BCC geometry studies (paper Figure 6).
+type TraceEvent struct {
+	// Insert is true for a Protection Table insertion (ATS translation)
+	// and false for a request check.
+	Insert bool
+	PPN    arch.PPN
+	// Perm is the inserted permission (Insert only).
+	Perm arch.Perm
+	// Kind is the checked access kind (checks only).
+	Kind arch.AccessKind
+}
+
+// Decision is the outcome of a border check.
+type Decision struct {
+	// Allowed reports whether the request may proceed to host memory.
+	Allowed bool
+	// Done is when the permission check result is available. For reads the
+	// check proceeds in parallel with the memory access (paper §3.1.1), so
+	// the effective completion is max(check, data); writes must not reach
+	// memory until the check passes.
+	Done sim.Time
+}
+
+// BorderControl guards the border of one accelerator. It implements
+// ats.Observer (protection-table insertion) and hostos.ShootdownListener
+// (permission downgrades).
+type BorderControl struct {
+	name string
+	cfg  Config
+	os   *hostos.OS
+	dram *memory.DRAM
+	eng  *sim.Engine
+
+	table      *ProtectionTable
+	tableBase  arch.PPN
+	tableAlloc *hostos.FrameAllocator // where PT frames come from
+	bcc        *BCC
+	accel      Sandboxed
+
+	useCount int
+	active   map[arch.ASID]bool
+	disabled bool
+
+	// TraceSink, when set, receives every check and insertion event.
+	TraceSink func(TraceEvent)
+
+	// Stats.
+	Checks        stats.Counter
+	ReadChecks    stats.Counter
+	WriteChecks   stats.Counter
+	Violations    stats.Counter
+	TableReads    stats.Counter
+	TableWrites   stats.Counter
+	Insertions    stats.Counter
+	Downgrades    stats.Counter
+	CacheFlushes  stats.Counter
+	FlushStallsPs stats.Counter
+}
+
+// New returns a Border Control instance for the named accelerator. The
+// Protection Table is allocated lazily at the first ProcessStart (Figure
+// 3a).
+func New(name string, cfg Config, os *hostos.OS, dram *memory.DRAM, eng *sim.Engine) (*BorderControl, error) {
+	bc := &BorderControl{
+		name:   name,
+		cfg:    cfg,
+		os:     os,
+		dram:   dram,
+		eng:    eng,
+		active: make(map[arch.ASID]bool),
+	}
+	if cfg.UseBCC {
+		b, err := NewBCC(cfg.BCC)
+		if err != nil {
+			return nil, err
+		}
+		bc.bcc = b
+	}
+	return bc, nil
+}
+
+// Name returns the accelerator name this border guards.
+func (bc *BorderControl) Name() string { return bc.name }
+
+// Table returns the live Protection Table, or nil when no process is
+// active.
+func (bc *BorderControl) Table() *ProtectionTable { return bc.table }
+
+// Cache returns the BCC, or nil in the noBCC configuration.
+func (bc *BorderControl) Cache() *BCC { return bc.bcc }
+
+// SetAccelerator wires the sandboxed accelerator complex. Must be called
+// before any downgrade can be handled.
+func (bc *BorderControl) SetAccelerator(a Sandboxed) { bc.accel = a }
+
+// SetTableAllocator overrides where Protection Table frames are allocated.
+// Under virtualization (paper §3.4.2) the trusted VMM supplies them from
+// host-physical memory no guest partition can reach; the table still
+// indexes bare-metal physical addresses, so nothing else changes.
+func (bc *BorderControl) SetTableAllocator(f *hostos.FrameAllocator) { bc.tableAlloc = f }
+
+// Disabled reports whether the border has shut the accelerator out.
+func (bc *BorderControl) Disabled() bool { return bc.disabled }
+
+// ActiveProcesses returns how many processes currently run on the
+// accelerator.
+func (bc *BorderControl) ActiveProcesses() int { return bc.useCount }
+
+// ProcessStart implements Figure 3a. If the accelerator was idle, the OS
+// allocates and zeroes a Protection Table and programs the base and bounds
+// registers; otherwise the use count is incremented and the existing table
+// is shared (union permissions, paper §3.3).
+func (bc *BorderControl) ProcessStart(asid arch.ASID) error {
+	if bc.table == nil {
+		alloc := bc.tableAlloc
+		if alloc == nil {
+			alloc = bc.os.Frames()
+		}
+		pages := bc.os.Store().Pages()
+		frames := (TableBytes(pages) + arch.PageSize - 1) / arch.PageSize
+		base, err := alloc.AllocContiguous(frames)
+		if err != nil {
+			return fmt.Errorf("core: allocating protection table: %w", err)
+		}
+		t, err := NewProtectionTable(bc.os.Store(), base.Base(), pages)
+		if err != nil {
+			alloc.FreeContiguous(base, frames)
+			return err
+		}
+		t.Zero()
+		bc.table = t
+		bc.tableBase = base
+	}
+	bc.useCount++
+	bc.active[asid] = true
+	if bc.cfg.EagerPopulate {
+		if p, ok := bc.os.Process(asid); ok {
+			p.ForEachMapped(func(_ arch.VPN, ppn arch.PPN, perm arch.Perm) {
+				bc.insert(bc.eng.Now(), ppn, perm)
+			})
+		}
+	}
+	return nil
+}
+
+// ProcessComplete implements Figure 3e: flush the accelerator caches,
+// invalidate BCC and accelerator TLB, zero the Protection Table, and — if
+// the accelerator is now idle — return the table's memory to the OS. It
+// returns the time the completion protocol finishes.
+func (bc *BorderControl) ProcessComplete(at sim.Time, asid arch.ASID) sim.Time {
+	if !bc.active[asid] {
+		return at
+	}
+	done := at
+	if bc.accel != nil {
+		done = bc.accel.FlushAll(at)
+		bc.accel.InvalidateTLBAll()
+	}
+	if bc.bcc != nil {
+		bc.bcc.InvalidateAll()
+	}
+	if bc.table != nil {
+		bc.table.Zero()
+	}
+	delete(bc.active, asid)
+	bc.useCount--
+	if bc.useCount == 0 && bc.table != nil {
+		alloc := bc.tableAlloc
+		if alloc == nil {
+			alloc = bc.os.Frames()
+		}
+		frames := (bc.table.SizeBytes() + arch.PageSize - 1) / arch.PageSize
+		alloc.FreeContiguous(bc.tableBase, frames)
+		bc.table = nil
+	}
+	return done
+}
+
+// OnTranslation implements ats.Observer: the Protection Table insertion of
+// Figure 3b. Permissions only widen here. Huge-page translations fan out
+// to every covered 4 KB page (paper §3.4.4).
+func (bc *BorderControl) OnTranslation(at sim.Time, asid arch.ASID, vpn arch.VPN, ppn arch.PPN, perm arch.Perm, huge bool) {
+	if !bc.active[asid] || bc.table == nil {
+		return
+	}
+	if huge {
+		head := ppn - ppn%arch.PagesPerHugePage
+		for i := arch.PPN(0); i < arch.PagesPerHugePage; i++ {
+			bc.table.Merge(head+i, perm)
+			if bc.bcc != nil {
+				bc.bcc.Update(head+i, perm, bc.table)
+			}
+		}
+		bc.Insertions.Inc()
+		// One table block covers the whole 2 MB fan-out. The write-through
+		// is posted: it claims bandwidth from the present moment, not from
+		// the translation's completion time.
+		bc.dram.AccessDone(bc.eng.Now(), bc.table.BlockAddr(head), arch.Write)
+		bc.TableWrites.Inc()
+		return
+	}
+	bc.insert(at, ppn, perm)
+}
+
+func (bc *BorderControl) insert(at sim.Time, ppn arch.PPN, perm arch.Perm) {
+	bc.Insertions.Inc()
+	if !bc.table.InBounds(ppn) {
+		return
+	}
+	if bc.TraceSink != nil {
+		bc.TraceSink(TraceEvent{Insert: true, PPN: ppn, Perm: perm})
+	}
+	changed := bc.table.Merge(ppn, perm)
+	if bc.bcc != nil {
+		_, filled := bc.bcc.Update(ppn, perm, bc.table)
+		if filled {
+			bc.TableReads.Inc()
+			bc.dram.AccessDone(bc.eng.Now(), bc.table.BlockAddr(ppn), arch.Read)
+		}
+	} else {
+		// Without a BCC the insertion is a narrow read-modify-write of the
+		// table entry in memory.
+		bc.TableReads.Inc()
+		bc.dram.AccessDoneBytes(bc.eng.Now(), bc.table.BlockAddr(ppn), arch.Read, 8)
+	}
+	if changed {
+		bc.TableWrites.Inc()
+		bc.dram.AccessDoneBytes(bc.eng.Now(), bc.table.BlockAddr(ppn), arch.Write, 8)
+	}
+}
+
+// Check implements Figure 3c: every accelerator memory request is checked
+// before it reaches the host memory system. Blocked requests raise an
+// exception to the OS.
+func (bc *BorderControl) Check(at sim.Time, addr arch.Phys, kind arch.AccessKind) Decision {
+	bc.Checks.Inc()
+	if kind == arch.Write {
+		bc.WriteChecks.Inc()
+	} else {
+		bc.ReadChecks.Inc()
+	}
+	if bc.disabled || bc.table == nil {
+		return bc.deny(at, addr, kind)
+	}
+	ppn := addr.PageOf()
+	if bc.TraceSink != nil {
+		bc.TraceSink(TraceEvent{PPN: ppn, Kind: kind})
+	}
+	// The bounds register is checked before the table is indexed.
+	if !bc.table.InBounds(ppn) {
+		return bc.deny(at, addr, kind)
+	}
+	var perm arch.Perm
+	done := at
+	if bc.bcc != nil {
+		done += bc.cfg.BCCLatency
+		p, hit := bc.bcc.Probe(ppn)
+		if hit {
+			perm = p
+		} else {
+			perm = bc.bcc.Fill(ppn, bc.table)
+			bc.TableReads.Inc()
+			done = bc.tableAccess(done, ppn)
+		}
+	} else {
+		bc.TableReads.Inc()
+		perm = bc.table.Lookup(ppn)
+		done = bc.tableAccess(at, ppn)
+	}
+	if !perm.Allows(kind.Need()) {
+		d := bc.deny(done, addr, kind)
+		return d
+	}
+	return Decision{Allowed: true, Done: done}
+}
+
+// tableAccess charges one Protection Table read: a narrow DRAM access (a
+// permission lookup moves one word, not a whole block) plus any configured
+// extra latency. On a row miss this costs ~100 GPU cycles — the Table 3
+// figure.
+func (bc *BorderControl) tableAccess(at sim.Time, ppn arch.PPN) sim.Time {
+	return bc.dram.AccessDoneBytes(at, bc.table.BlockAddr(ppn), arch.Read, 8) + bc.cfg.TableLatency
+}
+
+// deny records a violation, notifies the OS, and returns a blocking
+// decision. Requested read data is not returned and writes do not proceed.
+func (bc *BorderControl) deny(at sim.Time, addr arch.Phys, kind arch.AccessKind) Decision {
+	bc.Violations.Inc()
+	var culprit arch.ASID
+	if len(bc.active) == 1 {
+		for a := range bc.active {
+			culprit = a
+		}
+	}
+	if bc.cfg.DisableOnViolation {
+		bc.disabled = true
+	}
+	bc.os.ReportViolation(hostos.Violation{
+		Accelerator: bc.name,
+		Addr:        addr,
+		Kind:        kind,
+	}, culprit)
+	return Decision{Allowed: false, Done: at}
+}
+
+// OnDowngrade implements hostos.ShootdownListener: the memory-mapping
+// update protocol of Figure 3d. If the page may be dirty in the
+// accelerator (its table entry has the write bit), the accelerator caches
+// are flushed BEFORE the table and BCC are updated, so the in-flight
+// writebacks still pass the border under the old permissions.
+func (bc *BorderControl) OnDowngrade(d hostos.Downgrade) {
+	if !bc.active[d.ASID] || bc.table == nil || !bc.table.InBounds(d.PPN) {
+		return
+	}
+	bc.Downgrades.Inc()
+	now := bc.eng.Now()
+	old := bc.table.Lookup(d.PPN)
+	if old == arch.PermNone && d.New.Border() == arch.PermNone {
+		// Never inserted; nothing cached, nothing to do — but the
+		// accelerator TLB may still hold the stale translation.
+		if bc.accel != nil {
+			bc.accel.InvalidateTLBPage(d.ASID, d.VPN)
+		}
+		return
+	}
+	if old.CanWrite() {
+		bc.CacheFlushes.Inc()
+		start := now
+		var done sim.Time
+		if bc.cfg.SelectiveFlush {
+			done = bc.flushPage(start, d.PPN)
+			bc.table.Set(d.PPN, d.New)
+			if bc.bcc != nil {
+				bc.bcc.Downgrade(d.PPN, d.New)
+			}
+		} else {
+			// Equivalent alternative from §3.2.4: flush everything, zero
+			// the table, invalidate BCC and TLB wholesale.
+			done = bc.flushAll(start)
+			bc.table.Zero()
+			if bc.bcc != nil {
+				bc.bcc.InvalidateAll()
+			}
+			if bc.accel != nil {
+				bc.accel.InvalidateTLBAll()
+			}
+		}
+		bc.FlushStallsPs.Add(uint64(done - start))
+	} else {
+		// Read-only (e.g. copy-on-write) pages cannot be dirty: update in
+		// place with no flush (paper §3.2.4).
+		bc.table.Set(d.PPN, d.New)
+		if bc.bcc != nil {
+			bc.bcc.Downgrade(d.PPN, d.New)
+		}
+	}
+	if bc.accel != nil && bc.cfg.SelectiveFlush {
+		bc.accel.InvalidateTLBPage(d.ASID, d.VPN)
+	}
+}
+
+func (bc *BorderControl) flushPage(at sim.Time, ppn arch.PPN) sim.Time {
+	if bc.accel == nil {
+		return at
+	}
+	return bc.accel.FlushPage(at, ppn)
+}
+
+func (bc *BorderControl) flushAll(at sim.Time) sim.Time {
+	if bc.accel == nil {
+		return at
+	}
+	return bc.accel.FlushAll(at)
+}

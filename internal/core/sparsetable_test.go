@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/hostos"
+	"bordercontrol/internal/memory"
+)
+
+func newSparse(t testing.TB, physPages uint64) (*SparseProtectionTable, *hostos.FrameAllocator) {
+	t.Helper()
+	store, err := memory.NewStore(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := hostos.NewFrameAllocator(store)
+	return NewSparseProtectionTable(store, alloc, physPages), alloc
+}
+
+func TestSparseFailClosed(t *testing.T) {
+	st, _ := newSparse(t, 1<<20)
+	if p, _ := st.Lookup(12345); p != arch.PermNone {
+		t.Error("fresh sparse table grants permissions")
+	}
+	if p, _ := st.Lookup(1 << 30); p != arch.PermNone {
+		t.Error("out-of-bounds lookup must fail closed")
+	}
+	if st.Leaves != 0 {
+		t.Error("lookups must not allocate")
+	}
+}
+
+func TestSparseMergeSetLookup(t *testing.T) {
+	st, _ := newSparse(t, 1<<20)
+	changed, err := st.Merge(100, arch.PermRead)
+	if err != nil || !changed {
+		t.Fatalf("merge: %v %v", changed, err)
+	}
+	if p, _ := st.Lookup(100); p != arch.PermRead {
+		t.Error("merge not visible")
+	}
+	if changed, _ := st.Merge(100, arch.PermRead); changed {
+		t.Error("redundant merge should report no change")
+	}
+	if err := st.Set(100, arch.PermNone); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := st.Lookup(100); p != arch.PermNone {
+		t.Error("set not visible")
+	}
+	// Setting none on an untouched region must not allocate a leaf.
+	before := st.Leaves
+	if err := st.Set(900000, arch.PermNone); err != nil {
+		t.Fatal(err)
+	}
+	if st.Leaves != before {
+		t.Error("revoking an absent page allocated a leaf")
+	}
+}
+
+func TestSparseFootprint(t *testing.T) {
+	// The headline property: a workload touching a small region costs
+	// proportionally small table memory, far below the flat table's fixed
+	// cost for the same physical-memory coverage.
+	physPages := uint64(4 << 20) // models 16 GB
+	st, _ := newSparse(t, physPages)
+	for p := arch.PPN(0); p < 2048; p++ { // an 8 MB working set
+		if _, err := st.Merge(p, arch.PermRW); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flat := TableBytes(physPages)
+	if st.ResidentBytes() >= flat {
+		t.Errorf("sparse resident %d B >= flat %d B for a tiny working set",
+			st.ResidentBytes(), flat)
+	}
+	if st.Leaves != 1 {
+		t.Errorf("2048 consecutive pages should fit one leaf, got %d", st.Leaves)
+	}
+}
+
+func TestSparseZeroReleasesLeaves(t *testing.T) {
+	st, alloc := newSparse(t, 1<<20)
+	for p := arch.PPN(0); p < 1<<20; p += pagesPerLeaf {
+		if _, err := st.Merge(p, arch.PermRW); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inUse := alloc.InUse()
+	if st.Leaves == 0 || inUse == 0 {
+		t.Fatal("no leaves allocated")
+	}
+	st.Zero()
+	if st.Leaves != 0 || alloc.InUse() != 0 {
+		t.Error("zero must release every leaf frame")
+	}
+	if p, _ := st.Lookup(0); p != arch.PermNone {
+		t.Error("permissions survive zero")
+	}
+}
+
+func TestSparseMatchesFlat(t *testing.T) {
+	// Random operations applied to both layouts must agree everywhere.
+	st, _ := newSparse(t, 1<<16)
+	flatStore, err := memory.NewStore(16 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := NewProtectionTable(flatStore, 0, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		ppn := arch.PPN(rng.Intn(1 << 16))
+		perm := arch.Perm(rng.Intn(4))
+		if rng.Intn(2) == 0 {
+			if _, err := st.Merge(ppn, perm); err != nil {
+				t.Fatal(err)
+			}
+			flat.Merge(ppn, perm)
+		} else {
+			if err := st.Set(ppn, perm); err != nil {
+				t.Fatal(err)
+			}
+			flat.Set(ppn, perm)
+		}
+		if got, _ := st.Lookup(ppn); got != flat.Lookup(ppn) {
+			t.Fatalf("layouts disagree on page %d: sparse=%v flat=%v", ppn, got, flat.Lookup(ppn))
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sort"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/sim"
+)
+
+// Checker is anything that can adjudicate a physical request at the
+// border. BorderControl is the paper's checker; TrustZone below implements
+// the coarse-grained alternative of paper §2.3 / Table 1 so the comparison
+// row is executable rather than cited.
+type Checker interface {
+	Check(at sim.Time, addr arch.Phys, kind arch.AccessKind) Decision
+}
+
+// TrustZone models ARM TrustZone's world partitioning as a border checker:
+// physical memory is split into Secure regions and the Normal world. An
+// untrusted accelerator lives in the Normal world, so any request into a
+// Secure region is refused — but every Normal-world address is allowed,
+// whichever process it belongs to. That is exactly the paper's critique
+// (Table 1): protection FOR the OS/secure assets, no protection BETWEEN
+// processes.
+type TrustZone struct {
+	secure  []Segment // sorted by base
+	latency sim.Time
+
+	// Blocked counts refused requests.
+	Blocked uint64
+	// OnViolation, when set, is invoked for each refusal.
+	OnViolation func(addr arch.Phys, kind arch.AccessKind)
+}
+
+// NewTrustZone returns a checker with no secure regions (everything
+// Normal) and the given check latency.
+func NewTrustZone(latency sim.Time) *TrustZone {
+	return &TrustZone{latency: latency}
+}
+
+// Secure marks [base, base+n) as Secure-world memory.
+func (t *TrustZone) Secure(base arch.Phys, n uint64) {
+	t.secure = append(t.secure, Segment{Base: base, Len: n})
+	sort.Slice(t.secure, func(i, j int) bool { return t.secure[i].Base < t.secure[j].Base })
+}
+
+// IsSecure reports whether the address lies in a Secure region.
+func (t *TrustZone) IsSecure(a arch.Phys) bool {
+	for _, s := range t.secure {
+		if a >= s.Base && a < s.End() {
+			return true
+		}
+		if s.Base > a {
+			break
+		}
+	}
+	return false
+}
+
+// Check implements Checker: refuse Secure-world addresses, allow the rest
+// of physical memory unconditionally.
+func (t *TrustZone) Check(at sim.Time, addr arch.Phys, kind arch.AccessKind) Decision {
+	done := at + t.latency
+	if t.IsSecure(addr) {
+		t.Blocked++
+		if t.OnViolation != nil {
+			t.OnViolation(addr, kind)
+		}
+		return Decision{Allowed: false, Done: done}
+	}
+	return Decision{Allowed: true, Done: done}
+}

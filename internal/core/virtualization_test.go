@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/hostos"
+	"bordercontrol/internal/memory"
+	"bordercontrol/internal/sim"
+)
+
+// TestVirtualizedBorderControl exercises paper §3.4.2: under a trusted
+// VMM, the Protection Table lives in host-physical memory outside every
+// guest partition, and Border Control works unchanged because it indexes
+// bare-metal physical addresses.
+func TestVirtualizedBorderControl(t *testing.T) {
+	store, err := memory.NewStore(256 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dram, err := memory.NewDRAM(store, memory.DefaultDRAMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmm, err := hostos.NewVMM(store, 2048) // 8 MB VMM reservation
+	if err != nil {
+		t.Fatal(err)
+	}
+	guestA, err := vmm.NewGuest("A", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guestB, err := vmm.NewGuest("B", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := &sim.Engine{}
+	clock := sim.MustClock(700e6)
+	// The accelerator is assigned to guest A; its Protection Table comes
+	// from the VMM's private allocator.
+	bc, err := New("gpu0", DefaultConfig(clock), guestA.OS, dram, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc.SetTableAllocator(vmm.Frames())
+	guestA.OS.AddShootdownListener(bc)
+	guestA.OS.KeepProcessOnViolation = true
+
+	procA, err := guestA.OS.NewProcess("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vA, err := procA.Mmap(arch.PageSize, arch.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := procA.Translate(vA, arch.Write); err != nil {
+		t.Fatal(err)
+	}
+	ppnA, _ := procA.PPNOf(vA.PageOf())
+
+	if err := bc.ProcessStart(procA.ASID()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The Protection Table's frames are outside BOTH guest partitions.
+	tbl := bc.Table()
+	for a := tbl.Base(); a < tbl.Base()+arch.Phys(tbl.SizeBytes()); a += arch.PageSize {
+		if guestA.Contains(a) || guestB.Contains(a) {
+			t.Fatalf("protection table frame %#x reachable from a guest partition", a)
+		}
+	}
+	// And the bounds register still covers ALL of host-physical memory:
+	// the table is indexed by bare-metal addresses.
+	if tbl.BoundPages() != store.Pages() {
+		t.Error("bounds register must cover host-physical memory")
+	}
+
+	// Normal operation inside guest A works unchanged.
+	bc.OnTranslation(0, procA.ASID(), vA.PageOf(), ppnA, arch.PermRW, false)
+	if !bc.Check(0, ppnA.Base(), arch.Write).Allowed {
+		t.Error("guest A's translated page should pass")
+	}
+
+	// A misbehaving accelerator aimed at guest B's memory (or the VMM's
+	// own) is blocked: those host-physical pages were never translated.
+	procB, err := guestB.OS.NewProcess("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vB, err := procB.Mmap(arch.PageSize, arch.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := procB.Translate(vB, arch.Write); err != nil {
+		t.Fatal(err)
+	}
+	ppnB, _ := procB.PPNOf(vB.PageOf())
+	if bc.Check(0, ppnB.Base(), arch.Read).Allowed {
+		t.Error("cross-guest read must be blocked")
+	}
+	if bc.Check(0, tbl.Base(), arch.Write).Allowed {
+		t.Error("write to the Protection Table itself must be blocked")
+	}
+	if err := vmm.AuditIsolation(); err != nil {
+		t.Error(err)
+	}
+}

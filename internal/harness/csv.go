@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV exports for the figure results, for plotting outside the repo. Each
+// emits a header row followed by data rows; fields never contain commas.
+
+// CSV renders Figure 4 as workload,mode,baseline_cycles,cycles,overhead.
+func (f Figure4Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("workload,mode,baseline_cycles,cycles,overhead\n")
+	for _, row := range f.Rows {
+		for _, m := range SafeModes() {
+			fmt.Fprintf(&b, "%s,%s,%d,%d,%.6f\n",
+				row.Workload, shortMode(m), row.Baseline, row.Cycles[m], row.Overheads[m])
+		}
+	}
+	for _, m := range SafeModes() {
+		fmt.Fprintf(&b, "geomean,%s,,,%.6f\n", shortMode(m), f.GeoMean[m])
+	}
+	return b.String()
+}
+
+// CSV renders Figure 5 as workload,checks,cycles,requests_per_cycle.
+func (f Figure5Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("workload,checks,cycles,requests_per_cycle\n")
+	for _, row := range f.Rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%.6f\n", row.Workload, row.Checks, row.Cycles, row.RequestsPerCycle)
+	}
+	fmt.Fprintf(&b, "average,,,%.6f\n", f.Average)
+	return b.String()
+}
+
+// CSV renders Figure 6 as pages_per_entry,entries,size_bytes,miss_ratio.
+func (f Figure6Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("pages_per_entry,entries,size_bytes,miss_ratio\n")
+	for _, ppe := range f.PagesPerEntry {
+		for _, pt := range f.Curves[ppe] {
+			fmt.Fprintf(&b, "%d,%d,%.1f,%.6f\n", ppe, pt.Entries, pt.SizeBytes, pt.MissRatio)
+		}
+	}
+	return b.String()
+}
+
+// CSV renders Figure 7 as mode,class,downgrades_per_sec,overhead.
+func (f Figure7Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("mode,class,downgrades_per_sec,overhead\n")
+	for _, pt := range f.Points {
+		fmt.Fprintf(&b, "%s,%s,%.0f,%.6f\n",
+			shortMode(pt.Mode), pt.Class, pt.DowngradesPerSec, pt.Overhead)
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"fmt"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/core"
+	"bordercontrol/internal/memory"
+	"bordercontrol/internal/workload"
+)
+
+// bcTrace is the captured Border Control event stream of one workload.
+type bcTrace struct {
+	name   string
+	events []core.TraceEvent
+	maxPPN arch.PPN
+}
+
+// captureBCTraces runs every workload once under BC-BCC on the highly
+// threaded GPU, recording the check/insert event stream at the border.
+func captureBCTraces(p Params) ([]bcTrace, error) {
+	var out []bcTrace
+	for _, spec := range workload.All() {
+		sys, err := NewSystem(BCBCC, HighlyThreaded, p)
+		if err != nil {
+			return nil, err
+		}
+		tr := bcTrace{name: spec.Name}
+		proc, err := sys.OS.NewProcess(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := spec.Build(proc, p.Scale)
+		if err != nil {
+			return nil, err
+		}
+		sys.ATS.Activate(sys.Name, proc.ASID())
+		if err := sys.BC.ProcessStart(proc.ASID()); err != nil {
+			return nil, err
+		}
+		sys.BC.TraceSink = func(ev core.TraceEvent) {
+			tr.events = append(tr.events, ev)
+			if ev.PPN > tr.maxPPN {
+				tr.maxPPN = ev.PPN
+			}
+		}
+		if err := sys.GPU.Launch(prog, proc.ASID()); err != nil {
+			return nil, err
+		}
+		sys.Eng.Run()
+		if gerr := sys.GPU.Err(); gerr != nil {
+			return nil, fmt.Errorf("harness: trace capture %s: %w", spec.Name, gerr)
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}
+
+// bccGeometry builds the swept BCC configuration.
+func bccGeometry(entries, pagesPerEntry int) core.BCCConfig {
+	return core.BCCConfig{Entries: entries, PagesPerEntry: pagesPerEntry, TagBits: 36}
+}
+
+// replayBCCTrace replays a captured event stream through a standalone BCC
+// of the given geometry and returns the check miss ratio.
+func replayBCCTrace(tr bcTrace, cfg core.BCCConfig, p Params) float64 {
+	physPages := uint64(tr.maxPPN) + 1
+	tableBytes := core.TableBytes(physPages)
+	storeBytes := arch.AlignUp(tableBytes, arch.PageSize) + arch.PageSize
+	store, err := memory.NewStore(storeBytes)
+	if err != nil {
+		panic(err)
+	}
+	table, err := core.NewProtectionTable(store, 0, physPages)
+	if err != nil {
+		panic(err)
+	}
+	bcc, err := core.NewBCC(cfg)
+	if err != nil {
+		panic(err)
+	}
+	for _, ev := range tr.events {
+		if ev.Insert {
+			table.Merge(ev.PPN, ev.Perm)
+			bcc.Update(ev.PPN, ev.Perm, table)
+			continue
+		}
+		if _, hit := bcc.Probe(ev.PPN); !hit {
+			bcc.Fill(ev.PPN, table)
+		}
+	}
+	return bcc.CheckHitMiss.MissRatio()
+}

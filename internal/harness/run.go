@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"fmt"
+
+	"bordercontrol/internal/accel"
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/hostos"
+	"bordercontrol/internal/sim"
+	"bordercontrol/internal/workload"
+)
+
+// RunOptions tune a single workload execution.
+type RunOptions struct {
+	// DowngradesPerSec injects synthetic permission downgrades (RW -> R,
+	// then restore) at this rate of simulated time, round-robin over the
+	// process's writable pages — the Figure 7 experiment. Zero disables
+	// injection.
+	DowngradesPerSec float64
+	// FixedDowngrades, when positive, overrides DowngradesPerSec and
+	// injects this many downgrades spread evenly over SpreadOver of
+	// simulated time (normally the workload's baseline runtime). Used to
+	// measure the per-downgrade cost densely on short kernels.
+	FixedDowngrades int
+	// SpreadOver is the window FixedDowngrades are spread across.
+	SpreadOver sim.Time
+	// SkipVerify skips the functional output check (used by sweeps that
+	// deliberately perturb timing only).
+	SkipVerify bool
+}
+
+// RunResult reports one workload execution on one system configuration.
+type RunResult struct {
+	Workload string
+	Mode     Mode
+	Class    GPUClass
+
+	// Runtime is the kernel's simulated duration, including the final
+	// cache drain; Cycles is the same in GPU cycles — the paper's runtime
+	// metric.
+	Runtime sim.Time
+	Cycles  uint64
+	// Ops is the number of memory operations the GPU completed.
+	Ops uint64
+
+	// BCChecks is the number of requests checked at the border (BC modes).
+	BCChecks uint64
+	// BCCMissRatio is the BCC check miss ratio (BCBCC mode).
+	BCCMissRatio float64
+	// Downgrades counts injected permission downgrades.
+	Downgrades uint64
+	// DRAMUtilization is mean channel utilization over the run.
+	DRAMUtilization float64
+
+	// Cache-hierarchy statistics (sandboxed configurations only; zero for
+	// the full-IOMMU path, which has no accelerator caches).
+	L1MissRatio  float64
+	L2MissRatio  float64
+	TLBMissRatio float64
+	// Translations is the number of ATS requests (accelerator TLB misses,
+	// or every access under the full IOMMU).
+	Translations uint64
+	// PageWalks is how many of those missed the trusted L2 TLB.
+	PageWalks uint64
+
+	// VerifyErr reports a functional-output mismatch (nil when correct).
+	VerifyErr error
+}
+
+// RequestsPerCycle returns border checks per GPU cycle (Figure 5).
+func (r RunResult) RequestsPerCycle() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.BCChecks) / float64(r.Cycles)
+}
+
+// Run executes one workload on a fresh system in the given configuration.
+func Run(mode Mode, class GPUClass, spec workload.Spec, p Params, opts RunOptions) (RunResult, error) {
+	sys, err := NewSystem(mode, class, p)
+	if err != nil {
+		return RunResult{}, err
+	}
+	proc, err := sys.OS.NewProcess(spec.Name)
+	if err != nil {
+		return RunResult{}, err
+	}
+	prog, err := spec.Build(proc, p.Scale)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("harness: building %s: %w", spec.Name, err)
+	}
+
+	// Process initialization on the accelerator (paper Figure 3a).
+	sys.ATS.Activate(sys.Name, proc.ASID())
+	if sys.BC != nil {
+		if err := sys.BC.ProcessStart(proc.ASID()); err != nil {
+			return RunResult{}, err
+		}
+	}
+
+	if err := sys.GPU.Launch(prog, proc.ASID()); err != nil {
+		return RunResult{}, err
+	}
+
+	var injected *uint64
+	switch {
+	case opts.FixedDowngrades > 0 && opts.SpreadOver > 0:
+		interval := opts.SpreadOver / sim.Time(opts.FixedDowngrades+1)
+		injected = injectDowngradesEvery(sys, proc, interval, opts.FixedDowngrades)
+	case opts.DowngradesPerSec > 0:
+		interval := sim.Time(float64(sim.Second) / opts.DowngradesPerSec)
+		injected = injectDowngradesEvery(sys, proc, interval, 0)
+	}
+	sys.Eng.Run()
+
+	if !sys.GPU.Finished() {
+		return RunResult{}, fmt.Errorf("harness: %s on %v did not finish", spec.Name, mode)
+	}
+	if gerr := sys.GPU.Err(); gerr != nil {
+		return RunResult{}, fmt.Errorf("harness: %s aborted on %v: %w", spec.Name, mode, gerr)
+	}
+
+	res := RunResult{
+		Workload:        spec.Name,
+		Mode:            mode,
+		Class:           class,
+		Runtime:         sys.GPU.Runtime(),
+		Cycles:          sys.GPU.Cycles(),
+		Ops:             sys.GPU.OpsDone.Value(),
+		DRAMUtilization: sys.DRAM.Utilization(sys.GPU.Runtime()),
+		Translations:    sys.ATS.Translation.Value(),
+		PageWalks:       sys.ATS.Walks.Value(),
+	}
+	if h, ok := sys.Hier.(*accel.Sandboxed); ok {
+		var l1h, l1m, tlbh, tlbm uint64
+		for cu := 0; cu < sys.GPU.Config().CUs; cu++ {
+			l1h += h.L1(cu).HitMiss.Hits.Value()
+			l1m += h.L1(cu).HitMiss.Misses.Value()
+			tlbh += h.L1TLB(cu).HitMiss.Hits.Value()
+			tlbm += h.L1TLB(cu).HitMiss.Misses.Value()
+		}
+		if l1h+l1m > 0 {
+			res.L1MissRatio = float64(l1m) / float64(l1h+l1m)
+		}
+		if tlbh+tlbm > 0 {
+			res.TLBMissRatio = float64(tlbm) / float64(tlbh+tlbm)
+		}
+		res.L2MissRatio = h.L2().HitMiss.MissRatio()
+	}
+	if injected != nil {
+		res.Downgrades = *injected
+	}
+	if sys.BC != nil {
+		res.BCChecks = sys.BC.Checks.Value()
+		if bcc := sys.BC.Cache(); bcc != nil {
+			res.BCCMissRatio = bcc.CheckHitMiss.MissRatio()
+		}
+	}
+
+	// Process completion (Figure 3e), then verify the results the program
+	// left in memory.
+	if sys.BC != nil {
+		sys.BC.ProcessComplete(sys.GPU.FinishTime(), proc.ASID())
+	}
+	sys.ATS.Deactivate(sys.Name, proc.ASID())
+	if prog.Verify != nil && !opts.SkipVerify {
+		res.VerifyErr = prog.Verify(proc)
+	}
+	return res, nil
+}
+
+// injectDowngradesEvery schedules periodic permission downgrades over the
+// process's pages while the GPU runs, at most max times (0 = until the GPU
+// finishes). The returned counter is valid once the engine has drained.
+func injectDowngradesEvery(sys *System, proc *hostos.Process, interval sim.Time, max int) *uint64 {
+	if interval == 0 {
+		interval = 1
+	}
+	// Snapshot the writable pages (generation already faulted them in).
+	var pages []arch.Virt
+	proc.ForEachMapped(func(vpn arch.VPN, _ arch.PPN, perm arch.Perm) {
+		if perm.CanWrite() {
+			pages = append(pages, vpn.Base())
+		}
+	})
+	count := new(uint64)
+	if len(pages) == 0 {
+		return count
+	}
+	idx := 0
+	var tick func()
+	tick = func() {
+		if sys.GPU.Finished() || (max > 0 && *count >= uint64(max)) {
+			return
+		}
+		v := pages[idx%len(pages)]
+		idx++
+		// Downgrade RW -> R (shootdown + border flush), then restore so
+		// the workload can continue; the restore is an upgrade and incurs
+		// no shootdown (paper §3.2.4).
+		if _, err := sys.OS.Protect(proc, v, arch.PageSize, arch.PermRead); err == nil {
+			*count++
+		}
+		_, _ = sys.OS.Protect(proc, v, arch.PageSize, arch.PermRW)
+		sys.Eng.After(interval, tick)
+	}
+	sys.Eng.After(interval, tick)
+	return count
+}

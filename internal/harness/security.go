@@ -1,0 +1,261 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"bordercontrol/internal/accel"
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/core"
+)
+
+// Attack names one threat-model probe from paper §2.1.
+type Attack string
+
+// The probes of the security matrix.
+const (
+	// AttackWildRead: a trojan reads a victim process's physical page it
+	// was never granted (confidentiality of host memory).
+	AttackWildRead Attack = "wild-read"
+	// AttackWildWrite: a trojan overwrites a victim's physical page
+	// (integrity of host memory).
+	AttackWildWrite Attack = "wild-write"
+	// AttackStaleTLB: a buggy accelerator ignores a TLB shootdown and
+	// writes through the stale translation after revocation.
+	AttackStaleTLB Attack = "stale-tlb-write"
+	// AttackLateWriteback: an accelerator ignores the downgrade flush and
+	// tries to write its stale dirty block back later.
+	AttackLateWriteback Attack = "late-writeback"
+	// AttackSecureRead: a trojan reads OS/secure-world memory. This is the
+	// one probe TrustZone's coarse partitioning does stop (its Table 1
+	// "protection for OS" checkmark).
+	AttackSecureRead Attack = "secure-os-read"
+)
+
+// Attacks lists the probes in report order.
+func Attacks() []Attack {
+	return []Attack{AttackWildRead, AttackWildWrite, AttackStaleTLB, AttackLateWriteback, AttackSecureRead}
+}
+
+// SecurityResult is the outcome of one (configuration, attack) probe.
+type SecurityResult struct {
+	// Config labels the guarded configuration: a Mode's short name, or
+	// "TrustZone" for the §2.3 comparison point.
+	Config  string
+	Attack  Attack
+	Blocked bool
+	// Detail explains what happened.
+	Detail string
+}
+
+// SecurityMatrix probes every applicable configuration with every attack.
+// The full-IOMMU and CAPI-like paths keep no accelerator-side physical
+// state, so the wild-physical-address probes target the sandboxed
+// configurations (and the unsafe baseline, where they succeed — that is
+// the paper's threat).
+func SecurityMatrix(p Params) ([]SecurityResult, error) {
+	var out []SecurityResult
+	for _, cfg := range SecurityConfigs() {
+		for _, atk := range Attacks() {
+			res, err := probe(cfg, atk, p)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s/%s: %w", cfg, atk, err)
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// SecurityConfigs lists the probed configurations: the unsafe baseline,
+// an ARM TrustZone-style world partition on the same unsafe hardware
+// (paper §2.3), and both Border Control configurations.
+func SecurityConfigs() []string {
+	return []string{shortMode(ATSOnly), "TrustZone", shortMode(BCNoBCC), shortMode(BCBCC)}
+}
+
+// probe runs one attack against one configuration.
+func probe(cfg string, atk Attack, p Params) (SecurityResult, error) {
+	res := SecurityResult{Config: cfg, Attack: atk}
+	mode := BCBCC
+	switch cfg {
+	case shortMode(ATSOnly), "TrustZone":
+		mode = ATSOnly
+	case shortMode(BCNoBCC):
+		mode = BCNoBCC
+	}
+	sys, err := NewSystem(mode, HighlyThreaded, p)
+	if err != nil {
+		return res, err
+	}
+	sys.OS.KeepProcessOnViolation = true
+
+	// A secure-world region standing in for OS/firmware assets, placed at
+	// the top of physical memory where no process frame will land.
+	secureLen := uint64(16 * arch.PageSize)
+	secureBase := arch.Phys(sys.OS.Store().Size() - secureLen)
+	if cfg == "TrustZone" {
+		tz := core.NewTrustZone(sys.GPUClock.Cycles(4))
+		tz.Secure(secureBase, secureLen)
+		sys.Port.SetChecker(tz)
+	}
+
+	victim, err := sys.OS.NewProcess("victim")
+	if err != nil {
+		return res, err
+	}
+	secretVA, err := victim.Mmap(arch.PageSize, arch.PermRW)
+	if err != nil {
+		return res, err
+	}
+	secret := []byte("secret key material")
+	if err := victim.Write(secretVA, secret); err != nil {
+		return res, err
+	}
+	secretPPN, _ := victim.PPNOf(secretVA.PageOf())
+
+	user, err := sys.OS.NewProcess("accel-user")
+	if err != nil {
+		return res, err
+	}
+	sys.ATS.Activate(sys.Name, user.ASID())
+	if sys.BC != nil {
+		if err := sys.BC.ProcessStart(user.ASID()); err != nil {
+			return res, err
+		}
+	}
+
+	switch atk {
+	case AttackSecureRead:
+		trojan := accel.NewTrojan(sys.Port)
+		// The secure region was reserved before any process allocation;
+		// plant a marker there directly (the OS/firmware owns it).
+		sys.OS.Store().Write(secureBase, []byte("tz-secret"))
+		data, ok := trojan.TryRead(sys.Eng.Now(), secureBase)
+		if ok && string(data[:9]) == "tz-secret" {
+			res.Blocked = false
+			res.Detail = "secure-world memory read"
+		} else {
+			res.Blocked = true
+			res.Detail = "secure-world read refused"
+		}
+
+	case AttackWildRead:
+		trojan := accel.NewTrojan(sys.Port)
+		data, ok := trojan.TryRead(sys.Eng.Now(), secretPPN.Base())
+		if ok && string(data[:len(secret)]) == string(secret) {
+			res.Blocked = false
+			res.Detail = "trojan read the victim's secret"
+		} else {
+			res.Blocked = true
+			res.Detail = "read blocked at the border"
+		}
+
+	case AttackWildWrite:
+		trojan := accel.NewTrojan(sys.Port)
+		var evil [arch.BlockSize]byte
+		copy(evil[:], "pwned")
+		trojan.TryWrite(sys.Eng.Now(), secretPPN.Base(), evil)
+		var after [5]byte
+		if err := victim.Read(secretVA, after[:]); err != nil {
+			return res, err
+		}
+		if string(after[:]) == "pwned" {
+			res.Blocked = false
+			res.Detail = "victim memory overwritten"
+		} else {
+			res.Blocked = true
+			res.Detail = "write blocked; victim memory intact"
+		}
+
+	case AttackStaleTLB:
+		// The user's own page is granted, then revoked; a buggy
+		// accelerator keeps using the stale translation.
+		buf, err := user.Mmap(arch.PageSize, arch.PermRW)
+		if err != nil {
+			return res, err
+		}
+		if _, err := sys.ATS.Translate(sys.Name, user.ASID(), buf, arch.Write, 0); err != nil {
+			return res, err
+		}
+		ppn, _ := user.PPNOf(buf.PageOf())
+		if _, err := sys.OS.Protect(user, buf, arch.PageSize, arch.PermNone); err != nil {
+			return res, err
+		}
+		// The stale write arrives at the border as a raw physical request.
+		var evil [arch.BlockSize]byte
+		_, ok := sys.Port.WriteBlock(sys.Eng.Now(), ppn.Base(), &evil)
+		res.Blocked = !ok
+		if ok {
+			res.Detail = "stale-translation write reached memory"
+		} else {
+			res.Detail = "stale-translation write blocked after revocation"
+		}
+
+	case AttackLateWriteback:
+		buf, err := user.Mmap(arch.PageSize, arch.PermRW)
+		if err != nil {
+			return res, err
+		}
+		if err := user.Write(buf, []byte("original")); err != nil {
+			return res, err
+		}
+		if _, err := sys.ATS.Translate(sys.Name, user.ASID(), buf, arch.Write, 0); err != nil {
+			return res, err
+		}
+		ppn, _ := user.PPNOf(buf.PageOf())
+		// The accelerator "holds a dirty block", ignores the downgrade
+		// flush, and writes back afterwards.
+		if _, err := sys.OS.Protect(user, buf, arch.PageSize, arch.PermRead); err != nil {
+			return res, err
+		}
+		var stale [arch.BlockSize]byte
+		copy(stale[:], "tampered")
+		_, ok := sys.Port.WriteBlock(sys.Eng.Now(), ppn.Base(), &stale)
+		var after [8]byte
+		if err := user.Read(buf, after[:]); err != nil {
+			return res, err
+		}
+		if ok && string(after[:]) == "tampered" {
+			res.Blocked = false
+			res.Detail = "late writeback landed after downgrade"
+		} else {
+			res.Blocked = true
+			res.Detail = "late writeback blocked; memory unchanged"
+		}
+
+	default:
+		return res, fmt.Errorf("harness: unknown attack %q", atk)
+	}
+	return res, nil
+}
+
+// RenderSecurityMatrix prints the matrix as a table: one row per attack,
+// one column per configuration, BLOCKED/VULNERABLE in each cell.
+func RenderSecurityMatrix(results []SecurityResult) string {
+	var b strings.Builder
+	b.WriteString("Security matrix: threat-model probes (paper §2.1) per configuration\n")
+	fmt.Fprintf(&b, "%-18s", "attack")
+	for _, c := range SecurityConfigs() {
+		fmt.Fprintf(&b, " %14s", c)
+	}
+	b.WriteString("\n")
+	for _, atk := range Attacks() {
+		fmt.Fprintf(&b, "%-18s", atk)
+		for _, c := range SecurityConfigs() {
+			cell := "?"
+			for _, r := range results {
+				if r.Config == c && r.Attack == atk {
+					if r.Blocked {
+						cell = "BLOCKED"
+					} else {
+						cell = "VULNERABLE"
+					}
+				}
+			}
+			fmt.Fprintf(&b, " %14s", cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,284 @@
+// Package harness assembles full simulated systems for the five safety
+// configurations the paper evaluates (Table 2), runs the Rodinia-derived
+// workloads on them, and regenerates every table and figure of the paper's
+// evaluation section.
+package harness
+
+import (
+	"fmt"
+
+	"bordercontrol/internal/accel"
+	"bordercontrol/internal/ats"
+	"bordercontrol/internal/coherence"
+	"bordercontrol/internal/core"
+	"bordercontrol/internal/hostos"
+	"bordercontrol/internal/memory"
+	"bordercontrol/internal/sim"
+)
+
+// Mode is one of the five evaluated safety configurations (paper Table 2).
+type Mode int
+
+// The configurations under study.
+const (
+	// ATSOnly is the unsafe baseline: the IOMMU serves only initial
+	// translations, the GPU keeps physical TLBs and caches, and nothing
+	// checks its physical requests.
+	ATSOnly Mode = iota
+	// FullIOMMU translates and checks every request at the IOMMU; the
+	// accelerator keeps no TLB and no caches.
+	FullIOMMU
+	// CAPILike implements the TLB and a shared cache in trusted hardware,
+	// farther from the accelerator.
+	CAPILike
+	// BCNoBCC is Border Control with only the in-memory Protection Table.
+	BCNoBCC
+	// BCBCC is Border Control with the Border Control Cache.
+	BCBCC
+)
+
+// Modes lists the five configurations in the paper's order.
+func Modes() []Mode { return []Mode{ATSOnly, FullIOMMU, CAPILike, BCNoBCC, BCBCC} }
+
+// SafeModes lists the four configurations compared against the baseline in
+// Figure 4.
+func SafeModes() []Mode { return []Mode{FullIOMMU, CAPILike, BCNoBCC, BCBCC} }
+
+func (m Mode) String() string {
+	switch m {
+	case ATSOnly:
+		return "ATS-only IOMMU"
+	case FullIOMMU:
+		return "Full IOMMU"
+	case CAPILike:
+		return "CAPI-like"
+	case BCNoBCC:
+		return "Border Control-noBCC"
+	case BCBCC:
+		return "Border Control-BCC"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Safe reports whether the configuration provides memory safety from the
+// accelerator.
+func (m Mode) Safe() bool { return m != ATSOnly }
+
+// GPUClass selects between the two GPU proxies of §5.1.
+type GPUClass int
+
+// The two GPU configurations.
+const (
+	// HighlyThreaded is the 8-CU latency-tolerant proxy.
+	HighlyThreaded GPUClass = iota
+	// ModeratelyThreaded is the 1-CU latency-sensitive proxy.
+	ModeratelyThreaded
+)
+
+func (c GPUClass) String() string {
+	if c == ModeratelyThreaded {
+		return "moderately threaded"
+	}
+	return "highly threaded"
+}
+
+// Params collects every knob of the simulated system; DefaultParams mirrors
+// paper Table 3.
+type Params struct {
+	PhysMemBytes uint64
+	CPUHz        float64
+	GPUHz        float64
+	DRAM         memory.DRAMConfig
+
+	// GPU geometry per class.
+	HighCUs        int
+	HighWavesPerCU int
+	HighL2Bytes    int
+	ModCUs         int
+	ModWavesPerCU  int
+	ModL2Bytes     int
+
+	// Border Control.
+	BCC             core.BCCConfig
+	BCCLatencyCyc   uint64 // GPU cycles
+	TableLatencyCyc uint64 // GPU cycles of EXTRA table latency beyond DRAM
+	SelectiveFlush  bool
+	EagerPopulate   bool
+
+	// DirLatencyCyc is the coherence-point traversal cost in GPU cycles,
+	// paid identically by every configuration.
+	DirLatencyCyc uint64
+
+	// Scale multiplies workload problem sizes.
+	Scale int
+}
+
+// DefaultParams returns the Table 3 system.
+func DefaultParams() Params {
+	return Params{
+		PhysMemBytes: 16 << 30, // 16 GB; Protection Table = 1 MB
+		CPUHz:        3e9,
+		GPUHz:        700e6,
+		DRAM:         memory.DefaultDRAMConfig(),
+
+		HighCUs:        8,
+		HighWavesPerCU: 24,
+		HighL2Bytes:    256 << 10,
+		ModCUs:         1,
+		ModWavesPerCU:  10,
+		ModL2Bytes:     64 << 10,
+
+		BCC:             core.DefaultBCCConfig(),
+		BCCLatencyCyc:   10,
+		TableLatencyCyc: 0,
+		SelectiveFlush:  true,
+
+		DirLatencyCyc: 4,
+		Scale:         1,
+	}
+}
+
+// System is one fully-assembled simulated machine.
+type System struct {
+	Mode  Mode
+	Class GPUClass
+
+	Eng   *sim.Engine
+	Store *memory.Store
+	DRAM  *memory.DRAM
+	OS    *hostos.OS
+	ATS   *ats.ATS
+	Dir   *coherence.Directory
+	BC    *core.BorderControl // nil except in BC modes
+	GPU   *accel.GPU
+	Hier  accel.Hierarchy
+	// Port is the border port of the accelerator's outermost cache: the
+	// physical-request path into the trusted memory system, and the
+	// attachment point for threat-model experiments.
+	Port *accel.BorderPort
+
+	GPUClock sim.Clock
+	Name     string // accelerator name
+}
+
+// atsShootdown forwards OS downgrades to the trusted L2 TLB.
+type atsShootdown struct{ ats *ats.ATS }
+
+func (a atsShootdown) OnDowngrade(d hostos.Downgrade) {
+	a.ats.InvalidatePage(d.ASID, d.VPN)
+}
+
+// NewSystem assembles a machine for the given configuration.
+func NewSystem(mode Mode, class GPUClass, p Params) (*System, error) {
+	gpuClock, err := sim.NewClock(p.GPUHz)
+	if err != nil {
+		return nil, err
+	}
+	store, err := memory.NewStore(p.PhysMemBytes)
+	if err != nil {
+		return nil, err
+	}
+	dram, err := memory.NewDRAM(store, p.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	eng := &sim.Engine{}
+	osmodel := hostos.New(store)
+	atsvc, err := ats.New(ats.DefaultConfig(gpuClock), osmodel, dram)
+	if err != nil {
+		return nil, err
+	}
+	dir := coherence.NewDirectory(store)
+
+	sys := &System{
+		Mode:     mode,
+		Class:    class,
+		Eng:      eng,
+		Store:    store,
+		DRAM:     dram,
+		OS:       osmodel,
+		ATS:      atsvc,
+		Dir:      dir,
+		GPUClock: gpuClock,
+		Name:     "gpu0",
+	}
+	osmodel.AddShootdownListener(atsShootdown{atsvc})
+
+	cus, waves, l2 := p.HighCUs, p.HighWavesPerCU, p.HighL2Bytes
+	if class == ModeratelyThreaded {
+		cus, waves, l2 = p.ModCUs, p.ModWavesPerCU, p.ModL2Bytes
+	}
+	dirLat := gpuClock.Cycles(p.DirLatencyCyc)
+
+	switch mode {
+	case ATSOnly, BCNoBCC, BCBCC:
+		var bc *core.BorderControl
+		if mode != ATSOnly {
+			cfg := core.Config{
+				UseBCC:         mode == BCBCC,
+				BCC:            p.BCC,
+				BCCLatency:     gpuClock.Cycles(p.BCCLatencyCyc),
+				TableLatency:   gpuClock.Cycles(p.TableLatencyCyc),
+				SelectiveFlush: p.SelectiveFlush,
+				EagerPopulate:  p.EagerPopulate,
+			}
+			bc, err = core.New(sys.Name, cfg, osmodel, dram, eng)
+			if err != nil {
+				return nil, err
+			}
+			atsvc.AddObserver(bc)
+			sys.BC = bc
+		}
+		scfg := accel.DefaultSandboxConfig(sys.Name, gpuClock, cus, l2)
+		agent := dir.ReserveAgent()
+		port := accel.NewBorderPort(bc, dir, agent, dram, dirLat)
+		hier, err := accel.NewSandboxed(scfg, eng, atsvc, port)
+		if err != nil {
+			return nil, err
+		}
+		dir.BindAgent(agent, hier)
+		sys.Port = port
+		if bc != nil {
+			bc.SetAccelerator(hier)
+			osmodel.AddShootdownListener(hier) // drain + TLB invalidation
+			osmodel.AddShootdownListener(bc)   // flush + table update
+		} else {
+			osmodel.AddShootdownListener(hier)
+		}
+		sys.Hier = hier
+
+	case FullIOMMU:
+		agent := dir.ReserveAgent()
+		port := accel.NewBorderPort(nil, dir, agent, dram, dirLat)
+		hier := accel.NewIOMMUHierarchy(sys.Name, eng, atsvc, port, gpuClock)
+		dir.BindAgent(agent, hier)
+		sys.Port = port
+		osmodel.AddShootdownListener(hier)
+		sys.Hier = hier
+
+	case CAPILike:
+		ccfg := accel.DefaultCAPIConfig(sys.Name, gpuClock, l2)
+		agent := dir.ReserveAgent()
+		port := accel.NewBorderPort(nil, dir, agent, dram, dirLat)
+		hier, err := accel.NewCAPIHierarchy(ccfg, eng, atsvc, port)
+		if err != nil {
+			return nil, err
+		}
+		dir.BindAgent(agent, hier)
+		sys.Port = port
+		osmodel.AddShootdownListener(hier)
+		sys.Hier = hier
+
+	default:
+		return nil, fmt.Errorf("harness: unknown mode %v", mode)
+	}
+
+	gcfg := accel.GPUConfig{Name: sys.Name, Clock: gpuClock, CUs: cus, WavesPerCU: waves}
+	gpu, err := accel.NewGPU(gcfg, eng, sys.Hier)
+	if err != nil {
+		return nil, err
+	}
+	sys.GPU = gpu
+	return sys, nil
+}

@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"bordercontrol/internal/core"
+	"bordercontrol/internal/sim"
+)
+
+// Table1Row is one approach in the qualitative comparison (paper Table 1).
+type Table1Row struct {
+	Approach         string
+	ProtectsOS       bool
+	BetweenProcesses bool
+	DirectPhysAccess bool
+}
+
+// Table1 reproduces paper Table 1: what each approach protects and whether
+// the accelerator keeps direct physical-address access (TLBs and physical
+// caches). The rows are derived from the properties of the implemented
+// configurations where we model them, and from the paper's analysis for
+// TrustZone (which we do not model).
+func Table1() []Table1Row {
+	return []Table1Row{
+		{Approach: "ATS-only IOMMU", ProtectsOS: false, BetweenProcesses: false, DirectPhysAccess: true},
+		{Approach: "Full IOMMU", ProtectsOS: true, BetweenProcesses: true, DirectPhysAccess: false},
+		{Approach: "IBM CAPI", ProtectsOS: true, BetweenProcesses: true, DirectPhysAccess: false},
+		{Approach: "ARM TrustZone", ProtectsOS: true, BetweenProcesses: false, DirectPhysAccess: true},
+		{Approach: "Border Control", ProtectsOS: true, BetweenProcesses: true, DirectPhysAccess: true},
+	}
+}
+
+func yn(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// RenderTable1 prints Table 1.
+func RenderTable1() string {
+	var b strings.Builder
+	b.WriteString("Table 1: comparison of Border Control with other approaches\n")
+	fmt.Fprintf(&b, "%-18s %12s %12s %14s\n", "", "for OS", "between", "direct phys.")
+	fmt.Fprintf(&b, "%-18s %12s %12s %14s\n", "approach", "protection", "processes", "memory access")
+	for _, r := range Table1() {
+		fmt.Fprintf(&b, "%-18s %12s %12s %14s\n", r.Approach, yn(r.ProtectsOS), yn(r.BetweenProcesses), yn(r.DirectPhysAccess))
+	}
+	return b.String()
+}
+
+// Table2Row is one configuration under study (paper Table 2).
+type Table2Row struct {
+	Mode  Mode
+	Safe  bool
+	L1    bool
+	L1TLB bool
+	L2    bool
+	BCC   string // "yes", "no", or "n/a"
+}
+
+// Table2 reproduces paper Table 2 from the actual system assembly.
+func Table2() []Table2Row {
+	return []Table2Row{
+		{Mode: ATSOnly, Safe: false, L1: true, L1TLB: true, L2: true, BCC: "n/a"},
+		{Mode: FullIOMMU, Safe: true, L1: false, L1TLB: false, L2: false, BCC: "n/a"},
+		{Mode: CAPILike, Safe: true, L1: false, L1TLB: false, L2: true, BCC: "n/a"},
+		{Mode: BCNoBCC, Safe: true, L1: true, L1TLB: true, L2: true, BCC: "no"},
+		{Mode: BCBCC, Safe: true, L1: true, L1TLB: true, L2: true, BCC: "yes"},
+	}
+}
+
+// RenderTable2 prints Table 2.
+func RenderTable2() string {
+	var b strings.Builder
+	b.WriteString("Table 2: comparison of configurations under study\n")
+	fmt.Fprintf(&b, "%-22s %6s %6s %8s %6s %6s\n", "configuration", "safe", "L1 $", "L1 TLB", "L2 $", "BCC")
+	for _, r := range Table2() {
+		fmt.Fprintf(&b, "%-22s %6s %6s %8s %6s %6s\n", r.Mode, yn(r.Safe), dash(r.L1), dash(r.L1TLB), dash(r.L2), r.BCC)
+	}
+	return b.String()
+}
+
+func dash(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "—"
+}
+
+// RenderTable3 prints the simulation configuration (paper Table 3) from the
+// live parameter set, so the table always reflects what the harness runs.
+func RenderTable3(p Params) string {
+	var b strings.Builder
+	gpuClock := sim.MustClock(p.GPUHz)
+	b.WriteString("Table 3: simulation configuration details\n")
+	fmt.Fprintf(&b, "CPU cores                       %d\n", 1)
+	fmt.Fprintf(&b, "CPU frequency                   %.1f GHz\n", p.CPUHz/1e9)
+	fmt.Fprintf(&b, "GPU cores (highly threaded)     %d\n", p.HighCUs)
+	fmt.Fprintf(&b, "GPU cores (moderately threaded) %d\n", p.ModCUs)
+	fmt.Fprintf(&b, "GPU caches (highly threaded)    16KB L1, shared %dKB L2\n", p.HighL2Bytes>>10)
+	fmt.Fprintf(&b, "GPU caches (moderately)         16KB L1, shared %dKB L2\n", p.ModL2Bytes>>10)
+	fmt.Fprintf(&b, "L1 TLB                          64 entries\n")
+	fmt.Fprintf(&b, "Shared L2 TLB (trusted)         512 entries\n")
+	fmt.Fprintf(&b, "GPU frequency                   %.0f MHz\n", p.GPUHz/1e6)
+	fmt.Fprintf(&b, "Peak memory bandwidth           %.0f GB/s\n", p.DRAM.BandwidthBytesPerSec/1e9)
+	fmt.Fprintf(&b, "Physical memory                 %d GB\n", p.PhysMemBytes>>30)
+	fmt.Fprintf(&b, "BCC size                        %.0f KB (%d entries x %d pages)\n",
+		p.BCC.SizeBytes()/1024, p.BCC.Entries, p.BCC.PagesPerEntry)
+	fmt.Fprintf(&b, "BCC access latency              %d cycles\n", p.BCCLatencyCyc)
+	fmt.Fprintf(&b, "Protection table size           %d KB (for %d GB physical memory)\n",
+		core.TableBytes(p.PhysMemBytes/4096)>>10, p.PhysMemBytes>>30)
+	fmt.Fprintf(&b, "Protection table access latency ~%d cycles (DRAM row miss)\n",
+		gpuClock.CyclesAt(sim.Time(p.DRAM.AccessLatency)))
+	return b.String()
+}

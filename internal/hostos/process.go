@@ -1,0 +1,292 @@
+package hostos
+
+import (
+	"errors"
+	"fmt"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/pagetable"
+)
+
+// Segfault describes an invalid virtual access by a process.
+type Segfault struct {
+	ASID arch.ASID
+	Addr arch.Virt
+	Kind arch.AccessKind
+}
+
+func (s *Segfault) Error() string {
+	return fmt.Sprintf("hostos: segfault asid=%d %s %#x", s.ASID, s.Kind, s.Addr)
+}
+
+// vma is one virtual memory area.
+type vma struct {
+	start arch.Virt
+	size  uint64
+	perm  arch.Perm
+	huge  bool // back with 2 MB pages
+}
+
+func (a *vma) contains(v arch.Virt) bool {
+	return v >= a.start && uint64(v-a.start) < a.size
+}
+
+// pageInfo tracks OS-side state of a mapped virtual page.
+type pageInfo struct {
+	ppn  arch.PPN
+	perm arch.Perm
+	cow  bool // write-protected copy-on-write page
+	huge bool // member of a huge mapping (head tracked separately)
+	refs *int // shared frame refcount, for CoW
+}
+
+// Process is one address space plus OS bookkeeping.
+type Process struct {
+	os    *OS
+	name  string
+	asid  arch.ASID
+	table *pagetable.Table
+	vmas  []vma
+	brk   arch.Virt
+	pages map[arch.VPN]*pageInfo
+	dead  bool
+
+	// MajorFaults counts demand-paging faults served.
+	MajorFaults uint64
+}
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// ASID returns the address-space identifier.
+func (p *Process) ASID() arch.ASID { return p.asid }
+
+// Table returns the process page table (read-mostly; the OS mutates it).
+func (p *Process) Table() *pagetable.Table { return p.table }
+
+// Dead reports whether the process has been terminated.
+func (p *Process) Dead() bool { return p.dead }
+
+// mmapBase is where process heaps start; a low guard region catches null
+// dereferences.
+const mmapBase arch.Virt = 0x1000_0000
+
+// Mmap reserves size bytes of zeroed, demand-paged memory with the given
+// permissions and returns its base address.
+func (p *Process) Mmap(size uint64, perm arch.Perm) (arch.Virt, error) {
+	return p.mmap(size, perm, false)
+}
+
+// MmapHuge reserves a 2 MB-aligned region backed by huge pages.
+func (p *Process) MmapHuge(size uint64, perm arch.Perm) (arch.Virt, error) {
+	return p.mmap(size, perm, true)
+}
+
+func (p *Process) mmap(size uint64, perm arch.Perm, huge bool) (arch.Virt, error) {
+	if p.dead {
+		return 0, fmt.Errorf("hostos: mmap in dead process %q", p.name)
+	}
+	if size == 0 {
+		return 0, errors.New("hostos: zero-length mmap")
+	}
+	align := uint64(arch.PageSize)
+	if huge {
+		align = arch.HugePageSize
+	}
+	size = arch.AlignUp(size, align)
+	base := arch.Virt(arch.AlignUp(uint64(p.brk), align))
+	p.vmas = append(p.vmas, vma{start: base, size: size, perm: perm, huge: huge})
+	// Leave a one-page guard gap between areas.
+	p.brk = base + arch.Virt(size) + arch.PageSize
+	return base, nil
+}
+
+// removeVMARange carves [start, end) out of the process's VMAs, splitting
+// areas that straddle the boundary.
+func (p *Process) removeVMARange(start, end arch.Virt) {
+	var out []vma
+	for _, a := range p.vmas {
+		aEnd := a.start + arch.Virt(a.size)
+		if aEnd <= start || a.start >= end {
+			out = append(out, a)
+			continue
+		}
+		if a.start < start {
+			out = append(out, vma{start: a.start, size: uint64(start - a.start), perm: a.perm, huge: a.huge})
+		}
+		if aEnd > end {
+			out = append(out, vma{start: end, size: uint64(aEnd - end), perm: a.perm, huge: a.huge})
+		}
+	}
+	p.vmas = out
+}
+
+func (p *Process) vmaFor(v arch.Virt) *vma {
+	for i := range p.vmas {
+		if p.vmas[i].contains(v) {
+			return &p.vmas[i]
+		}
+	}
+	return nil
+}
+
+// Translate returns the physical translation of v, faulting pages in on
+// demand. kind selects the required permission; a permission mismatch on a
+// CoW page triggers the copy.
+func (p *Process) Translate(v arch.Virt, kind arch.AccessKind) (arch.Phys, error) {
+	info, err := p.page(v, kind)
+	if err != nil {
+		return 0, err
+	}
+	return info.ppn.Base() + arch.Phys(v.Offset()), nil
+}
+
+// page returns (faulting in if needed) the pageInfo for v, handling CoW.
+func (p *Process) page(v arch.Virt, kind arch.AccessKind) (*pageInfo, error) {
+	vpn := v.PageOf()
+	info, ok := p.pages[vpn]
+	if !ok {
+		a := p.vmaFor(v)
+		if a == nil {
+			return nil, &Segfault{ASID: p.asid, Addr: v, Kind: kind}
+		}
+		var err error
+		info, err = p.faultIn(vpn, a)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if kind == arch.Write && !info.perm.CanWrite() {
+		if info.cow {
+			if err := p.os.resolveCOW(p, vpn, info); err != nil {
+				return nil, err
+			}
+		} else {
+			return nil, &Segfault{ASID: p.asid, Addr: v, Kind: kind}
+		}
+	}
+	if kind == arch.Read && !info.perm.CanRead() {
+		return nil, &Segfault{ASID: p.asid, Addr: v, Kind: kind}
+	}
+	return info, nil
+}
+
+// faultIn services a demand-paging fault for vpn inside vma a.
+func (p *Process) faultIn(vpn arch.VPN, a *vma) (*pageInfo, error) {
+	p.MajorFaults++
+	if a.huge {
+		return p.faultInHuge(vpn, a)
+	}
+	frame, err := p.os.frames.AllocFrame()
+	if err != nil {
+		return nil, err
+	}
+	p.os.store.ZeroPage(frame)
+	if err := p.table.Map(vpn, frame, a.perm); err != nil {
+		return nil, err
+	}
+	info := &pageInfo{ppn: frame, perm: a.perm}
+	p.pages[vpn] = info
+	return info, nil
+}
+
+func (p *Process) faultInHuge(vpn arch.VPN, a *vma) (*pageInfo, error) {
+	headVPN := vpn - vpn%arch.PagesPerHugePage
+	frame, err := p.os.frames.AllocContiguousAligned(arch.PagesPerHugePage, arch.PagesPerHugePage)
+	if err != nil {
+		return nil, err
+	}
+	for i := arch.PPN(0); i < arch.PagesPerHugePage; i++ {
+		p.os.store.ZeroPage(frame + i)
+	}
+	if err := p.table.MapHuge(headVPN, frame, a.perm); err != nil {
+		return nil, err
+	}
+	for i := arch.VPN(0); i < arch.PagesPerHugePage; i++ {
+		p.pages[headVPN+i] = &pageInfo{ppn: frame + arch.PPN(i), perm: a.perm, huge: true}
+	}
+	return p.pages[vpn], nil
+}
+
+// Read copies memory out of the process address space, faulting pages in.
+func (p *Process) Read(v arch.Virt, buf []byte) error {
+	return p.access(v, uint64(len(buf)), arch.Read, func(pa arch.Phys, b []byte) {
+		p.os.store.ReadInto(pa, b)
+	}, buf)
+}
+
+// Write copies data into the process address space, faulting pages in and
+// resolving copy-on-write.
+func (p *Process) Write(v arch.Virt, data []byte) error {
+	return p.access(v, uint64(len(data)), arch.Write, func(pa arch.Phys, b []byte) {
+		p.os.store.Write(pa, b)
+	}, data)
+}
+
+func (p *Process) access(v arch.Virt, n uint64, kind arch.AccessKind, op func(arch.Phys, []byte), buf []byte) error {
+	if p.dead {
+		return fmt.Errorf("hostos: access in dead process %q", p.name)
+	}
+	for n > 0 {
+		pa, err := p.Translate(v, kind)
+		if err != nil {
+			return err
+		}
+		chunk := uint64(arch.PageSize) - v.Offset()
+		if chunk > n {
+			chunk = n
+		}
+		op(pa, buf[:chunk])
+		buf = buf[chunk:]
+		v += arch.Virt(chunk)
+		n -= chunk
+	}
+	return nil
+}
+
+// ReadU32 reads a 32-bit word from process memory.
+func (p *Process) ReadU32(v arch.Virt) (uint32, error) {
+	var b [4]byte
+	if err := p.Read(v, b[:]); err != nil {
+		return 0, err
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+// WriteU32 writes a 32-bit word to process memory.
+func (p *Process) WriteU32(v arch.Virt, x uint32) error {
+	b := [4]byte{byte(x), byte(x >> 8), byte(x >> 16), byte(x >> 24)}
+	return p.Write(v, b[:])
+}
+
+// Mapped reports whether vpn is currently mapped (already faulted in).
+func (p *Process) Mapped(vpn arch.VPN) bool {
+	_, ok := p.pages[vpn]
+	return ok
+}
+
+// PermOf returns the current page permissions of vpn, if mapped.
+func (p *Process) PermOf(vpn arch.VPN) (arch.Perm, bool) {
+	info, ok := p.pages[vpn]
+	if !ok {
+		return 0, false
+	}
+	return info.perm, true
+}
+
+// ForEachMapped calls fn for every currently-mapped page, in unspecified
+// order.
+func (p *Process) ForEachMapped(fn func(vpn arch.VPN, ppn arch.PPN, perm arch.Perm)) {
+	for vpn, info := range p.pages {
+		fn(vpn, info.ppn, info.perm)
+	}
+}
+
+// PPNOf returns the physical page backing vpn, if mapped.
+func (p *Process) PPNOf(vpn arch.VPN) (arch.PPN, bool) {
+	info, ok := p.pages[vpn]
+	if !ok {
+		return 0, false
+	}
+	return info.ppn, true
+}

@@ -1,0 +1,109 @@
+package hostos
+
+import (
+	"fmt"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/memory"
+)
+
+// VMM is a minimal trusted virtual-machine monitor (paper §3.4.2): it
+// partitions host physical memory into per-guest regions and keeps the
+// remainder — where per-accelerator Protection Tables live — physically
+// unreachable from any guest.
+//
+// Border Control itself is unchanged under virtualization: the Protection
+// Table is indexed by bare-metal (host) physical addresses, which is what
+// the guests' accelerator requests carry after nested translation. This
+// model uses static partitioning (each guest's "guest-physical" memory is
+// a dedicated host-physical range), which keeps the nested-translation
+// step an identity inside the partition while preserving the property the
+// paper relies on: no guest mapping can name a frame outside its
+// partition, because guest OSes only ever allocate from their own range.
+type VMM struct {
+	store  *memory.Store
+	frames *FrameAllocator // the VMM's own (non-guest) frames
+	guests []*Guest
+	next   arch.PPN // next unpartitioned frame
+	limit  arch.PPN
+}
+
+// Guest is one guest OS and its partition.
+type Guest struct {
+	OS  *OS
+	Lo  arch.PPN // first frame of the partition
+	Hi  arch.PPN // one past the last frame
+	vmm *VMM
+}
+
+// NewVMM returns a VMM over the store. reserve is the number of frames the
+// VMM keeps for itself at the bottom of memory (Protection Tables, its own
+// structures).
+func NewVMM(store *memory.Store, reserve uint64) (*VMM, error) {
+	total := arch.PPN(store.Pages())
+	if arch.PPN(reserve)+1 >= total {
+		return nil, fmt.Errorf("hostos: VMM reservation %d exceeds memory", reserve)
+	}
+	return &VMM{
+		store:  store,
+		frames: NewFrameAllocatorRange(store, 1, arch.PPN(reserve)+1),
+		next:   arch.PPN(reserve) + 1,
+		limit:  total,
+	}, nil
+}
+
+// Frames returns the VMM's private allocator. Border Control's Protection
+// Tables are allocated here, outside every guest partition.
+func (v *VMM) Frames() *FrameAllocator { return v.frames }
+
+// NewGuest carves a partition of the given page count and boots a guest OS
+// confined to it.
+func (v *VMM) NewGuest(name string, pages uint64) (*Guest, error) {
+	if arch.PPN(pages) > v.limit-v.next {
+		return nil, fmt.Errorf("hostos: no room for guest %q (%d pages)", name, pages)
+	}
+	lo := v.next
+	hi := lo + arch.PPN(pages)
+	v.next = hi
+	// ASID spaces: guest i uses [4096*(i+1), ...) so ASIDs are globally
+	// unique across the shared ATS.
+	asidBase := arch.ASID(4096 * (len(v.guests) + 1))
+	g := &Guest{OS: NewPartition(v.store, lo, hi, asidBase), Lo: lo, Hi: hi, vmm: v}
+	v.guests = append(v.guests, g)
+	return g, nil
+}
+
+// Guests returns the booted guests.
+func (v *VMM) Guests() []*Guest { return v.guests }
+
+// Contains reports whether the host physical address lies inside the
+// guest's partition.
+func (g *Guest) Contains(a arch.Phys) bool {
+	p := a.PageOf()
+	return p >= g.Lo && p < g.Hi
+}
+
+// AuditIsolation verifies the partitioning invariants: every frame a guest
+// process maps lies inside its partition, and none of the VMM's frames are
+// reachable. It returns an error naming the first violation.
+func (v *VMM) AuditIsolation() error {
+	for gi, g := range v.guests {
+		g := g
+		var bad error
+		for _, p := range g.OS.ProcessList() {
+			p.ForEachMapped(func(vpn arch.VPN, ppn arch.PPN, _ arch.Perm) {
+				if bad != nil {
+					return
+				}
+				if ppn < g.Lo || ppn >= g.Hi {
+					bad = fmt.Errorf("hostos: guest %d maps frame %#x outside its partition [%#x,%#x)",
+						gi, ppn, g.Lo, g.Hi)
+				}
+			})
+			if bad != nil {
+				return bad
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package hostos
+
+import (
+	"testing"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/memory"
+)
+
+func newVMM(t *testing.T) *VMM {
+	t.Helper()
+	store, err := memory.NewStore(128 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewVMM(store, 1024) // 4 MB for the VMM
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestVMMPartitioning(t *testing.T) {
+	v := newVMM(t)
+	g1, err := v.NewGuest("g1", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := v.NewGuest("g2", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Hi > g2.Lo {
+		t.Error("guest partitions overlap")
+	}
+	if g1.Lo < 1025 {
+		t.Error("guest partition overlaps the VMM reservation")
+	}
+	if len(v.Guests()) != 2 {
+		t.Error("guest registry wrong")
+	}
+}
+
+func TestGuestAllocationsStayInPartition(t *testing.T) {
+	v := newVMM(t)
+	g, err := v.NewGuest("g", 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := g.OS.NewProcess("guest-proc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := p.Mmap(64*arch.PageSize, arch.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(base, make([]byte, 64*arch.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	p.ForEachMapped(func(_ arch.VPN, ppn arch.PPN, _ arch.Perm) {
+		if ppn < g.Lo || ppn >= g.Hi {
+			t.Errorf("guest frame %#x outside partition [%#x,%#x)", ppn, g.Lo, g.Hi)
+		}
+	})
+	// The page-table frames themselves are also inside the partition.
+	if p.Table().Root() < g.Lo || p.Table().Root() >= g.Hi {
+		t.Error("guest page-table root outside partition")
+	}
+	if err := v.AuditIsolation(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGuestExhaustsOnlyItsPartition(t *testing.T) {
+	v := newVMM(t)
+	g, err := v.NewGuest("small", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := g.OS.NewProcess("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := p.Mmap(64*arch.PageSize, arch.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touching more pages than the partition holds must fail inside the
+	// guest, never spill into other memory.
+	if err := p.Write(base, make([]byte, 64*arch.PageSize)); err == nil {
+		t.Error("tiny guest should run out of frames")
+	}
+	// The VMM's own allocator is untouched.
+	if v.Frames().InUse() != 0 {
+		t.Error("guest pressure leaked into the VMM allocator")
+	}
+}
+
+func TestGuestASIDsAreDisjoint(t *testing.T) {
+	v := newVMM(t)
+	g1, _ := v.NewGuest("g1", 1024)
+	g2, _ := v.NewGuest("g2", 1024)
+	p1, err := g1.OS.NewProcess("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := g2.OS.NewProcess("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.ASID() == p2.ASID() {
+		t.Error("guests share an ASID space; a shared ATS would confuse them")
+	}
+}
+
+func TestVMMReservationValidation(t *testing.T) {
+	store, _ := memory.NewStore(1 << 20) // 256 pages
+	if _, err := NewVMM(store, 1<<20); err == nil {
+		t.Error("oversized reservation should fail")
+	}
+	v, err := NewVMM(store, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.NewGuest("too-big", 1<<20); err == nil {
+		t.Error("oversized guest should fail")
+	}
+}

@@ -1,0 +1,161 @@
+package memory
+
+import (
+	"fmt"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/sim"
+	"bordercontrol/internal/stats"
+)
+
+// DRAMConfig sets the timing parameters of the memory controller.
+type DRAMConfig struct {
+	// AccessLatency is the unloaded access time of a block that misses the
+	// row buffer (precharge + activate + CAS + transfer), independent of
+	// bandwidth occupancy.
+	AccessLatency sim.Time
+	// RowHitLatency is the access time when the block lies in the
+	// channel's open row (CAS + transfer only).
+	RowHitLatency sim.Time
+	// RowBytes is the open-row (page) size per bank.
+	RowBytes uint64
+	// BanksPerChannel is the number of independent row buffers per
+	// channel. More banks means hot structures (like a Protection Table
+	// block) keep their row open without evicting the streams around them.
+	BanksPerChannel int
+	// BandwidthBytesPerSec is the peak aggregate bandwidth across channels.
+	// The paper's system provides 180 GB/s.
+	BandwidthBytesPerSec float64
+	// Channels is the number of independent channels; requests are
+	// interleaved across channels by block address.
+	Channels int
+}
+
+// DefaultDRAMConfig mirrors the paper's memory system (Table 3): 180 GB/s
+// peak bandwidth and a ~140 ns loaded access latency — about 100 GPU cycles
+// at 700 MHz, the same scale as the Protection Table access latency, which
+// is what lets the parallel permission lookup hide under the data fetch
+// (paper §3.1.1).
+func DefaultDRAMConfig() DRAMConfig {
+	return DRAMConfig{
+		AccessLatency:        140 * sim.Nanosecond,
+		RowHitLatency:        30 * sim.Nanosecond,
+		RowBytes:             2 << 10,
+		BanksPerChannel:      16,
+		BandwidthBytesPerSec: 180e9,
+		Channels:             4,
+	}
+}
+
+// DRAM is the timing model in front of a Store. Every access moves one
+// memory block (128 bytes). An access completes after queueing for its
+// channel plus the unloaded access latency.
+type DRAM struct {
+	cfg      DRAMConfig
+	store    *Store
+	channels []*sim.Resource
+	openRow  [][]uint64 // per channel, per bank; ^0 = none
+
+	// Stats
+	Reads      stats.Counter
+	Writes     stats.Counter
+	RowHits    stats.Counter
+	BytesMoved stats.Counter
+}
+
+// NewDRAM returns a DRAM timing model over the given store.
+func NewDRAM(store *Store, cfg DRAMConfig) (*DRAM, error) {
+	if cfg.Channels <= 0 {
+		return nil, fmt.Errorf("memory: DRAM needs at least one channel, got %d", cfg.Channels)
+	}
+	if cfg.BandwidthBytesPerSec <= 0 {
+		return nil, fmt.Errorf("memory: non-positive DRAM bandwidth %v", cfg.BandwidthBytesPerSec)
+	}
+	// Service time for one block on one channel: block bytes divided by the
+	// per-channel share of peak bandwidth.
+	perChannel := cfg.BandwidthBytesPerSec / float64(cfg.Channels)
+	svcPs := float64(arch.BlockSize) / perChannel * 1e12
+	if svcPs < 1 {
+		svcPs = 1
+	}
+	if cfg.RowBytes == 0 {
+		cfg.RowBytes = 2 << 10
+	}
+	if cfg.BanksPerChannel <= 0 {
+		cfg.BanksPerChannel = 8
+	}
+	if cfg.RowHitLatency == 0 || cfg.RowHitLatency > cfg.AccessLatency {
+		cfg.RowHitLatency = cfg.AccessLatency
+	}
+	d := &DRAM{cfg: cfg, store: store}
+	for i := 0; i < cfg.Channels; i++ {
+		d.channels = append(d.channels, sim.NewResource(sim.Time(svcPs)))
+		rows := make([]uint64, cfg.BanksPerChannel)
+		for b := range rows {
+			rows[b] = ^uint64(0)
+		}
+		d.openRow = append(d.openRow, rows)
+	}
+	return d, nil
+}
+
+// Store returns the functional backing store.
+func (d *DRAM) Store() *Store { return d.store }
+
+// Config returns the timing configuration.
+func (d *DRAM) Config() DRAMConfig { return d.cfg }
+
+func (d *DRAM) channelIdx(a arch.Phys) int {
+	return int(uint64(a)>>arch.BlockShift) % len(d.channels)
+}
+
+// AccessDone returns the completion time of a block access to address a
+// issued at time 'at', accounting for channel queueing, row-buffer
+// locality, and access latency. kind only affects statistics; reads and
+// writes share channel bandwidth.
+func (d *DRAM) AccessDone(at sim.Time, a arch.Phys, kind arch.AccessKind) sim.Time {
+	return d.AccessDoneBytes(at, a, kind, arch.BlockSize)
+}
+
+// AccessDoneBytes is AccessDone for a narrow access moving only n bytes
+// (minimum one burst beat): it occupies the channel proportionally. Border
+// Control's per-check Protection Table reads use this — a permission lookup
+// moves one word, not a whole block.
+func (d *DRAM) AccessDoneBytes(at sim.Time, a arch.Phys, kind arch.AccessKind, n uint64) sim.Time {
+	if n == 0 || n > arch.BlockSize {
+		n = arch.BlockSize
+	}
+	ch := d.channelIdx(a)
+	svc := sim.Time(uint64(d.channels[ch].Service()) * n / arch.BlockSize)
+	done := d.channels[ch].ClaimFor(at, svc)
+	d.BytesMoved.Add(n)
+	if kind == arch.Write {
+		d.Writes.Inc()
+	} else {
+		d.Reads.Inc()
+	}
+	row := uint64(a) / d.cfg.RowBytes
+	bank := int(row) % d.cfg.BanksPerChannel
+	lat := d.cfg.AccessLatency
+	if d.openRow[ch][bank] == row {
+		d.RowHits.Inc()
+		lat = d.cfg.RowHitLatency
+	}
+	d.openRow[ch][bank] = row
+	return done + lat
+}
+
+// Utilization returns the mean channel utilization over the elapsed time.
+func (d *DRAM) Utilization(elapsed sim.Time) float64 {
+	if elapsed == 0 || len(d.channels) == 0 {
+		return 0
+	}
+	var u float64
+	for _, ch := range d.channels {
+		u += ch.Utilization(elapsed)
+	}
+	return u / float64(len(d.channels))
+}
+
+// Accesses returns the total number of block accesses.
+func (d *DRAM) Accesses() uint64 { return d.Reads.Value() + d.Writes.Value() }

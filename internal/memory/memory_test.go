@@ -1,0 +1,269 @@
+package memory
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/sim"
+)
+
+func newStore(t testing.TB, size uint64) *Store {
+	t.Helper()
+	s, err := NewStore(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreValidation(t *testing.T) {
+	for _, size := range []uint64{0, 1, 4095, 4097} {
+		if _, err := NewStore(size); err == nil {
+			t.Errorf("NewStore(%d) should fail", size)
+		}
+	}
+	s := newStore(t, 1<<20)
+	if s.Size() != 1<<20 || s.Pages() != 256 {
+		t.Errorf("size/pages wrong: %d/%d", s.Size(), s.Pages())
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := newStore(t, 1<<20)
+	data := []byte("the quick brown fox")
+	s.Write(100, data)
+	if got := s.Read(100, uint64(len(data))); !bytes.Equal(got, data) {
+		t.Errorf("read back %q", got)
+	}
+}
+
+func TestStoreCrossPage(t *testing.T) {
+	s := newStore(t, 1<<20)
+	data := make([]byte, 3*arch.PageSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	// Unaligned start, spanning four pages.
+	addr := arch.Phys(arch.PageSize - 100)
+	s.Write(addr, data)
+	if got := s.Read(addr, uint64(len(data))); !bytes.Equal(got, data) {
+		t.Error("cross-page round trip failed")
+	}
+}
+
+func TestStoreZeroDefault(t *testing.T) {
+	s := newStore(t, 1<<20)
+	for _, b := range s.Read(12345, 64) {
+		if b != 0 {
+			t.Fatal("untouched memory should read zero")
+		}
+	}
+	if s.PopulatedPages() != 0 {
+		t.Error("reads should not materialize pages")
+	}
+}
+
+func TestStoreLaziness(t *testing.T) {
+	s := newStore(t, 1<<30) // 1 GB simulated
+	s.WriteByteAt(0x3fff_0000, 7)
+	if s.PopulatedPages() != 1 {
+		t.Errorf("populated = %d, want 1", s.PopulatedPages())
+	}
+}
+
+func TestStoreZeroing(t *testing.T) {
+	s := newStore(t, 1<<20)
+	s.Write(arch.PageSize, bytes.Repeat([]byte{0xff}, 2*arch.PageSize))
+	s.ZeroPage(1)
+	if s.ReadByteAt(arch.PageSize) != 0 {
+		t.Error("ZeroPage failed")
+	}
+	if s.ReadByteAt(2*arch.PageSize) != 0xff {
+		t.Error("ZeroPage cleared the wrong page")
+	}
+	// Partial range zero within a page.
+	s.ZeroRange(2*arch.PageSize+10, 20)
+	if s.ReadByteAt(2*arch.PageSize+9) != 0xff || s.ReadByteAt(2*arch.PageSize+10) != 0 ||
+		s.ReadByteAt(2*arch.PageSize+29) != 0 || s.ReadByteAt(2*arch.PageSize+30) != 0xff {
+		t.Error("partial ZeroRange wrong")
+	}
+}
+
+func TestStoreWordAccess(t *testing.T) {
+	s := newStore(t, 1<<20)
+	s.WriteU64(8, 0x1122334455667788)
+	if got := s.ReadU64(8); got != 0x1122334455667788 {
+		t.Errorf("u64 = %#x", got)
+	}
+	if got := s.ReadU32(8); got != 0x55667788 {
+		t.Errorf("u32 low half = %#x (little endian expected)", got)
+	}
+	s.WriteU32(100, 0xdeadbeef)
+	if got := s.ReadU32(100); got != 0xdeadbeef {
+		t.Errorf("u32 = %#x", got)
+	}
+}
+
+func TestStoreBoundsPanic(t *testing.T) {
+	s := newStore(t, 1<<20)
+	for name, fn := range map[string]func(){
+		"read":  func() { s.Read(1<<20-4, 8) },
+		"write": func() { s.Write(1<<20, []byte{1}) },
+		"zero":  func() { s.ZeroRange(1<<20-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s out of bounds should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStoreQuickRoundTrip(t *testing.T) {
+	s := newStore(t, 1<<22)
+	f := func(addr uint32, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		a := arch.Phys(addr) % (1<<22 - arch.Phys(len(data)))
+		s.Write(a, data)
+		return bytes.Equal(s.Read(a, uint64(len(data))), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func defaultDRAM(t testing.TB) *DRAM {
+	t.Helper()
+	d, err := NewDRAM(newStore(t, 1<<24), DefaultDRAMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDRAMValidation(t *testing.T) {
+	s := newStore(t, 1<<20)
+	if _, err := NewDRAM(s, DRAMConfig{Channels: 0, BandwidthBytesPerSec: 1e9}); err == nil {
+		t.Error("zero channels should fail")
+	}
+	if _, err := NewDRAM(s, DRAMConfig{Channels: 1, BandwidthBytesPerSec: 0}); err == nil {
+		t.Error("zero bandwidth should fail")
+	}
+}
+
+func TestDRAMLatency(t *testing.T) {
+	d := defaultDRAM(t)
+	cfg := d.Config()
+	done := d.AccessDone(0, 0, arch.Read)
+	// First access: service + row-miss latency.
+	min := sim.Time(cfg.AccessLatency)
+	if done < min {
+		t.Errorf("first access done at %d, before access latency %d", done, min)
+	}
+	// Same block again: row hit, much faster latency component.
+	done2 := d.AccessDone(done, 0, arch.Read)
+	if done2-done > sim.Time(cfg.RowHitLatency)+10000 {
+		t.Errorf("row hit took %d ps", done2-done)
+	}
+	if d.RowHits.Value() != 1 {
+		t.Errorf("row hits = %d, want 1", d.RowHits.Value())
+	}
+}
+
+func TestDRAMQueueing(t *testing.T) {
+	d := defaultDRAM(t)
+	// Saturate one channel: all claims at t=0 to the same block address.
+	// (Completion times are not monotone — the first access pays a row
+	// miss while later ones row-hit — but the queue grows linearly.)
+	var last sim.Time
+	for i := 0; i < 100; i++ {
+		last = d.AccessDone(0, 0, arch.Read)
+	}
+	// 100 accesses of 128B at (180/4) GB/s per channel ≈ 284 ns of queue,
+	// plus the final row-hit latency.
+	if last < 280000 {
+		t.Errorf("100 serialized accesses done at %d ps, too fast", last)
+	}
+	if got := d.RowHits.Value(); got != 99 {
+		t.Errorf("row hits = %d, want 99", got)
+	}
+}
+
+func TestDRAMChannelInterleave(t *testing.T) {
+	d := defaultDRAM(t)
+	// Blocks 0..3 map to different channels: no queueing between them.
+	var dones []sim.Time
+	for i := 0; i < 4; i++ {
+		dones = append(dones, d.AccessDone(0, arch.Phys(i*arch.BlockSize), arch.Read))
+	}
+	for i := 1; i < 4; i++ {
+		if dones[i] != dones[0] {
+			t.Errorf("channel %d done at %d, want %d (parallel channels)", i, dones[i], dones[0])
+		}
+	}
+}
+
+func TestDRAMNarrowAccess(t *testing.T) {
+	// A narrow access finishes sooner than a full-block one from idle (its
+	// transfer occupies 1/16 of the slot) and moves fewer bytes.
+	narrowD := defaultDRAM(t)
+	narrow := narrowD.AccessDoneBytes(0, 0, arch.Read, 8)
+	fullD := defaultDRAM(t)
+	full := fullD.AccessDone(0, 0, arch.Read)
+	if narrow >= full {
+		t.Errorf("narrow access (%d ps) should beat a full block (%d ps)", narrow, full)
+	}
+	if narrowD.BytesMoved.Value() != 8 || fullD.BytesMoved.Value() != arch.BlockSize {
+		t.Error("bytes-moved accounting wrong")
+	}
+	// Degenerate sizes clamp to a full block.
+	clampD := defaultDRAM(t)
+	clampD.AccessDoneBytes(0, 0, arch.Read, 0)
+	clampD.AccessDoneBytes(0, 0, arch.Read, 4096)
+	if clampD.BytesMoved.Value() != 2*arch.BlockSize {
+		t.Errorf("clamping wrong: %d bytes", clampD.BytesMoved.Value())
+	}
+}
+
+func TestDRAMBankedRows(t *testing.T) {
+	cfg := DefaultDRAMConfig()
+	d, err := NewDRAM(newStore(t, 1<<24), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowStride := cfg.RowBytes * uint64(cfg.BanksPerChannel) * uint64(cfg.Channels)
+	// Two hot locations in different banks: alternating accesses all row-hit
+	// after the first pair.
+	a := arch.Phys(0)
+	b := arch.Phys(cfg.RowBytes * uint64(cfg.Channels)) // same channel? different bank row
+	_ = rowStride
+	d.AccessDone(0, a, arch.Read)
+	d.AccessDone(0, b, arch.Read)
+	d.AccessDone(0, a, arch.Read)
+	d.AccessDone(0, b, arch.Read)
+	if d.RowHits.Value() < 2 {
+		t.Errorf("banked rows: row hits = %d, want >= 2", d.RowHits.Value())
+	}
+}
+
+func TestDRAMStats(t *testing.T) {
+	d := defaultDRAM(t)
+	d.AccessDone(0, 0, arch.Read)
+	d.AccessDone(0, 128, arch.Write)
+	if d.Reads.Value() != 1 || d.Writes.Value() != 1 || d.Accesses() != 2 {
+		t.Error("access stats wrong")
+	}
+	if d.BytesMoved.Value() != 256 {
+		t.Errorf("bytes moved = %d, want 256", d.BytesMoved.Value())
+	}
+	if u := d.Utilization(1000000); u <= 0 {
+		t.Error("utilization should be positive")
+	}
+}

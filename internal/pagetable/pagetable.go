@@ -1,0 +1,275 @@
+// Package pagetable implements x86-64-style four-level page tables stored
+// inside simulated physical memory. The table pages themselves occupy
+// physical frames, and walking the table issues real memory reads, so page
+// walks consume simulated DRAM bandwidth exactly like the hardware walker
+// behind the paper's ATS does.
+//
+// Supported leaf sizes are 4 KB (level-1 leaves) and 2 MB huge pages
+// (level-2 leaves).
+package pagetable
+
+import (
+	"errors"
+	"fmt"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/memory"
+)
+
+// Levels is the number of table levels (L4 root down to L1 leaves).
+const Levels = 4
+
+// entriesPerTable is the fan-out of each level (512 8-byte entries per 4 KB
+// table page).
+const entriesPerTable = arch.PageSize / 8
+
+// Entry bit layout.
+const (
+	flagPresent = 1 << 0
+	flagRead    = 1 << 1
+	flagWrite   = 1 << 2
+	flagExec    = 1 << 3
+	flagHuge    = 1 << 4 // leaf at level 2 (2 MB page)
+	ppnShift    = arch.PageShift
+)
+
+// FrameAllocator hands out physical frames for table pages. The OS's frame
+// allocator satisfies this.
+type FrameAllocator interface {
+	AllocFrame() (arch.PPN, error)
+	FreeFrame(arch.PPN)
+}
+
+// Errors reported by table operations.
+var (
+	ErrNotMapped     = errors.New("pagetable: address not mapped")
+	ErrAlreadyMapped = errors.New("pagetable: address already mapped")
+	ErrMisaligned    = errors.New("pagetable: misaligned huge mapping")
+	ErrSplitHuge     = errors.New("pagetable: operation would split a huge page")
+)
+
+// Table is one process's page table.
+type Table struct {
+	store *memory.Store
+	alloc FrameAllocator
+	root  arch.PPN
+
+	mapped     uint64 // live 4 KB-equivalent leaf count
+	tablePages []arch.PPN
+}
+
+// New allocates an empty table, including its root frame.
+func New(store *memory.Store, alloc FrameAllocator) (*Table, error) {
+	root, err := alloc.AllocFrame()
+	if err != nil {
+		return nil, fmt.Errorf("pagetable: allocating root: %w", err)
+	}
+	store.ZeroPage(root)
+	return &Table{store: store, alloc: alloc, root: root, tablePages: []arch.PPN{root}}, nil
+}
+
+// Root returns the physical page holding the root table, i.e. the value an
+// OS would load into CR3.
+func (t *Table) Root() arch.PPN { return t.root }
+
+// MappedPages returns the number of mapped 4 KB-equivalent pages (a huge
+// page counts as 512).
+func (t *Table) MappedPages() uint64 { return t.mapped }
+
+// TablePages returns how many physical frames the table structure itself
+// occupies.
+func (t *Table) TablePages() int { return len(t.tablePages) }
+
+// index returns the entry index of v at the given level (4 = root).
+func index(v arch.Virt, level int) uint64 {
+	shift := arch.PageShift + 9*(level-1)
+	return (uint64(v) >> shift) % entriesPerTable
+}
+
+func entryAddr(table arch.PPN, idx uint64) arch.Phys {
+	return table.Base() + arch.Phys(idx*8)
+}
+
+func permFlags(p arch.Perm) uint64 {
+	var f uint64
+	if p.CanRead() {
+		f |= flagRead
+	}
+	if p.CanWrite() {
+		f |= flagWrite
+	}
+	if p.CanExec() {
+		f |= flagExec
+	}
+	return f
+}
+
+func flagsPerm(f uint64) arch.Perm {
+	var p arch.Perm
+	if f&flagRead != 0 {
+		p |= arch.PermRead
+	}
+	if f&flagWrite != 0 {
+		p |= arch.PermWrite
+	}
+	if f&flagExec != 0 {
+		p |= arch.PermExec
+	}
+	return p
+}
+
+// ensureTable returns the child table pointed to by entry idx of parent,
+// allocating and linking a fresh zeroed one when absent.
+func (t *Table) ensureTable(parent arch.PPN, idx uint64) (arch.PPN, error) {
+	ea := entryAddr(parent, idx)
+	e := t.store.ReadU64(ea)
+	if e&flagPresent != 0 {
+		if e&flagHuge != 0 {
+			return 0, ErrSplitHuge
+		}
+		return arch.PPN(e >> ppnShift), nil
+	}
+	frame, err := t.alloc.AllocFrame()
+	if err != nil {
+		return 0, fmt.Errorf("pagetable: allocating level table: %w", err)
+	}
+	t.store.ZeroPage(frame)
+	t.tablePages = append(t.tablePages, frame)
+	t.store.WriteU64(ea, uint64(frame)<<ppnShift|flagPresent)
+	return frame, nil
+}
+
+// Map installs a 4 KB translation vpn -> ppn with the given permissions.
+func (t *Table) Map(vpn arch.VPN, ppn arch.PPN, perm arch.Perm) error {
+	v := vpn.Base()
+	table := t.root
+	for level := Levels; level > 1; level-- {
+		next, err := t.ensureTable(table, index(v, level))
+		if err != nil {
+			return err
+		}
+		table = next
+	}
+	ea := entryAddr(table, index(v, 1))
+	if t.store.ReadU64(ea)&flagPresent != 0 {
+		return fmt.Errorf("%w: vpn %#x", ErrAlreadyMapped, vpn)
+	}
+	t.store.WriteU64(ea, uint64(ppn)<<ppnShift|permFlags(perm)|flagPresent)
+	t.mapped++
+	return nil
+}
+
+// MapHuge installs a 2 MB translation. Both page numbers must be 2 MB
+// aligned.
+func (t *Table) MapHuge(vpn arch.VPN, ppn arch.PPN, perm arch.Perm) error {
+	if !vpn.HugeAligned() || !ppn.HugeAligned() {
+		return ErrMisaligned
+	}
+	v := vpn.Base()
+	table := t.root
+	for level := Levels; level > 2; level-- {
+		next, err := t.ensureTable(table, index(v, level))
+		if err != nil {
+			return err
+		}
+		table = next
+	}
+	ea := entryAddr(table, index(v, 2))
+	if t.store.ReadU64(ea)&flagPresent != 0 {
+		return fmt.Errorf("%w: vpn %#x", ErrAlreadyMapped, vpn)
+	}
+	t.store.WriteU64(ea, uint64(ppn)<<ppnShift|permFlags(perm)|flagPresent|flagHuge)
+	t.mapped += arch.PagesPerHugePage
+	return nil
+}
+
+// leafEntry locates the leaf entry covering v. It returns the entry's
+// physical address, its value, the leaf level (1 or 2), and how many table
+// reads the lookup needed.
+func (t *Table) leafEntry(v arch.Virt) (ea arch.Phys, e uint64, level int, reads int, err error) {
+	table := t.root
+	for level = Levels; level >= 1; level-- {
+		ea = entryAddr(table, index(v, level))
+		e = t.store.ReadU64(ea)
+		reads++
+		if e&flagPresent == 0 {
+			return ea, e, level, reads, ErrNotMapped
+		}
+		if level == 1 || e&flagHuge != 0 {
+			return ea, e, level, reads, nil
+		}
+		table = arch.PPN(e >> ppnShift)
+	}
+	panic("pagetable: walk fell through")
+}
+
+// Translation is the result of a successful walk.
+type Translation struct {
+	PPN  arch.PPN  // physical page of the 4 KB page containing the address
+	Perm arch.Perm // leaf permissions
+	Huge bool      // true when the leaf is a 2 MB page
+	// Reads is the number of table-entry reads the walk performed; the ATS
+	// charges DRAM time for each.
+	Reads int
+}
+
+// Walk translates virtual address v.
+func (t *Table) Walk(v arch.Virt) (Translation, error) {
+	ea, e, level, reads, err := t.leafEntry(v)
+	_ = ea
+	if err != nil {
+		return Translation{Reads: reads}, fmt.Errorf("%w: %#x", err, v)
+	}
+	tr := Translation{Perm: flagsPerm(e), Reads: reads, Huge: level == 2}
+	base := arch.PPN(e >> ppnShift)
+	if tr.Huge {
+		tr.PPN = base + arch.PPN(uint64(v.PageOf())%arch.PagesPerHugePage)
+	} else {
+		tr.PPN = base
+	}
+	return tr, nil
+}
+
+// Protect rewrites the permissions of the leaf covering v and returns the
+// previous permissions. Protecting an unmapped address returns ErrNotMapped.
+func (t *Table) Protect(v arch.Virt, perm arch.Perm) (arch.Perm, error) {
+	ea, e, _, _, err := t.leafEntry(v)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %#x", err, v)
+	}
+	old := flagsPerm(e)
+	e = e&^uint64(flagRead|flagWrite|flagExec) | permFlags(perm)
+	t.store.WriteU64(ea, e)
+	return old, nil
+}
+
+// Unmap removes the leaf covering v and returns its translation. The freed
+// data frame is NOT returned to the allocator; ownership of data frames
+// stays with the OS.
+func (t *Table) Unmap(v arch.Virt) (Translation, error) {
+	ea, e, level, reads, err := t.leafEntry(v)
+	if err != nil {
+		return Translation{}, fmt.Errorf("%w: %#x", err, v)
+	}
+	tr := Translation{Perm: flagsPerm(e), Reads: reads, Huge: level == 2}
+	base := arch.PPN(e >> ppnShift)
+	if tr.Huge {
+		tr.PPN = base
+		t.mapped -= arch.PagesPerHugePage
+	} else {
+		tr.PPN = base
+		t.mapped--
+	}
+	t.store.WriteU64(ea, 0)
+	return tr, nil
+}
+
+// Release frees every frame used by the table structure itself. The table
+// must not be used afterwards.
+func (t *Table) Release() {
+	for _, p := range t.tablePages {
+		t.alloc.FreeFrame(p)
+	}
+	t.tablePages = nil
+	t.mapped = 0
+}

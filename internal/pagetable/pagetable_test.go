@@ -1,0 +1,254 @@
+package pagetable
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/memory"
+)
+
+// testAlloc is a trivial frame allocator for table pages.
+type testAlloc struct {
+	next  arch.PPN
+	limit arch.PPN
+	freed []arch.PPN
+}
+
+func (a *testAlloc) AllocFrame() (arch.PPN, error) {
+	if a.next >= a.limit {
+		return 0, errors.New("out of frames")
+	}
+	p := a.next
+	a.next++
+	return p, nil
+}
+
+func (a *testAlloc) FreeFrame(p arch.PPN) { a.freed = append(a.freed, p) }
+
+func newTable(t *testing.T) (*Table, *memory.Store, *testAlloc) {
+	t.Helper()
+	store, err := memory.NewStore(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := &testAlloc{next: 1, limit: arch.PPN(store.Pages())}
+	tbl, err := New(store, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, store, alloc
+}
+
+func TestMapWalk(t *testing.T) {
+	tbl, _, _ := newTable(t)
+	vpn, ppn := arch.VPN(0x12345), arch.PPN(0x678)
+	if err := tbl.Map(vpn, ppn, arch.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tbl.Walk(vpn.Base() + 0x123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.PPN != ppn || !tr.Perm.CanRead() || !tr.Perm.CanWrite() || tr.Huge {
+		t.Errorf("walk = %+v", tr)
+	}
+	if tr.Reads != Levels {
+		t.Errorf("walk reads = %d, want %d", tr.Reads, Levels)
+	}
+	if tbl.MappedPages() != 1 {
+		t.Errorf("mapped = %d, want 1", tbl.MappedPages())
+	}
+}
+
+func TestWalkUnmapped(t *testing.T) {
+	tbl, _, _ := newTable(t)
+	if _, err := tbl.Walk(0x1000); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("walk of unmapped = %v, want ErrNotMapped", err)
+	}
+	// Sibling mapped, target still unmapped: the walk descends further
+	// before failing.
+	if err := tbl.Map(1, 42, arch.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Walk(arch.VPN(2).Base()); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("walk of sibling = %v, want ErrNotMapped", err)
+	}
+}
+
+func TestDoubleMap(t *testing.T) {
+	tbl, _, _ := newTable(t)
+	if err := tbl.Map(7, 8, arch.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Map(7, 9, arch.PermRead); !errors.Is(err, ErrAlreadyMapped) {
+		t.Errorf("double map = %v, want ErrAlreadyMapped", err)
+	}
+}
+
+func TestProtect(t *testing.T) {
+	tbl, _, _ := newTable(t)
+	vpn := arch.VPN(0x40)
+	if err := tbl.Map(vpn, 5, arch.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	old, err := tbl.Protect(vpn.Base(), arch.PermRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != arch.PermRW {
+		t.Errorf("old perm = %v, want rw", old)
+	}
+	tr, _ := tbl.Walk(vpn.Base())
+	if tr.Perm != arch.PermRead || tr.PPN != 5 {
+		t.Errorf("after protect: %+v", tr)
+	}
+	if _, err := tbl.Protect(0xdead000, arch.PermRead); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("protect unmapped = %v", err)
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	tbl, _, _ := newTable(t)
+	if err := tbl.Map(3, 4, arch.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tbl.Unmap(arch.VPN(3).Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.PPN != 4 {
+		t.Errorf("unmap returned ppn %d", tr.PPN)
+	}
+	if tbl.MappedPages() != 0 {
+		t.Error("mapped count not decremented")
+	}
+	if _, err := tbl.Walk(arch.VPN(3).Base()); !errors.Is(err, ErrNotMapped) {
+		t.Error("page still walks after unmap")
+	}
+	// Remappable after unmap.
+	if err := tbl.Map(3, 9, arch.PermRW); err != nil {
+		t.Errorf("remap after unmap: %v", err)
+	}
+}
+
+func TestHugePages(t *testing.T) {
+	tbl, _, _ := newTable(t)
+	if err := tbl.MapHuge(3, 512, arch.PermRW); !errors.Is(err, ErrMisaligned) {
+		t.Errorf("misaligned vpn = %v", err)
+	}
+	if err := tbl.MapHuge(512, 3, arch.PermRW); !errors.Is(err, ErrMisaligned) {
+		t.Errorf("misaligned ppn = %v", err)
+	}
+	if err := tbl.MapHuge(1024, 2048, arch.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.MappedPages() != arch.PagesPerHugePage {
+		t.Errorf("mapped = %d, want %d", tbl.MappedPages(), arch.PagesPerHugePage)
+	}
+	// Any 4 KB page inside translates with the right sub-frame.
+	tr, err := tbl.Walk(arch.VPN(1024+37).Base() + 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Huge || tr.PPN != 2048+37 {
+		t.Errorf("huge walk = %+v", tr)
+	}
+	if tr.Reads != Levels-1 {
+		t.Errorf("huge walk reads = %d, want %d", tr.Reads, Levels-1)
+	}
+	// A 4 KB mapping cannot split the huge leaf.
+	if err := tbl.Map(1024+5, 7, arch.PermRead); !errors.Is(err, ErrSplitHuge) {
+		t.Errorf("split huge = %v", err)
+	}
+}
+
+func TestHugeUnmap(t *testing.T) {
+	tbl, _, _ := newTable(t)
+	if err := tbl.MapHuge(512, 512, arch.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tbl.Unmap(arch.VPN(512 + 100).Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Huge || tr.PPN != 512 {
+		t.Errorf("huge unmap = %+v", tr)
+	}
+	if tbl.MappedPages() != 0 {
+		t.Error("huge unmap did not clear mapped count")
+	}
+}
+
+func TestTablePagesAccounting(t *testing.T) {
+	tbl, _, alloc := newTable(t)
+	if tbl.TablePages() != 1 {
+		t.Errorf("fresh table pages = %d, want 1 (root)", tbl.TablePages())
+	}
+	// One 4 KB mapping needs the full 4-level spine.
+	if err := tbl.Map(0x12345, 1, arch.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.TablePages() != Levels {
+		t.Errorf("table pages = %d, want %d", tbl.TablePages(), Levels)
+	}
+	// A neighbor in the same leaf table adds nothing.
+	if err := tbl.Map(0x12346, 2, arch.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.TablePages() != Levels {
+		t.Error("sibling mapping should reuse tables")
+	}
+	pages := tbl.TablePages()
+	tbl.Release()
+	if len(alloc.freed) != pages {
+		t.Errorf("released %d frames, want %d", len(alloc.freed), pages)
+	}
+}
+
+func TestWalksReadSimulatedMemory(t *testing.T) {
+	// The table lives in the store: clobbering the root in memory breaks
+	// translation, proving walks really read simulated memory.
+	tbl, store, _ := newTable(t)
+	if err := tbl.Map(0x42, 0x99, arch.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	store.ZeroPage(tbl.Root())
+	if _, err := tbl.Walk(arch.VPN(0x42).Base()); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("walk after root clobber = %v, want ErrNotMapped", err)
+	}
+}
+
+func TestRandomMapWalkConsistency(t *testing.T) {
+	tbl, _, _ := newTable(t)
+	rng := rand.New(rand.NewSource(11))
+	ref := make(map[arch.VPN]arch.PPN)
+	perms := []arch.Perm{arch.PermRead, arch.PermRW, arch.PermRead | arch.PermExec}
+	refPerm := make(map[arch.VPN]arch.Perm)
+	for i := 0; i < 2000; i++ {
+		vpn := arch.VPN(rng.Intn(1 << 20))
+		if _, ok := ref[vpn]; ok {
+			continue
+		}
+		ppn := arch.PPN(rng.Intn(1 << 20))
+		perm := perms[rng.Intn(len(perms))]
+		if err := tbl.Map(vpn, ppn, perm); err != nil {
+			t.Fatal(err)
+		}
+		ref[vpn] = ppn
+		refPerm[vpn] = perm
+	}
+	for vpn, ppn := range ref {
+		tr, err := tbl.Walk(vpn.Base() + arch.Virt(rand.Intn(arch.PageSize)))
+		if err != nil {
+			t.Fatalf("walk %#x: %v", vpn, err)
+		}
+		if tr.PPN != ppn || tr.Perm != refPerm[vpn] {
+			t.Fatalf("walk %#x = (%#x,%v), want (%#x,%v)", vpn, tr.PPN, tr.Perm, ppn, refPerm[vpn])
+		}
+	}
+	if tbl.MappedPages() != uint64(len(ref)) {
+		t.Errorf("mapped = %d, want %d", tbl.MappedPages(), len(ref))
+	}
+}

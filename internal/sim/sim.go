@@ -1,0 +1,167 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Time is kept in integer picoseconds so that components in different clock
+// domains (a 3 GHz CPU, a 700 MHz GPU, a DRAM channel) can schedule events
+// on one shared timeline without rounding drift. A Clock converts between a
+// domain's cycles and picoseconds.
+//
+// Determinism: events at the same timestamp fire in the order they were
+// scheduled (FIFO by sequence number), so a run is a pure function of its
+// inputs.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a simulation timestamp in picoseconds.
+type Time uint64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Clock describes a clock domain by its period. The zero Clock is invalid;
+// use NewClock.
+type Clock struct {
+	period Time // picoseconds per cycle
+}
+
+// NewClock returns a clock domain running at hz cycles per second.
+// Frequencies above 1 THz or below 1 Hz are rejected.
+func NewClock(hz float64) (Clock, error) {
+	if hz <= 0 || hz > 1e12 || math.IsNaN(hz) {
+		return Clock{}, fmt.Errorf("sim: invalid clock frequency %v Hz", hz)
+	}
+	p := Time(math.Round(1e12 / hz))
+	if p == 0 {
+		p = 1
+	}
+	return Clock{period: p}, nil
+}
+
+// MustClock is NewClock for known-good constants; it panics on error.
+func MustClock(hz float64) Clock {
+	c, err := NewClock(hz)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Period returns the picoseconds per cycle of this domain.
+func (c Clock) Period() Time { return c.period }
+
+// Cycles converts a cycle count in this domain to a duration.
+func (c Clock) Cycles(n uint64) Time { return Time(n) * c.period }
+
+// CyclesAt returns how many full cycles of this domain fit in t.
+func (c Clock) CyclesAt(t Time) uint64 {
+	if c.period == 0 {
+		return 0
+	}
+	return uint64(t / c.period)
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero Engine is ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns how many events are scheduled but not yet executed.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a component bug, never valid input.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil event")
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d picoseconds from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Step executes the single next event. It reports false if no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty and returns the final time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// simulated clock to the deadline. Events scheduled beyond the deadline stay
+// queued. It reports how many events fired.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	var n uint64
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+		n++
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return n
+}
+
+// RunFor runs for d picoseconds past the current time (see RunUntil).
+func (e *Engine) RunFor(d Time) uint64 { return e.RunUntil(e.now + d) }

@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestClock(t *testing.T) {
+	c, err := NewClock(700e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Period(); got != 1429 {
+		t.Errorf("700 MHz period = %d ps, want 1429", got)
+	}
+	if got := c.Cycles(100); got != 142900 {
+		t.Errorf("100 cycles = %d ps, want 142900", got)
+	}
+	if got := c.CyclesAt(142900); got != 100 {
+		t.Errorf("CyclesAt(142900) = %d, want 100", got)
+	}
+}
+
+func TestClockErrors(t *testing.T) {
+	for _, hz := range []float64{0, -1, 2e12} {
+		if _, err := NewClock(hz); err == nil {
+			t.Errorf("NewClock(%v) should fail", hz)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustClock(0) should panic")
+		}
+	}()
+	MustClock(0)
+}
+
+func TestEngineOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("events fired out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Errorf("final time %d, want 30", e.Now())
+	}
+	if e.Fired() != 3 {
+		t.Errorf("fired %d, want 3", e.Fired())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-timestamp events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed int64) []Time {
+		var e Engine
+		var log []Time
+		rng := rand.New(rand.NewSource(seed))
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			log = append(log, e.Now())
+			if depth < 4 {
+				for i := 0; i < 3; i++ {
+					e.After(Time(rng.Intn(100)+1), func() { spawn(depth + 1) })
+				}
+			}
+		}
+		e.At(0, func() { spawn(0) })
+		e.Run()
+		return log
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	var e Engine
+	e.At(100, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past should panic")
+		}
+	}()
+	e.At(50, func() {})
+}
+
+func TestEngineNilEventPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Error("nil event should panic")
+		}
+	}()
+	e.At(1, nil)
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	n := e.RunUntil(25)
+	if n != 2 || len(fired) != 2 {
+		t.Fatalf("RunUntil(25) fired %d events, want 2", n)
+	}
+	if e.Now() != 25 {
+		t.Errorf("now = %d, want 25", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", e.Pending())
+	}
+	e.RunFor(10)
+	if len(fired) != 3 || e.Now() != 35 {
+		t.Errorf("RunFor(10): fired=%v now=%d", fired, e.Now())
+	}
+}
+
+func TestEventsNeverFireOutOfOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		var e Engine
+		var fired []Time
+		for _, d := range delays {
+			at := Time(d)
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResource(t *testing.T) {
+	r := NewResource(10)
+	if done := r.Claim(0); done != 10 {
+		t.Errorf("first claim done at %d, want 10", done)
+	}
+	if done := r.Claim(0); done != 20 {
+		t.Errorf("queued claim done at %d, want 20", done)
+	}
+	if done := r.Claim(100); done != 110 {
+		t.Errorf("idle claim done at %d, want 110", done)
+	}
+	if r.Grants() != 3 {
+		t.Errorf("grants = %d, want 3", r.Grants())
+	}
+	if r.BusyTime() != 30 {
+		t.Errorf("busy = %d, want 30", r.BusyTime())
+	}
+	if u := r.Utilization(300); u != 0.1 {
+		t.Errorf("utilization = %v, want 0.1", u)
+	}
+	if u := r.Utilization(0); u != 0 {
+		t.Errorf("utilization at t=0 = %v, want 0", u)
+	}
+}
+
+func TestResourceClaimN(t *testing.T) {
+	r := NewResource(10)
+	if done := r.ClaimN(0, 5); done != 50 {
+		t.Errorf("burst done at %d, want 50", done)
+	}
+	if r.Grants() != 5 {
+		t.Errorf("grants = %d, want 5", r.Grants())
+	}
+}
+
+func TestResourceClaimFor(t *testing.T) {
+	r := NewResource(10)
+	if done := r.ClaimFor(0, 2); done != 2 {
+		t.Errorf("narrow claim done at %d, want 2", done)
+	}
+	if done := r.ClaimFor(0, 0); done != 3 {
+		t.Errorf("zero-service claim should take 1, done at %d", done)
+	}
+	if r.Service() != 10 {
+		t.Errorf("service = %d, want 10", r.Service())
+	}
+}
+
+func TestResourceMonotoneUnderLoad(t *testing.T) {
+	// Claims arriving in nondecreasing time order complete in order.
+	f := func(gaps []uint8) bool {
+		r := NewResource(7)
+		var at, last Time
+		for _, g := range gaps {
+			at += Time(g)
+			done := r.Claim(at)
+			if done < last || done < at+7 {
+				return false
+			}
+			last = done
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

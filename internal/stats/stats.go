@@ -1,0 +1,141 @@
+// Package stats provides the lightweight counters and summaries the
+// simulator components use to report what happened during a run: hit/miss
+// counters, rates over simulated time, and small distributions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Ratio returns c / (c + other), or 0 when both are zero. It is the common
+// hit-ratio shape: hits.Ratio(misses).
+func (c *Counter) Ratio(other *Counter) float64 {
+	total := c.n + other.n
+	if total == 0 {
+		return 0
+	}
+	return float64(c.n) / float64(total)
+}
+
+// HitMiss pairs the two counters every cache-like structure needs.
+type HitMiss struct {
+	Hits   Counter
+	Misses Counter
+}
+
+// Accesses returns hits + misses.
+func (h *HitMiss) Accesses() uint64 { return h.Hits.Value() + h.Misses.Value() }
+
+// HitRatio returns hits / accesses (0 when no accesses).
+func (h *HitMiss) HitRatio() float64 { return h.Hits.Ratio(&h.Misses) }
+
+// MissRatio returns misses / accesses (0 when no accesses).
+func (h *HitMiss) MissRatio() float64 { return h.Misses.Ratio(&h.Hits) }
+
+// Record adds a hit or a miss.
+func (h *HitMiss) Record(hit bool) {
+	if hit {
+		h.Hits.Inc()
+	} else {
+		h.Misses.Inc()
+	}
+}
+
+// Reset zeroes both counters.
+func (h *HitMiss) Reset() {
+	h.Hits.Reset()
+	h.Misses.Reset()
+}
+
+// Set is a named collection of counters, handy for component dumps.
+type Set struct {
+	names  []string
+	values map[string]*Counter
+}
+
+// NewSet returns an empty counter set.
+func NewSet() *Set {
+	return &Set{values: make(map[string]*Counter)}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+func (s *Set) Counter(name string) *Counter {
+	if c, ok := s.values[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	s.values[name] = c
+	s.names = append(s.names, name)
+	return c
+}
+
+// Snapshot returns the current name->value map.
+func (s *Set) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(s.values))
+	for name, c := range s.values {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// String renders the set sorted by name, one counter per line.
+func (s *Set) String() string {
+	names := append([]string(nil), s.names...)
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s=%d\n", name, s.values[name].Value())
+	}
+	return b.String()
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMeanOverhead returns the geometric mean of (1+x) minus 1 for the given
+// overhead fractions. The paper reports geometric-mean runtime overheads;
+// overheads can be slightly negative due to measurement noise, which the
+// (1+x) shift tolerates.
+func GeoMeanOverhead(overheads []float64) float64 {
+	if len(overheads) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, x := range overheads {
+		f := 1 + x
+		if f <= 0 {
+			f = 1e-9
+		}
+		prod *= f
+	}
+	return math.Pow(prod, 1/float64(len(overheads))) - 1
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Errorf("value = %d, want 10", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var a, b Counter
+	if a.Ratio(&b) != 0 {
+		t.Error("0/0 should be 0")
+	}
+	a.Add(3)
+	b.Add(1)
+	if got := a.Ratio(&b); got != 0.75 {
+		t.Errorf("ratio = %v, want 0.75", got)
+	}
+}
+
+func TestHitMiss(t *testing.T) {
+	var h HitMiss
+	h.Record(true)
+	h.Record(true)
+	h.Record(false)
+	if h.Accesses() != 3 {
+		t.Errorf("accesses = %d, want 3", h.Accesses())
+	}
+	if math.Abs(h.HitRatio()-2.0/3) > 1e-12 {
+		t.Errorf("hit ratio = %v", h.HitRatio())
+	}
+	if math.Abs(h.MissRatio()-1.0/3) > 1e-12 {
+		t.Errorf("miss ratio = %v", h.MissRatio())
+	}
+	if math.Abs(h.HitRatio()+h.MissRatio()-1) > 1e-12 {
+		t.Error("ratios should sum to 1")
+	}
+	h.Reset()
+	if h.Accesses() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet()
+	s.Counter("b").Add(2)
+	s.Counter("a").Inc()
+	s.Counter("b").Inc() // same counter
+	snap := s.Snapshot()
+	if snap["a"] != 1 || snap["b"] != 3 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	str := s.String()
+	if !strings.Contains(str, "a=1") || !strings.Contains(str, "b=3") {
+		t.Errorf("String() = %q", str)
+	}
+	if strings.Index(str, "a=1") > strings.Index(str, "b=3") {
+		t.Error("String() should be sorted by name")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("mean of empty should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v, want 2", got)
+	}
+}
+
+func TestGeoMeanOverhead(t *testing.T) {
+	if GeoMeanOverhead(nil) != 0 {
+		t.Error("empty should be 0")
+	}
+	// Uniform overhead is its own geomean.
+	if got := GeoMeanOverhead([]float64{0.5, 0.5, 0.5}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("uniform geomean = %v, want 0.5", got)
+	}
+	// (1+1)(1+0) -> sqrt(2)-1.
+	if got := GeoMeanOverhead([]float64{1, 0}); math.Abs(got-(math.Sqrt2-1)) > 1e-12 {
+		t.Errorf("geomean = %v, want sqrt(2)-1", got)
+	}
+	// Tolerates slightly negative overheads.
+	if got := GeoMeanOverhead([]float64{-0.01, 0.01}); math.Abs(got) > 1e-3 {
+		t.Errorf("near-zero mix = %v", got)
+	}
+	// Degenerate -100% doesn't produce NaN.
+	if got := GeoMeanOverhead([]float64{-1}); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("degenerate input produced %v", got)
+	}
+}

@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"bordercontrol/internal/accel"
+	"bordercontrol/internal/hostos"
+)
+
+// BuildBackprop generates the backprop benchmark: one training step of a
+// two-layer perceptron — forward pass through a hidden layer, output error,
+// and a weight-update backward pass. The access pattern is regular: each
+// hidden unit streams a long weight row while reusing the (cached) input
+// vector, which is why backprop generates the fewest border crossings per
+// cycle of the suite (paper Figure 5).
+func BuildBackprop(p *hostos.Process, scale int) (*accel.Program, error) {
+	return run(func() *accel.Program {
+		if scale < 1 {
+			scale = 1
+		}
+		in := 128 * scale
+		hid := 384
+		// in*hid*4 = 192 KB: lives in the 256 KB L2 after first touch.
+		out := 32
+
+		input := allocF32(p, in)
+		w1 := allocF32(p, in*hid) // hidden weights, row per hidden unit
+		hidden := allocF32(p, hid)
+		w2 := allocF32(p, hid*out)
+		output := allocF32(p, out)
+		target := allocF32(p, out)
+		delta := allocF32(p, out)
+
+		r := newRNG(42)
+		for i := 0; i < in; i++ {
+			input.set(i, r.float())
+		}
+		for i := 0; i < in*hid; i++ {
+			w1.set(i, r.float()*0.1)
+		}
+		for i := 0; i < hid*out; i++ {
+			w2.set(i, r.float()*0.1)
+		}
+		for i := 0; i < out; i++ {
+			target.set(i, r.float())
+		}
+
+		prog := &accel.Program{Name: "backprop"}
+
+		const epochs = 3
+		for epoch := 0; epoch < epochs; epoch++ {
+
+			// Phase 1: forward, input -> hidden. One wavefront per hidden unit
+			// group; each streams its weight rows against the shared input.
+			const group = 1 // hidden units per wavefront
+			fwd := newPhase("layerforward")
+			for h0 := 0; h0 < hid; h0 += group {
+				w := fwd.wavefront()
+				for h := h0; h < h0+group && h < hid; h++ {
+					sum := float32(0)
+					for i := 0; i < in; i += 32 {
+						xs := w.loadF32s(input, i, 32)
+						ws := w.loadF32s(w1, h*in+i, 32)
+						w.compute(16)
+						for k := range xs {
+							sum += xs[k] * ws[k]
+						}
+					}
+					w.compute(8)
+					w.storeF32(hidden, h, squash(sum))
+				}
+			}
+			prog.Phases = append(prog.Phases, fwd.build())
+
+			// Phase 2: forward, hidden -> output, plus output error.
+			fwd2 := newPhase("layerforward2")
+			for o := 0; o < out; o++ {
+				w := fwd2.wavefront()
+				sum := float32(0)
+				for h := 0; h < hid; h += 32 {
+					hs := w.loadF32s(hidden, h, 32)
+					ws := w.loadF32s(w2, o*hid+h, 32)
+					w.compute(16)
+					for k := range hs {
+						sum += hs[k] * ws[k]
+					}
+				}
+				y := squash(sum)
+				w.storeF32(output, o, y)
+				t := w.loadF32(target, o)
+				w.compute(6)
+				w.storeF32(delta, o, y*(1-y)*(t-y))
+			}
+			prog.Phases = append(prog.Phases, fwd2.build())
+
+			// Phase 3: weight update (adjust_weights): stream w1 again, adding
+			// the propagated error signal.
+			const eta = float32(0.3)
+			upd := newPhase("adjustweights")
+			// Hidden-layer error folded into a per-hidden scalar first
+			// (computed by the same wavefront that updates the unit's row).
+			for h0 := 0; h0 < hid; h0 += group {
+				w := upd.wavefront()
+				for h := h0; h < h0+group && h < hid; h++ {
+					hv := w.loadF32(hidden, h)
+					errH := float32(0)
+					for o := 0; o < out; o += 32 {
+						n := 32
+						if out-o < n {
+							n = out - o
+						}
+						ds := w.loadF32s(delta, o, n)
+						for k := 0; k < n; k++ {
+							errH += ds[k] * w2.get((o+k)*hid+h)
+						}
+					}
+					errH *= hv * (1 - hv)
+					w.compute(10)
+					for i := 0; i < in; i += 32 {
+						xs := w.loadF32s(input, i, 32)
+						ws := w.loadF32s(w1, h*in+i, 32)
+						w.compute(16)
+						upd32 := make([]float32, 32)
+						for k := range xs {
+							upd32[k] = ws[k] + eta*errH*xs[k]
+						}
+						w.storeF32s(w1, h*in+i, upd32)
+					}
+				}
+			}
+			prog.Phases = append(prog.Phases, upd.build())
+		}
+
+		// Expected outputs captured from the functional run.
+		wantHidden := make([]float32, hid)
+		for h := 0; h < hid; h++ {
+			wantHidden[h] = hidden.get(h)
+		}
+		wantOut := make([]float32, out)
+		for o := 0; o < out; o++ {
+			wantOut[o] = output.get(o)
+		}
+		checkHidden := expectF32(hidden, wantHidden, 1e-5)
+		checkOut := expectF32(output, wantOut, 1e-5)
+		prog.Verify = func(pr *hostos.Process) error {
+			if err := checkHidden(pr); err != nil {
+				return err
+			}
+			return checkOut(pr)
+		}
+		return prog
+	})
+}
+
+// squash is the logistic activation used by Rodinia's backprop.
+func squash(x float32) float32 {
+	// 1/(1+e^-x) via a few terms is enough for a workload generator; use
+	// the real thing for determinism across runs.
+	return float32(1.0 / (1.0 + exp64(-float64(x))))
+}

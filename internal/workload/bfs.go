@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+
+	"bordercontrol/internal/accel"
+	"bordercontrol/internal/hostos"
+)
+
+// BuildBFS generates the bfs benchmark: level-synchronous breadth-first
+// search over a random CSR graph. Every level is one kernel launch (phase);
+// wavefronts take chunks of the frontier, read row pointers, stream edge
+// lists, and probe the cost array at data-dependent neighbor indices. The
+// neighbor probes make bfs the most irregular workload of the suite and the
+// heaviest generator of border requests per cycle (paper Figure 5).
+func BuildBFS(p *hostos.Process, scale int) (*accel.Program, error) {
+	return run(func() *accel.Program {
+		if scale < 1 {
+			scale = 1
+		}
+		nodes := 32768 * scale
+		degree := 12
+
+		r := newRNG(7)
+		// Build a connected-ish random graph in CSR form.
+		adj := make([][]int, nodes)
+		for v := 0; v < nodes; v++ {
+			outs := make([]int, 0, degree+1)
+			if v > 0 {
+				outs = append(outs, r.intn(v)) // back edge keeps it reachable
+			}
+			for len(outs) < degree {
+				outs = append(outs, r.intn(nodes))
+			}
+			adj[v] = sortedUnique(outs)
+		}
+		edges := 0
+		for _, a := range adj {
+			edges += len(a)
+		}
+
+		rowPtr := allocI32(p, nodes+1)
+		colIdx := allocI32(p, edges)
+		cost := allocI32(p, nodes)
+
+		e := 0
+		for v := 0; v < nodes; v++ {
+			rowPtr.set(v, int32(e))
+			for _, u := range adj[v] {
+				colIdx.set(e, int32(u))
+				e++
+			}
+		}
+		rowPtr.set(nodes, int32(e))
+		for v := 0; v < nodes; v++ {
+			cost.set(v, -1)
+		}
+		cost.set(0, 0)
+
+		prog := &accel.Program{Name: "bfs"}
+
+		const chunk = 64 // frontier nodes per wavefront
+		frontier := []int{0}
+		level := int32(0)
+		for len(frontier) > 0 {
+			ph := newPhase(fmt.Sprintf("level-%d", level))
+			var next []int
+			for c0 := 0; c0 < len(frontier); c0 += chunk {
+				w := ph.wavefront()
+				hi := c0 + chunk
+				if hi > len(frontier) {
+					hi = len(frontier)
+				}
+				for _, v := range frontier[c0:hi] {
+					// Row bounds: two adjacent ints, one coalesced access.
+					bounds := w.loadI32s(rowPtr, v, 2)
+					start, end := int(bounds[0]), int(bounds[1])
+					if end <= start {
+						continue
+					}
+					// Edge list: streaming, coalesced.
+					nbrs := w.loadI32s(colIdx, start, end-start)
+					for _, un := range nbrs {
+						u := int(un)
+						// Data-dependent probe of the cost array: the
+						// irregular access that defeats coalescing.
+						cu := w.loadI32(cost, u)
+						w.compute(2)
+						if cu < 0 {
+							w.storeI32(cost, u, level+1)
+							next = append(next, u)
+						}
+					}
+				}
+			}
+			prog.Phases = append(prog.Phases, ph.build())
+			frontier = next
+			level++
+		}
+
+		want := make([]int32, nodes)
+		for v := 0; v < nodes; v++ {
+			want[v] = cost.get(v)
+		}
+		prog.Verify = expectI32(cost, want)
+		return prog
+	})
+}

@@ -1,0 +1,8 @@
+package workload
+
+import "math"
+
+func f32bits(f float32) uint32     { return math.Float32bits(f) }
+func f32frombits(b uint32) float32 { return math.Float32frombits(b) }
+func exp64(x float64) float64      { return math.Exp(x) }
+func sqrt64(x float64) float64     { return math.Sqrt(x) }

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+
+	"bordercontrol/internal/accel"
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/hostos"
+	"bordercontrol/internal/memory"
+)
+
+// TestGenerationErrorsSurfaceAsErrors: the helper panics inside a builder
+// convert back to ordinary errors at the Build boundary (the run/check
+// recover pair), rather than crashing the caller.
+func TestGenerationErrorsSurfaceAsErrors(t *testing.T) {
+	// A machine too small to hold any workload: allocation fails mid-build.
+	store, err := memory.NewStore(64 * arch.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := hostos.New(store).NewProcess("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range All() {
+		if _, err := spec.Build(p, 1); err == nil {
+			t.Errorf("%s: building in a 256 KB machine should fail cleanly", spec.Name)
+		} else if !errors.Is(err, hostos.ErrOutOfMemory) {
+			t.Errorf("%s: error %v does not unwrap to ErrOutOfMemory", spec.Name, err)
+		}
+		if p.Dead() {
+			t.Fatalf("%s: build failure killed the process", spec.Name)
+		}
+	}
+}
+
+// TestForeignPanicsPropagate: run() only converts the package's own
+// generation errors; any other panic is a bug and must escape.
+func TestForeignPanicsPropagate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("foreign panic was swallowed")
+		}
+	}()
+	_, _ = run(func() *accel.Program { panic("unrelated bug") })
+}
+
+// TestRNGDeterminism: the xorshift generator is stable across calls with
+// the same seed (workload reproducibility depends on it).
+func TestRNGDeterminism(t *testing.T) {
+	a, b := newRNG(42), newRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.next() != b.next() {
+			t.Fatal("rng diverged")
+		}
+	}
+	// Zero seed is remapped, not degenerate.
+	z := newRNG(0)
+	if z.next() == 0 && z.next() == 0 {
+		t.Error("zero-seed rng is stuck")
+	}
+	// intn stays in range; float stays in [0,1).
+	r := newRNG(7)
+	for i := 0; i < 1000; i++ {
+		if n := r.intn(13); n < 0 || n >= 13 {
+			t.Fatalf("intn out of range: %d", n)
+		}
+		if f := r.float(); f < 0 || f >= 1 {
+			t.Fatalf("float out of range: %v", f)
+		}
+	}
+}
+
+func TestSortedUnique(t *testing.T) {
+	got := sortedUnique([]int{5, 3, 5, 1, 3, 3})
+	want := []int{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+	if out := sortedUnique(nil); len(out) != 0 {
+		t.Error("nil input should stay empty")
+	}
+}

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"fmt"
+
+	"bordercontrol/internal/accel"
+	"bordercontrol/internal/hostos"
+)
+
+// BuildHotspot generates the hotspot benchmark: an iterative 2-D thermal
+// simulation. Each iteration reads a temperature grid and a power grid and
+// writes the next temperature grid (ping-pong buffers), a 5-point stencil
+// with strong spatial locality: each row's blocks are read three times
+// across consecutive wavefronts but usually hit in the L2.
+func BuildHotspot(p *hostos.Process, scale int) (*accel.Program, error) {
+	return run(func() *accel.Program {
+		if scale < 1 {
+			scale = 1
+		}
+		rows := 128 * scale
+		cols := 160
+		iters := 4
+
+		tempA := allocF32(p, rows*cols)
+		tempB := allocF32(p, rows*cols)
+		power := allocF32(p, rows*cols)
+
+		r := newRNG(99)
+		for i := 0; i < rows*cols; i++ {
+			tempA.set(i, 324+10*r.float())
+			power.set(i, r.float()*0.5)
+		}
+
+		const (
+			cap   = float32(0.5)
+			rx    = float32(1.0)
+			ry    = float32(1.0)
+			rz    = float32(4.0)
+			amb   = float32(80.0)
+			rowsW = 1 // rows per wavefront
+		)
+
+		prog := &accel.Program{Name: "hotspot"}
+		src, dst := tempA, tempB
+		for it := 0; it < iters; it++ {
+			ph := newPhase(fmt.Sprintf("iter-%d", it))
+			for r0 := 0; r0 < rows; r0 += rowsW {
+				w := ph.wavefront()
+				for row := r0; row < r0+rowsW && row < rows; row++ {
+					for c0 := 0; c0 < cols; c0 += 32 {
+						cur := w.loadF32s(src, row*cols+c0, 32)
+						up := cur
+						if row > 0 {
+							up = w.loadF32s(src, (row-1)*cols+c0, 32)
+						}
+						down := cur
+						if row < rows-1 {
+							down = w.loadF32s(src, (row+1)*cols+c0, 32)
+						}
+						pw := w.loadF32s(power, row*cols+c0, 32)
+						w.compute(24)
+						out := make([]float32, 32)
+						for k := 0; k < 32; k++ {
+							c := row*cols + c0 + k
+							left := cur[k]
+							if c0+k > 0 {
+								left = src.get(c - 1)
+							}
+							right := cur[k]
+							if c0+k < cols-1 {
+								right = src.get(c + 1)
+							}
+							delta := (cap / rz) * (pw[k] +
+								(up[k]+down[k]-2*cur[k])/ry +
+								(left+right-2*cur[k])/rx +
+								(amb-cur[k])/rz)
+							out[k] = cur[k] + delta
+						}
+						w.storeF32s(dst, row*cols+c0, out)
+					}
+				}
+			}
+			prog.Phases = append(prog.Phases, ph.build())
+			src, dst = dst, src
+		}
+
+		// Final result lives in src after the last swap.
+		want := make([]float32, rows*cols)
+		for i := range want {
+			want[i] = src.get(i)
+		}
+		prog.Verify = expectF32(src, want, 1e-4)
+		return prog
+	})
+}

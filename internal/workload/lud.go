@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"fmt"
+
+	"bordercontrol/internal/accel"
+	"bordercontrol/internal/hostos"
+)
+
+// BuildLUD generates the lud benchmark: in-place LU decomposition (Doolittle,
+// no pivoting) of a diagonally-dominant matrix. Rodinia's lud proceeds in
+// steps: for each k, one kernel scales the k-th column below the diagonal
+// and updates the trailing submatrix. The working set shrinks as k grows,
+// producing the regular-but-triangular pattern the paper cites as lud's
+// signature.
+func BuildLUD(p *hostos.Process, scale int) (*accel.Program, error) {
+	return run(func() *accel.Program {
+		if scale < 1 {
+			scale = 1
+		}
+		n := 128 * scale
+
+		m := allocF32(p, n*n)
+		r := newRNG(2024)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := r.float()
+				if i == j {
+					v += float32(n) // diagonal dominance keeps it stable
+				}
+				m.set(i*n+j, v)
+			}
+		}
+
+		prog := &accel.Program{Name: "lud"}
+		const rowsW = 1 // trailing rows per wavefront
+
+		for k := 0; k < n-1; k++ {
+			ph := newPhase(fmt.Sprintf("step-%d", k))
+			pivot := m.get(k*n + k)
+			for i0 := k + 1; i0 < n; i0 += rowsW {
+				w := ph.wavefront()
+				// The pivot row is shared by every wavefront: high reuse.
+				for i := i0; i < i0+rowsW && i < n; i++ {
+					aik := w.loadF32(m, i*n+k)
+					w.compute(8)
+					l := aik / pivot
+					w.storeF32(m, i*n+k, l)
+					for j0 := k + 1; j0 < n; j0 += 32 {
+						nn := 32
+						if n-j0 < nn {
+							nn = n - j0
+						}
+						pr := w.loadF32s(m, k*n+j0, nn)
+						row := w.loadF32s(m, i*n+j0, nn)
+						w.compute(16)
+						out := make([]float32, nn)
+						for t := 0; t < nn; t++ {
+							out[t] = row[t] - l*pr[t]
+						}
+						w.storeF32s(m, i*n+j0, out)
+					}
+				}
+			}
+			prog.Phases = append(prog.Phases, ph.build())
+		}
+
+		want := make([]float32, n*n)
+		for i := range want {
+			want[i] = m.get(i)
+		}
+		prog.Verify = expectF32(m, want, 1e-3)
+		return prog
+	})
+}

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"bordercontrol/internal/accel"
+	"bordercontrol/internal/hostos"
+)
+
+// BuildNN generates the nn benchmark: the nearest-neighbor distance kernel.
+// The GPU computes the Euclidean distance from a target coordinate to every
+// record of a large location database; the host then selects the k nearest
+// (as in Rodinia, selection is not on the accelerator). Pure streaming —
+// every byte is touched exactly once.
+func BuildNN(p *hostos.Process, scale int) (*accel.Program, error) {
+	return run(func() *accel.Program {
+		if scale < 1 {
+			scale = 1
+		}
+		records := 96 * 1024 * scale
+
+		lat := allocF32(p, records)
+		lng := allocF32(p, records)
+		dist := allocF32(p, records)
+
+		r := newRNG(1234)
+		for i := 0; i < records; i++ {
+			lat.set(i, r.float()*180-90)
+			lng.set(i, r.float()*360-180)
+		}
+		const (
+			tLat = float32(29.97)
+			tLng = float32(-95.35)
+		)
+
+		prog := &accel.Program{Name: "nn"}
+		ph := newPhase("euclid")
+		const chunk = 4096 // records per wavefront
+		for c0 := 0; c0 < records; c0 += chunk {
+			w := ph.wavefront()
+			for i := c0; i < c0+chunk && i < records; i += 32 {
+				las := w.loadF32s(lat, i, 32)
+				lns := w.loadF32s(lng, i, 32)
+				w.compute(96)
+				out := make([]float32, 32)
+				for k := 0; k < 32; k++ {
+					dla := float64(las[k] - tLat)
+					dln := float64(lns[k] - tLng)
+					out[k] = float32(sqrt64(dla*dla + dln*dln))
+				}
+				w.storeF32s(dist, i, out)
+			}
+		}
+		prog.Phases = append(prog.Phases, ph.build())
+
+		want := make([]float32, records)
+		for i := range want {
+			want[i] = dist.get(i)
+		}
+		prog.Verify = expectF32(dist, want, 1e-4)
+		return prog
+	})
+}

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"fmt"
+
+	"bordercontrol/internal/accel"
+	"bordercontrol/internal/hostos"
+)
+
+// BuildNW generates the nw benchmark: Needleman-Wunsch global sequence
+// alignment. The DP matrix is processed in 16x16 tiles along
+// anti-diagonals; tiles on the same diagonal are independent (one wavefront
+// each), and each diagonal is a kernel launch. Parallelism therefore ramps
+// up and back down — the dependency-limited wavefront pattern Rodinia's nw
+// is known for.
+func BuildNW(p *hostos.Process, scale int) (*accel.Program, error) {
+	return run(func() *accel.Program {
+		if scale < 1 {
+			scale = 1
+		}
+		n := 512 * scale // sequence length; DP matrix is (n+1)^2
+		const tile = 16
+		const penalty = int32(10)
+
+		dim := n + 1
+		score := allocI32(p, dim*dim)
+		ref := allocI32(p, dim*dim) // substitution scores, as in Rodinia
+
+		r := newRNG(555)
+		for i := 1; i < dim; i++ {
+			for j := 1; j < dim; j++ {
+				ref.set(i*dim+j, int32(r.intn(21)-10))
+			}
+		}
+		for i := 0; i < dim; i++ {
+			score.set(i*dim, -penalty*int32(i))
+			score.set(i, -penalty*int32(i))
+		}
+
+		prog := &accel.Program{Name: "nw"}
+		tiles := n / tile
+		for d := 0; d < 2*tiles-1; d++ {
+			ph := newPhase(fmt.Sprintf("diag-%d", d))
+			for ti := 0; ti <= d; ti++ {
+				tj := d - ti
+				if ti >= tiles || tj >= tiles {
+					continue
+				}
+				w := ph.wavefront()
+				// Tile (ti, tj) covers rows/cols [t*tile+1, t*tile+tile].
+				r0 := ti*tile + 1
+				c0 := tj*tile + 1
+				// Load the halo row above and column left of the tile.
+				w.loadI32s(score, (r0-1)*dim+c0-1, tile+1)
+				for i := r0; i < r0+tile; i++ {
+					w.loadI32(score, i*dim+c0-1)
+				}
+				for i := r0; i < r0+tile; i++ {
+					// Reference row and the tile row are streamed.
+					refs := w.loadI32s(ref, i*dim+c0, tile)
+					w.compute(3 * tile)
+					out := make([]int32, tile)
+					for j := c0; j < c0+tile; j++ {
+						diag := score.get((i-1)*dim+j-1) + refs[j-c0]
+						up := score.get((i-1)*dim+j) - penalty
+						left := score.get(i*dim+j-1) - penalty
+						best := diag
+						if up > best {
+							best = up
+						}
+						if left > best {
+							best = left
+						}
+						score.set(i*dim+j, best)
+						out[j-c0] = best
+					}
+					w.storeI32s(score, i*dim+c0, out)
+				}
+			}
+			prog.Phases = append(prog.Phases, ph.build())
+		}
+
+		want := make([]int32, dim*dim)
+		for i := range want {
+			want[i] = score.get(i)
+		}
+		prog.Verify = expectI32(score, want)
+		return prog
+	})
+}

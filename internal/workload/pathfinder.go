@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"fmt"
+
+	"bordercontrol/internal/accel"
+	"bordercontrol/internal/hostos"
+)
+
+// BuildPathfinder generates the pathfinder benchmark: dynamic programming
+// over a 2-D grid, one row per kernel launch. Each step reads the previous
+// result row (with left/right neighbors) and a row of the weight grid and
+// writes the new result row — almost pure streaming with a tiny reused
+// halo, which is why pathfinder shows essentially no overhead under the
+// latency-tolerant configurations in Figure 4.
+func BuildPathfinder(p *hostos.Process, scale int) (*accel.Program, error) {
+	return run(func() *accel.Program {
+		if scale < 1 {
+			scale = 1
+		}
+		cols := 16384 * scale
+		rows := 24
+
+		wall := allocI32(p, rows*cols)
+		resultA := allocI32(p, cols)
+		resultB := allocI32(p, cols)
+
+		r := newRNG(31415)
+		for i := 0; i < rows*cols; i++ {
+			wall.set(i, int32(r.intn(10)))
+		}
+		for j := 0; j < cols; j++ {
+			resultA.set(j, wall.get(j))
+		}
+
+		prog := &accel.Program{Name: "pathfinder"}
+		src, dst := resultA, resultB
+		const chunk = 64 // columns per wavefront
+		for row := 1; row < rows; row++ {
+			ph := newPhase(fmt.Sprintf("row-%d", row))
+			for c0 := 0; c0 < cols; c0 += chunk {
+				w := ph.wavefront()
+				for j0 := c0; j0 < c0+chunk && j0 < cols; j0 += 32 {
+					prev := w.loadI32s(src, j0, 32)
+					ws := w.loadI32s(wall, row*cols+j0, 32)
+					w.compute(12)
+					out := make([]int32, 32)
+					for k := 0; k < 32; k++ {
+						j := j0 + k
+						best := prev[k]
+						if j > 0 {
+							if v := src.get(j - 1); v < best {
+								best = v
+							}
+						}
+						if j < cols-1 {
+							if v := src.get(j + 1); v < best {
+								best = v
+							}
+						}
+						out[k] = best + ws[k]
+					}
+					w.storeI32s(dst, j0, out)
+				}
+			}
+			prog.Phases = append(prog.Phases, ph.build())
+			src, dst = dst, src
+		}
+
+		want := make([]int32, cols)
+		for j := range want {
+			want[j] = src.get(j)
+		}
+		prog.Verify = expectI32(src, want)
+		return prog
+	})
+}
