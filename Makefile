@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full test suite, including the full-figure determinism sweeps.
+test:
+	$(GO) test ./...
+
+# Race-enabled run; -short skips the multi-minute full sweeps but still
+# exercises the concurrent runner (smoke sweeps run at Jobs=8).
+race:
+	$(GO) test -race -short ./...
+
+# One iteration of every benchmark prints each paper artifact once;
+# BenchmarkExecFigure4 compares serial vs parallel sweep wall-clock.
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+check: vet build test race

@@ -1,7 +1,9 @@
 package bordercontrol
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -56,7 +58,17 @@ func BenchmarkTable3(b *testing.B) {
 	printArtifact(b, "table3", s)
 }
 
+// skipInShort guards the benches that run full evaluation sweeps (tens of
+// seconds each) so `go test -short -bench .` stays quick.
+func skipInShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("full evaluation sweep; skipped in -short mode")
+	}
+}
+
 func benchFigure4(b *testing.B, class GPUClass) {
+	skipInShort(b)
 	var res harness.Figure4Result
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -84,6 +96,7 @@ func BenchmarkFigure4ModeratelyThreaded(b *testing.B) { benchFigure4(b, Moderate
 // BenchmarkFigure5 regenerates paper Figure 5: requests per cycle checked
 // by Border Control (paper: mean 0.11, max 0.29 for bfs).
 func BenchmarkFigure5(b *testing.B) {
+	skipInShort(b)
 	var res harness.Figure5Result
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -100,6 +113,7 @@ func BenchmarkFigure5(b *testing.B) {
 // 1/2/32/512 pages per entry (paper: 512 pages/entry reaches <0.1% miss
 // under 1 KB).
 func BenchmarkFigure6(b *testing.B) {
+	skipInShort(b)
 	var res harness.Figure6Result
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -119,6 +133,7 @@ func BenchmarkFigure6(b *testing.B) {
 // downgrade rate for BC-BCC and ATS-only on both GPU classes (paper:
 // ~0.02% at context-switch rates; BC roughly twice the trusted baseline).
 func BenchmarkFigure7(b *testing.B) {
+	skipInShort(b)
 	var res harness.Figure7Result
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -132,6 +147,34 @@ func BenchmarkFigure7(b *testing.B) {
 		if pt.Mode == BCBCC && pt.Class == HighlyThreaded && pt.DowngradesPerSec == 1000 {
 			b.ReportMetric(pt.Overhead*100, "%bc@1000/s")
 		}
+	}
+}
+
+// BenchmarkExecFigure4 runs the Figure 4a sweep serially and at full
+// parallelism on the experiment-execution layer, so BENCH output captures
+// the wall-clock speedup of the concurrent runner on this host. (On a
+// single-core host both sub-benches take the same time — the runner adds
+// no measurable overhead; the determinism tests guarantee identical
+// output either way.)
+func BenchmarkExecFigure4(b *testing.B) {
+	skipInShort(b)
+	par := runtime.GOMAXPROCS(0)
+	if par < 2 {
+		par = 2
+	}
+	for _, jobs := range []int{1, par} {
+		jobs := jobs
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Figure4Ctx(context.Background(), Exec{Jobs: jobs}, HighlyThreaded, DefaultParams())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) == 0 {
+					b.Fatal("empty figure")
+				}
+			}
+		})
 	}
 }
 
@@ -155,6 +198,7 @@ func runWorkload(b *testing.B, mode Mode, name string, p Params) Result {
 // far past the knee); shrinking the sub-blocking factor makes capacity
 // matter and the runtime cost of misses visible.
 func BenchmarkAblationBCCSize(b *testing.B) {
+	skipInShort(b)
 	geometries := []struct{ entries, ppe int }{
 		{64, 512}, // the paper's 8 KB BCC
 		{4, 512},  // tiny but wide: still covers the footprint
@@ -179,6 +223,7 @@ func BenchmarkAblationBCCSize(b *testing.B) {
 // BenchmarkAblationPTLatency sweeps extra Protection Table latency beyond
 // DRAM, isolating how much the parallel-lookup trick (paper §3.1.1) buys.
 func BenchmarkAblationPTLatency(b *testing.B) {
+	skipInShort(b)
 	base := runWorkload(b, ATSOnly, "pathfinder", DefaultParams())
 	for _, extra := range []uint64{0, 100, 400} {
 		extra := extra
@@ -197,6 +242,7 @@ func BenchmarkAblationPTLatency(b *testing.B) {
 // BenchmarkAblationEagerPT compares the paper's lazy Protection Table
 // population against eagerly populating every mapped page at process start.
 func BenchmarkAblationEagerPT(b *testing.B) {
+	skipInShort(b)
 	for _, eager := range []bool{false, true} {
 		eager := eager
 		name := "lazy"
@@ -220,6 +266,7 @@ func BenchmarkAblationEagerPT(b *testing.B) {
 // (§3.2.4's two equivalent-correctness alternatives), under downgrade
 // injection.
 func BenchmarkAblationSelectiveFlush(b *testing.B) {
+	skipInShort(b)
 	for _, selective := range []bool{true, false} {
 		selective := selective
 		name := "full"

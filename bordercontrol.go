@@ -28,11 +28,14 @@
 package bordercontrol
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"bordercontrol/internal/accel"
 	"bordercontrol/internal/arch"
 	"bordercontrol/internal/core"
+	"bordercontrol/internal/exp"
 	"bordercontrol/internal/harness"
 	"bordercontrol/internal/hostos"
 	"bordercontrol/internal/memory"
@@ -101,20 +104,51 @@ func NewSystem(mode Mode, class GPUClass, p Params) (*System, error) {
 // Run executes the named workload on a fresh system and reports its
 // runtime, border statistics, and functional-verification outcome.
 func Run(mode Mode, class GPUClass, workloadName string, p Params, opts RunOptions) (Result, error) {
+	return RunCtx(context.Background(), mode, class, workloadName, p, opts)
+}
+
+// RunCtx is Run with cooperative cancellation: the simulation engine polls
+// ctx between events, so cancelling (or timing out) ctx aborts the
+// simulation promptly with a *RunError wrapping ctx.Err().
+func RunCtx(ctx context.Context, mode Mode, class GPUClass, workloadName string, p Params, opts RunOptions) (Result, error) {
 	spec, ok := workload.ByName(workloadName)
 	if !ok {
 		return Result{}, fmt.Errorf("bordercontrol: unknown workload %q (have %v)", workloadName, workload.Names())
 	}
-	return harness.Run(mode, class, spec, p, opts)
+	return harness.RunCtx(ctx, mode, class, spec, p, opts)
 }
 
+// RunError identifies which simulation of a sweep failed: workload, mode,
+// GPU class, failing stage, and the wrapped cause (for a GPU abort, the
+// border-violation detail).
+type RunError = harness.RunError
+
+// The experiment-execution layer (internal/exp): every figure, table and
+// probe sweep decomposes into independent jobs over fresh Systems, runs on
+// a bounded worker pool, and collects results in submission order — so
+// parallel artifacts are byte-identical to serial ones.
+
+// Exec configures sweep execution: Jobs workers (0 = GOMAXPROCS, 1 =
+// serial), an optional per-job Timeout, and an optional Progress callback.
+type Exec = harness.Exec
+
+// JobResult is one finished experiment job, as delivered to Exec.Progress.
+type JobResult = exp.Result
+
 // Figure4, Figure5, Figure6 and Figure7 regenerate the paper's evaluation
-// figures; each result renders itself as a text table.
+// figures in parallel on all cores; each result renders itself as a text
+// table. The Ctx variants take a context and an Exec for cancellation,
+// timeouts, bounded parallelism and progress reporting.
 var (
 	Figure4 = harness.Figure4
 	Figure5 = harness.Figure5
 	Figure6 = harness.Figure6
 	Figure7 = harness.Figure7
+
+	Figure4Ctx = harness.Figure4Ctx
+	Figure5Ctx = harness.Figure5Ctx
+	Figure6Ctx = harness.Figure6Ctx
+	Figure7Ctx = harness.Figure7Ctx
 )
 
 // RenderTable1, RenderTable2 and RenderTable3 regenerate the paper's
@@ -130,8 +164,96 @@ var (
 // RenderSecurityMatrix prints the BLOCKED/VULNERABLE table.
 var (
 	SecurityMatrix       = harness.SecurityMatrix
+	SecurityMatrixCtx    = harness.SecurityMatrixCtx
 	RenderSecurityMatrix = harness.RenderSecurityMatrix
 )
+
+// Config configures a full evaluation sweep (RunAll).
+type Config struct {
+	// Params is the simulated-system configuration; the zero value means
+	// DefaultParams().
+	Params Params
+	// Exec controls parallelism, per-job timeouts and progress reporting.
+	Exec Exec
+}
+
+// Artifact is one rendered evaluation artifact and the wall-clock time it
+// took to regenerate.
+type Artifact struct {
+	Name    string
+	Text    string
+	Elapsed time.Duration
+}
+
+// RunAll regenerates every evaluation artifact — the three tables, the
+// four figures (Figure 4 for both GPU classes) and the security matrix —
+// on the parallel execution layer, returning them in the paper's order.
+// It fails on the first failed job (in submission order), so any broken
+// simulation yields a non-nil error rather than a silently partial sweep.
+func RunAll(ctx context.Context, cfg Config) ([]Artifact, error) {
+	p := cfg.Params
+	if p.GPUHz == 0 {
+		p = DefaultParams()
+	}
+	ex := cfg.Exec
+	steps := []struct {
+		name string
+		gen  func() (string, error)
+	}{
+		{"table1", func() (string, error) { return RenderTable1() + "\n", nil }},
+		{"table2", func() (string, error) { return RenderTable2() + "\n", nil }},
+		{"table3", func() (string, error) { return RenderTable3(p) + "\n", nil }},
+		{"fig4", func() (string, error) {
+			var text string
+			for _, class := range []GPUClass{HighlyThreaded, ModeratelyThreaded} {
+				res, err := Figure4Ctx(ctx, ex, class, p)
+				if err != nil {
+					return "", err
+				}
+				text += res.Render() + "\n"
+			}
+			return text, nil
+		}},
+		{"fig5", func() (string, error) {
+			res, err := Figure5Ctx(ctx, ex, p)
+			if err != nil {
+				return "", err
+			}
+			return res.Render() + "\n", nil
+		}},
+		{"fig6", func() (string, error) {
+			res, err := Figure6Ctx(ctx, ex, p)
+			if err != nil {
+				return "", err
+			}
+			return res.Render() + "\n", nil
+		}},
+		{"fig7", func() (string, error) {
+			res, err := Figure7Ctx(ctx, ex, p)
+			if err != nil {
+				return "", err
+			}
+			return res.Render() + "\n", nil
+		}},
+		{"security", func() (string, error) {
+			res, err := SecurityMatrixCtx(ctx, ex, p)
+			if err != nil {
+				return "", err
+			}
+			return RenderSecurityMatrix(res), nil
+		}},
+	}
+	var out []Artifact
+	for _, step := range steps {
+		start := time.Now()
+		text, err := step.gen()
+		if err != nil {
+			return out, fmt.Errorf("bordercontrol: %s: %w", step.name, err)
+		}
+		out = append(out, Artifact{Name: step.name, Text: text, Elapsed: time.Since(start)})
+	}
+	return out, nil
+}
 
 // The mechanism-level API: the paper's structures, reusable inside any
 // simulated memory system.

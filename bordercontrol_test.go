@@ -1,6 +1,8 @@
 package bordercontrol_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -130,5 +132,67 @@ func TestUnsafeBaselineIsUnsafe(t *testing.T) {
 	data, ok := trojan.TryRead(0, ppn.Base())
 	if !ok || string(data[:6]) != "secret" {
 		t.Error("the ATS-only baseline should NOT stop the trojan — that is the paper's threat")
+	}
+}
+
+func TestRunCtxCancelledPublicAPI(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := bc.RunCtx(ctx, bc.BCBCC, bc.HighlyThreaded, "bfs", bc.DefaultParams(), bc.RunOptions{})
+	var re *bc.RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("error = %T %v, want *bc.RunError", err, err)
+	}
+	if re.Workload != "bfs" || !errors.Is(err, context.Canceled) {
+		t.Errorf("RunError detail lost: %+v", re)
+	}
+}
+
+func TestRunAllCancelled(t *testing.T) {
+	// A pre-cancelled context: the pure table renders succeed, the first
+	// simulation sweep fails, and the error names the artifact.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	arts, err := bc.RunAll(ctx, bc.Config{})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "fig4") {
+		t.Errorf("error %q does not name the failing artifact", err)
+	}
+	if len(arts) != 3 {
+		t.Errorf("got %d artifacts before failure, want the 3 tables", len(arts))
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation sweep")
+	}
+	var jobs int
+	cfg := bc.Config{Exec: bc.Exec{Progress: func(r bc.JobResult) {
+		jobs++
+		if r.Err != nil {
+			t.Errorf("job %s failed: %v", r.Name, r.Err)
+		}
+	}}}
+	arts, err := bc.RunAll(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "security"}
+	if len(arts) != len(want) {
+		t.Fatalf("got %d artifacts, want %d", len(arts), len(want))
+	}
+	for i, a := range arts {
+		if a.Name != want[i] {
+			t.Errorf("artifact %d = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Text == "" {
+			t.Errorf("artifact %s is empty", a.Name)
+		}
+	}
+	if jobs < 200 {
+		t.Errorf("progress saw %d jobs; the full sweep runs 200+ simulations", jobs)
 	}
 }

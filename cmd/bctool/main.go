@@ -3,21 +3,34 @@
 // paper's evaluation section, plus single-run inspection of any workload
 // under any safety configuration.
 //
+// Sweeps run on the parallel experiment-execution layer: independent
+// simulations spread over all cores (bounded by -jobs) with results
+// collected in submission order, so the output is byte-identical at any
+// parallelism. Progress lines go to stderr; artifacts go to stdout.
+//
 // Usage:
 //
-//	bctool table1|table2|table3        print a paper table
-//	bctool fig4|fig5|fig6|fig7         regenerate a paper figure
-//	bctool all                         everything above, in order
-//	bctool security                    run the threat-model probe matrix
+//	bctool table1|table2|table3            print a paper table
+//	bctool fig4|fig5|fig6|fig7 [csv]       regenerate a paper figure
+//	bctool all                             everything above + security matrix
+//	bctool security                        run the threat-model probe matrix
 //	bctool run -mode bc-bcc -class high -workload bfs [-downgrades N]
-//	bctool list                        list workloads and modes
+//	bctool list                            list workloads and modes
+//
+// Figure, security and all accept -jobs N (0 = all cores, 1 = serial),
+// -timeout D (per simulation) and -quiet (suppress progress lines). Any
+// failed job makes bctool exit non-zero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"time"
 
 	bc "bordercontrol"
 )
@@ -27,7 +40,11 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	cmd := os.Args[1]
+	args := os.Args[2:]
 	var err error
 	switch cmd {
 	case "table1":
@@ -36,25 +53,12 @@ func main() {
 		fmt.Print(bc.RenderTable2())
 	case "table3":
 		fmt.Print(bc.RenderTable3(bc.DefaultParams()))
-	case "fig4":
-		err = fig4(wantCSV())
-	case "fig5":
-		err = fig5(wantCSV())
-	case "fig6":
-		err = fig6(wantCSV())
-	case "fig7":
-		err = fig7(wantCSV())
+	case "fig4", "fig5", "fig6", "fig7", "security":
+		err = sweep(ctx, cmd, args)
 	case "all":
-		fmt.Print(bc.RenderTable1(), "\n", bc.RenderTable2(), "\n", bc.RenderTable3(bc.DefaultParams()), "\n")
-		for _, f := range []func(bool) error{fig4, fig5, fig6, fig7} {
-			if err = f(false); err != nil {
-				break
-			}
-		}
-	case "security":
-		err = security()
+		err = all(ctx, args)
 	case "run":
-		err = runOne(os.Args[2:])
+		err = runOne(ctx, args)
 	case "list":
 		fmt.Println("workloads:", strings.Join(bc.Workloads(), " "))
 		fmt.Println("modes:     ats-only full-iommu capi bc-nobcc bc-bcc")
@@ -70,75 +74,165 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: bctool <table1|table2|table3|fig4|fig5|fig6|fig7|security|all|run|list> [csv] [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: bctool <table1|table2|table3|fig4|fig5|fig6|fig7|security|all|run|list> [csv] [-jobs N] [-timeout D] [-quiet]`)
 }
 
-// wantCSV reports whether the figure should be emitted as CSV (for
-// plotting) instead of a text table.
-func wantCSV() bool {
-	return len(os.Args) > 2 && os.Args[2] == "csv"
+// execFlags are the execution-layer knobs shared by every sweep command.
+type execFlags struct {
+	jobs    int
+	timeout time.Duration
+	quiet   bool
+	csv     bool
 }
 
-func fig4(csv bool) error {
-	for _, class := range []bc.GPUClass{bc.HighlyThreaded, bc.ModeratelyThreaded} {
-		res, err := bc.Figure4(class, bc.DefaultParams())
+// parseExec parses sweep flags; a leading "csv" operand is accepted for
+// backward compatibility with `bctool fig4 csv`.
+func parseExec(name string, args []string) (execFlags, error) {
+	var f execFlags
+	if len(args) > 0 && args[0] == "csv" {
+		f.csv = true
+		args = args[1:]
+	}
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.IntVar(&f.jobs, "jobs", 0, "concurrent simulations (0 = all cores, 1 = serial)")
+	fs.DurationVar(&f.timeout, "timeout", 0, "per-simulation timeout (0 = none)")
+	fs.BoolVar(&f.quiet, "quiet", false, "suppress per-job progress lines on stderr")
+	fs.BoolVar(&f.csv, "csv", f.csv, "emit CSV instead of a text table")
+	err := fs.Parse(args)
+	return f, err
+}
+
+// workers reports the effective worker count for the summary line.
+func (f execFlags) workers() int {
+	if f.jobs <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return f.jobs
+}
+
+// tracker accumulates per-job statistics and prints progress to stderr.
+type tracker struct {
+	quiet  bool
+	jobs   int
+	failed int
+	busy   time.Duration // summed per-job wall-clock across all workers
+}
+
+func (t *tracker) done(r bc.JobResult) {
+	t.jobs++
+	t.busy += r.Elapsed
+	status := "ok"
+	if r.Err != nil {
+		t.failed++
+		status = "FAILED: " + r.Err.Error()
+	}
+	if !t.quiet {
+		fmt.Fprintf(os.Stderr, "%-44s %9s  %s\n", r.Name, fmtDur(r.Elapsed), status)
+	}
+}
+
+func (f execFlags) exec(t *tracker) bc.Exec {
+	t.quiet = f.quiet
+	return bc.Exec{Jobs: f.jobs, Timeout: f.timeout, Progress: t.done}
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Millisecond).String()
+}
+
+// sweep runs one figure or the security matrix on the execution layer.
+func sweep(ctx context.Context, cmd string, args []string) error {
+	f, err := parseExec(cmd, args)
+	if err != nil {
+		return err
+	}
+	var t tracker
+	ex := f.exec(&t)
+	p := bc.DefaultParams()
+	switch cmd {
+	case "fig4":
+		for _, class := range []bc.GPUClass{bc.HighlyThreaded, bc.ModeratelyThreaded} {
+			res, err := bc.Figure4Ctx(ctx, ex, class, p)
+			if err != nil {
+				return err
+			}
+			if f.csv {
+				fmt.Print(res.CSV())
+			} else {
+				fmt.Println(res.Render())
+			}
+		}
+	case "fig5":
+		res, err := bc.Figure5Ctx(ctx, ex, p)
 		if err != nil {
 			return err
 		}
-		if csv {
+		if f.csv {
 			fmt.Print(res.CSV())
 		} else {
 			fmt.Println(res.Render())
 		}
+	case "fig6":
+		res, err := bc.Figure6Ctx(ctx, ex, p)
+		if err != nil {
+			return err
+		}
+		if f.csv {
+			fmt.Print(res.CSV())
+		} else {
+			fmt.Println(res.Render())
+		}
+	case "fig7":
+		res, err := bc.Figure7Ctx(ctx, ex, p)
+		if err != nil {
+			return err
+		}
+		if f.csv {
+			fmt.Print(res.CSV())
+		} else {
+			fmt.Println(res.Render())
+		}
+	case "security":
+		results, err := bc.SecurityMatrixCtx(ctx, ex, p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bc.RenderSecurityMatrix(results))
 	}
 	return nil
 }
 
-func fig5(csv bool) error {
-	res, err := bc.Figure5(bc.DefaultParams())
+// all regenerates every artifact and prints a per-artifact wall-clock and
+// effective-parallelism summary to stderr.
+func all(ctx context.Context, args []string) error {
+	f, err := parseExec("all", args)
 	if err != nil {
 		return err
 	}
-	if csv {
-		fmt.Print(res.CSV())
-	} else {
-		fmt.Println(res.Render())
+	var t tracker
+	start := time.Now()
+	artifacts, err := bc.RunAll(ctx, bc.Config{Exec: f.exec(&t)})
+	if err != nil {
+		return err
 	}
-	return nil
-}
+	wall := time.Since(start)
+	for _, a := range artifacts {
+		fmt.Print(a.Text)
+	}
 
-func fig6(csv bool) error {
-	res, err := bc.Figure6(bc.DefaultParams())
-	if err != nil {
-		return err
+	fmt.Fprintf(os.Stderr, "\n%-10s %10s\n", "artifact", "wall")
+	for _, a := range artifacts {
+		fmt.Fprintf(os.Stderr, "%-10s %10s\n", a.Name, fmtDur(a.Elapsed))
 	}
-	if csv {
-		fmt.Print(res.CSV())
-	} else {
-		fmt.Println(res.Render())
+	parallelism := 0.0
+	if wall > 0 {
+		parallelism = float64(t.busy) / float64(wall)
 	}
-	return nil
-}
-
-func fig7(csv bool) error {
-	res, err := bc.Figure7(bc.DefaultParams())
-	if err != nil {
-		return err
+	fmt.Fprintf(os.Stderr, "\n%d simulations in %s wall (%s of simulation time, %d workers): effective parallelism %.2fx\n",
+		t.jobs, fmtDur(wall), fmtDur(t.busy), f.workers(), parallelism)
+	if t.failed > 0 {
+		return fmt.Errorf("%d of %d jobs failed", t.failed, t.jobs)
 	}
-	if csv {
-		fmt.Print(res.CSV())
-	} else {
-		fmt.Println(res.Render())
-	}
-	return nil
-}
-
-func security() error {
-	results, err := bc.SecurityMatrix(bc.DefaultParams())
-	if err != nil {
-		return err
-	}
-	fmt.Print(bc.RenderSecurityMatrix(results))
 	return nil
 }
 
@@ -158,13 +252,14 @@ func parseMode(s string) (bc.Mode, error) {
 	return 0, fmt.Errorf("unknown mode %q", s)
 }
 
-func runOne(args []string) error {
+func runOne(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	mode := fs.String("mode", "bc-bcc", "safety configuration (see bctool list)")
 	class := fs.String("class", "high", "GPU class: high or moderate")
 	name := fs.String("workload", "bfs", "workload name")
 	downgrades := fs.Float64("downgrades", 0, "permission downgrades per second to inject")
 	scale := fs.Int("scale", 1, "workload problem-size multiplier")
+	timeout := fs.Duration("timeout", 0, "abort the simulation after this long (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -178,7 +273,12 @@ func runOne(args []string) error {
 	}
 	p := bc.DefaultParams()
 	p.Scale = *scale
-	res, err := bc.Run(m, cl, *name, p, bc.RunOptions{DowngradesPerSec: *downgrades})
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := bc.RunCtx(ctx, m, cl, *name, p, bc.RunOptions{DowngradesPerSec: *downgrades})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"context"
+	"time"
+
+	"bordercontrol/internal/exp"
+	"bordercontrol/internal/workload"
+)
+
+// Exec configures how a sweep's independent simulations execute. The zero
+// Exec runs on all cores with no per-job timeout and no progress output —
+// safe defaults for library callers, because ordered result collection
+// makes parallel artifacts byte-identical to serial ones.
+type Exec struct {
+	// Jobs bounds concurrent simulations: 0 = GOMAXPROCS, 1 = serial.
+	Jobs int
+	// Timeout, when positive, bounds each simulation; an overrunning job
+	// fails with context.DeadlineExceeded instead of stalling the sweep.
+	Timeout time.Duration
+	// Progress, when non-nil, receives each finished job in completion
+	// order (calls are serialized).
+	Progress func(exp.Result)
+}
+
+func (e Exec) runner() *exp.Runner {
+	return &exp.Runner{Workers: e.Jobs, Timeout: e.Timeout, OnDone: e.Progress}
+}
+
+// runSpec names one simulation of a sweep: the experiment-space coordinate
+// plus a label for progress reporting.
+type runSpec struct {
+	Label string
+	Mode  Mode
+	Class GPUClass
+	Spec  workload.Spec
+	Opts  RunOptions
+}
+
+// runAll executes the specs — each on a fresh System — through the
+// experiment runner and returns their results in submission order, so
+// callers can assemble artifacts exactly as a serial loop would have. The
+// first error in submission order (the one a serial sweep would have
+// stopped at) fails the whole sweep.
+func runAll(ctx context.Context, ex Exec, p Params, specs []runSpec) ([]RunResult, error) {
+	return exp.Map(ctx, ex.runner(), specs,
+		func(_ int, s runSpec) string { return s.Label },
+		func(ctx context.Context, s runSpec) (RunResult, error) {
+			return RunCtx(ctx, s.Mode, s.Class, s.Spec, p, s.Opts)
+		})
+}
+
+// classShort is a compact GPU-class label for job names.
+func classShort(c GPUClass) string {
+	if c == ModeratelyThreaded {
+		return "mod"
+	}
+	return "high"
+}

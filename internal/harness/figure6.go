@@ -1,10 +1,12 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"bordercontrol/internal/arch"
 	"bordercontrol/internal/core"
+	"bordercontrol/internal/exp"
 	"bordercontrol/internal/memory"
 	"bordercontrol/internal/workload"
 )
@@ -18,42 +20,62 @@ type bcTrace struct {
 
 // captureBCTraces runs every workload once under BC-BCC on the highly
 // threaded GPU, recording the check/insert event stream at the border.
-func captureBCTraces(p Params) ([]bcTrace, error) {
-	var out []bcTrace
-	for _, spec := range workload.All() {
-		sys, err := NewSystem(BCBCC, HighlyThreaded, p)
-		if err != nil {
-			return nil, err
+// Each capture owns a fresh System and its own trace buffer, so the
+// workloads record in parallel on the experiment runner.
+func captureBCTraces(ctx context.Context, ex Exec, p Params) ([]bcTrace, error) {
+	return exp.Map(ctx, ex.runner(), workload.All(),
+		func(_ int, spec workload.Spec) string { return "fig6/capture/" + spec.Name },
+		func(ctx context.Context, spec workload.Spec) (bcTrace, error) {
+			return captureBCTrace(ctx, spec, p)
+		})
+}
+
+// captureBCTrace records one workload's border event stream.
+func captureBCTrace(ctx context.Context, spec workload.Spec, p Params) (bcTrace, error) {
+	tr := bcTrace{name: spec.Name}
+	sys, err := NewSystem(BCBCC, HighlyThreaded, p)
+	if err != nil {
+		return tr, err
+	}
+	proc, err := sys.OS.NewProcess(spec.Name)
+	if err != nil {
+		return tr, err
+	}
+	prog, err := spec.Build(proc, p.Scale)
+	if err != nil {
+		return tr, err
+	}
+	sys.ATS.Activate(sys.Name, proc.ASID())
+	if err := sys.BC.ProcessStart(proc.ASID()); err != nil {
+		return tr, err
+	}
+	sys.BC.TraceSink = func(ev core.TraceEvent) {
+		tr.events = append(tr.events, ev)
+		if ev.PPN > tr.maxPPN {
+			tr.maxPPN = ev.PPN
 		}
-		tr := bcTrace{name: spec.Name}
-		proc, err := sys.OS.NewProcess(spec.Name)
-		if err != nil {
-			return nil, err
-		}
-		prog, err := spec.Build(proc, p.Scale)
-		if err != nil {
-			return nil, err
-		}
-		sys.ATS.Activate(sys.Name, proc.ASID())
-		if err := sys.BC.ProcessStart(proc.ASID()); err != nil {
-			return nil, err
-		}
-		sys.BC.TraceSink = func(ev core.TraceEvent) {
-			tr.events = append(tr.events, ev)
-			if ev.PPN > tr.maxPPN {
-				tr.maxPPN = ev.PPN
+	}
+	if err := sys.GPU.Launch(prog, proc.ASID()); err != nil {
+		return tr, err
+	}
+	if done := ctx.Done(); done != nil {
+		sys.Eng.Interrupt = func() bool {
+			select {
+			case <-done:
+				return true
+			default:
+				return false
 			}
 		}
-		if err := sys.GPU.Launch(prog, proc.ASID()); err != nil {
-			return nil, err
-		}
-		sys.Eng.Run()
-		if gerr := sys.GPU.Err(); gerr != nil {
-			return nil, fmt.Errorf("harness: trace capture %s: %w", spec.Name, gerr)
-		}
-		out = append(out, tr)
 	}
-	return out, nil
+	sys.Eng.Run()
+	if err := ctx.Err(); err != nil {
+		return tr, &RunError{Workload: spec.Name, Mode: BCBCC, Class: HighlyThreaded, Stage: "interrupted", Err: err}
+	}
+	if gerr := sys.GPU.Err(); gerr != nil {
+		return tr, fmt.Errorf("harness: trace capture %s: %w", spec.Name, gerr)
+	}
+	return tr, nil
 }
 
 // bccGeometry builds the swept BCC configuration.

@@ -1,10 +1,12 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"bordercontrol/internal/exp"
 	"bordercontrol/internal/sim"
 	"bordercontrol/internal/stats"
 	"bordercontrol/internal/workload"
@@ -28,15 +30,42 @@ type Figure4Result struct {
 }
 
 // Figure4 runs all seven workloads under the baseline and the four safe
-// configurations for the given GPU class.
+// configurations for the given GPU class, in parallel on all cores.
 func Figure4(class GPUClass, p Params) (Figure4Result, error) {
+	return Figure4Ctx(context.Background(), Exec{}, class, p)
+}
+
+// Figure4Ctx is Figure4 on the experiment-execution layer: the 7 workloads
+// x (baseline + 4 safe modes) independent simulations become a job list,
+// and ordered result collection keeps the rendered figure byte-identical
+// to a serial sweep at any parallelism.
+func Figure4Ctx(ctx context.Context, ex Exec, class GPUClass, p Params) (Figure4Result, error) {
 	res := Figure4Result{Class: class, GeoMean: make(map[Mode]float64)}
-	per := make(map[Mode][]float64)
-	for _, spec := range workload.All() {
-		base, err := Run(ATSOnly, class, spec, p, RunOptions{})
-		if err != nil {
-			return res, err
+	specs := workload.All()
+
+	var list []runSpec
+	for _, spec := range specs {
+		list = append(list, runSpec{
+			Label: "fig4/" + classShort(class) + "/" + spec.Name + "/" + shortMode(ATSOnly),
+			Mode:  ATSOnly, Class: class, Spec: spec,
+		})
+		for _, mode := range SafeModes() {
+			list = append(list, runSpec{
+				Label: "fig4/" + classShort(class) + "/" + spec.Name + "/" + shortMode(mode),
+				Mode:  mode, Class: class, Spec: spec,
+			})
 		}
+	}
+	runs, err := runAll(ctx, ex, p, list)
+	if err != nil {
+		return res, err
+	}
+
+	per := make(map[Mode][]float64)
+	next := 0
+	for _, spec := range specs {
+		base := runs[next]
+		next++
 		if base.VerifyErr != nil {
 			return res, fmt.Errorf("harness: %s baseline results wrong: %w", spec.Name, base.VerifyErr)
 		}
@@ -47,10 +76,8 @@ func Figure4(class GPUClass, p Params) (Figure4Result, error) {
 			Overheads: make(map[Mode]float64),
 		}
 		for _, mode := range SafeModes() {
-			r, err := Run(mode, class, spec, p, RunOptions{})
-			if err != nil {
-				return res, err
-			}
+			r := runs[next]
+			next++
 			if r.VerifyErr != nil {
 				return res, fmt.Errorf("harness: %s on %v results wrong: %w", spec.Name, mode, r.VerifyErr)
 			}
@@ -125,17 +152,30 @@ type Figure5Result struct {
 }
 
 // Figure5 measures requests/cycle checked by Border Control on the highly
-// threaded GPU under BC-BCC.
+// threaded GPU under BC-BCC, in parallel on all cores.
 func Figure5(p Params) (Figure5Result, error) {
+	return Figure5Ctx(context.Background(), Exec{}, p)
+}
+
+// Figure5Ctx is Figure5 on the experiment-execution layer: one job per
+// workload.
+func Figure5Ctx(ctx context.Context, ex Exec, p Params) (Figure5Result, error) {
 	var res Figure5Result
-	var rates []float64
+	var list []runSpec
 	for _, spec := range workload.All() {
-		r, err := Run(BCBCC, HighlyThreaded, spec, p, RunOptions{})
-		if err != nil {
-			return res, err
-		}
+		list = append(list, runSpec{
+			Label: "fig5/" + spec.Name,
+			Mode:  BCBCC, Class: HighlyThreaded, Spec: spec,
+		})
+	}
+	runs, err := runAll(ctx, ex, p, list)
+	if err != nil {
+		return res, err
+	}
+	var rates []float64
+	for _, r := range runs {
 		row := Figure5Row{
-			Workload:         spec.Name,
+			Workload:         r.Workload,
 			RequestsPerCycle: r.RequestsPerCycle(),
 			Checks:           r.BCChecks,
 			Cycles:           r.Cycles,
@@ -180,27 +220,55 @@ type Figure6Result struct {
 // BC-BCC run (trace-driven BCC simulation, like the paper's sweep); the
 // miss ratio is averaged over the benchmarks.
 func Figure6(p Params) (Figure6Result, error) {
+	return Figure6Ctx(context.Background(), Exec{}, p)
+}
+
+// Figure6Ctx is Figure6 on the experiment-execution layer: trace capture
+// is one job per workload, then each BCC geometry's replay is one job (a
+// replay mutates only its own store/table/BCC, so geometries sweep in
+// parallel over the shared read-only traces).
+func Figure6Ctx(ctx context.Context, ex Exec, p Params) (Figure6Result, error) {
 	res := Figure6Result{Curves: make(map[int][]Figure6Point), PagesPerEntry: []int{1, 2, 32, 512}}
-	traces, err := captureBCTraces(p)
+	traces, err := captureBCTraces(ctx, ex, p)
 	if err != nil {
 		return res, err
 	}
+
+	type geometry struct {
+		ppe, entries int
+	}
+	var geoms []geometry
 	for _, ppe := range res.PagesPerEntry {
 		for _, entries := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
-			cfg := bccGeometry(entries, ppe)
-			if cfg.SizeBytes() > 1100 {
+			if bccGeometry(entries, ppe).SizeBytes() > 1100 {
 				continue
 			}
+			geoms = append(geoms, geometry{ppe: ppe, entries: entries})
+		}
+	}
+	points, err := exp.Map(ctx, ex.runner(), geoms,
+		func(_ int, g geometry) string {
+			return fmt.Sprintf("fig6/replay/%dx%d", g.entries, g.ppe)
+		},
+		func(_ context.Context, g geometry) (Figure6Point, error) {
+			cfg := bccGeometry(g.entries, g.ppe)
 			var ratios []float64
 			for _, tr := range traces {
 				ratios = append(ratios, replayBCCTrace(tr, cfg, p))
 			}
-			res.Curves[ppe] = append(res.Curves[ppe], Figure6Point{
-				Entries:   entries,
+			return Figure6Point{
+				Entries:   g.entries,
 				SizeBytes: cfg.SizeBytes(),
 				MissRatio: stats.Mean(ratios),
-			})
-		}
+			}, nil
+		})
+	if err != nil {
+		return res, err
+	}
+	for i, g := range geoms {
+		res.Curves[g.ppe] = append(res.Curves[g.ppe], points[i])
+	}
+	for _, ppe := range res.PagesPerEntry {
 		sort.Slice(res.Curves[ppe], func(i, j int) bool {
 			return res.Curves[ppe][i].SizeBytes < res.Curves[ppe][j].SizeBytes
 		})
@@ -247,41 +315,86 @@ type Figure7Result struct {
 // report overhead(rate) = baseline-overhead + rate * cost, averaged over
 // the benchmark suite, exactly the quantity the paper plots.
 func Figure7(p Params) (Figure7Result, error) {
+	return Figure7Ctx(context.Background(), Exec{}, p)
+}
+
+// Figure7Ctx runs the downgrade sweep on the experiment-execution layer in
+// two waves: wave one runs the unsafe baselines and the zero-downgrade
+// runs for every (class, mode, workload) point; wave two runs the
+// injection experiments, whose injection schedule depends on the measured
+// zero-downgrade runtime. Within each wave every simulation is
+// independent.
+func Figure7Ctx(ctx context.Context, ex Exec, p Params) (Figure7Result, error) {
 	res := Figure7Result{Rates: []float64{0, 100, 200, 500, 1000}}
 	classes := []GPUClass{HighlyThreaded, ModeratelyThreaded}
+	modes := []Mode{BCBCC, ATSOnly}
 	specs := workload.All()
 	const injections = 40
 
+	// Wave one: per class, the ATS-only baselines then each mode's
+	// zero-downgrade runs, in the serial sweep's order.
+	var wave1 []runSpec
 	for _, class := range classes {
-		// Unsafe baseline runtimes at zero downgrades.
-		base := make(map[string]RunResult)
 		for _, spec := range specs {
-			r, err := Run(ATSOnly, class, spec, p, RunOptions{})
-			if err != nil {
-				return res, err
-			}
-			base[spec.Name] = r
+			wave1 = append(wave1, runSpec{
+				Label: "fig7/" + classShort(class) + "/base/" + spec.Name,
+				Mode:  ATSOnly, Class: class, Spec: spec,
+			})
 		}
-		for _, mode := range []Mode{BCBCC, ATSOnly} {
-			var zeroOvs, costsSec []float64
+		for _, mode := range modes {
 			for _, spec := range specs {
-				zero, err := Run(mode, class, spec, p, RunOptions{})
-				if err != nil {
-					return res, err
-				}
-				inj, err := Run(mode, class, spec, p, RunOptions{
-					FixedDowngrades: injections,
-					SpreadOver:      zero.Runtime,
+				wave1 = append(wave1, runSpec{
+					Label: "fig7/" + classShort(class) + "/zero/" + spec.Name + "/" + shortMode(mode),
+					Mode:  mode, Class: class, Spec: spec,
 				})
-				if err != nil {
-					return res, err
-				}
+			}
+		}
+	}
+	runs1, err := runAll(ctx, ex, p, wave1)
+	if err != nil {
+		return res, err
+	}
+	perClass := len(specs) * (1 + len(modes))
+	base := func(ci, si int) RunResult { return runs1[ci*perClass+si] }
+	zero := func(ci, mi, si int) RunResult {
+		return runs1[ci*perClass+(1+mi)*len(specs)+si]
+	}
+
+	// Wave two: the injection runs, spread over each measured runtime.
+	var wave2 []runSpec
+	for ci, class := range classes {
+		for mi, mode := range modes {
+			for si, spec := range specs {
+				wave2 = append(wave2, runSpec{
+					Label: "fig7/" + classShort(class) + "/inject/" + spec.Name + "/" + shortMode(mode),
+					Mode:  mode, Class: class, Spec: spec,
+					Opts: RunOptions{
+						FixedDowngrades: injections,
+						SpreadOver:      zero(ci, mi, si).Runtime,
+					},
+				})
+			}
+		}
+	}
+	runs2, err := runAll(ctx, ex, p, wave2)
+	if err != nil {
+		return res, err
+	}
+	inject := func(ci, mi, si int) RunResult {
+		return runs2[(ci*len(modes)+mi)*len(specs)+si]
+	}
+
+	for ci, class := range classes {
+		for mi, mode := range modes {
+			var zeroOvs, costsSec []float64
+			for si, spec := range specs {
+				z, inj := zero(ci, mi, si), inject(ci, mi, si)
 				if inj.VerifyErr != nil {
 					return res, fmt.Errorf("harness: fig7 %s %v: %w", spec.Name, mode, inj.VerifyErr)
 				}
-				zeroOvs = append(zeroOvs, float64(zero.Cycles)/float64(base[spec.Name].Cycles)-1)
+				zeroOvs = append(zeroOvs, float64(z.Cycles)/float64(base(ci, si).Cycles)-1)
 				if inj.Downgrades > 0 {
-					perDowngrade := float64(inj.Runtime-zero.Runtime) / float64(inj.Downgrades)
+					perDowngrade := float64(inj.Runtime-z.Runtime) / float64(inj.Downgrades)
 					// Cost as a fraction of a second of baseline runtime:
 					// overhead contribution per (downgrade/second).
 					costsSec = append(costsSec, perDowngrade/float64(sim.Second))

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"bordercontrol/internal/accel"
@@ -9,6 +10,26 @@ import (
 	"bordercontrol/internal/sim"
 	"bordercontrol/internal/workload"
 )
+
+// RunError identifies which simulation of a sweep failed and why, so a
+// parallel failure report names the job: workload, configuration, GPU
+// class, and the stage that failed. It wraps the underlying cause (for a
+// GPU abort, the border-violation detail from sys.GPU.Err()).
+type RunError struct {
+	Workload string
+	Mode     Mode
+	Class    GPUClass
+	// Stage is where the run failed: "build", "start", "launch",
+	// "interrupted", "hang", "abort".
+	Stage string
+	Err   error
+}
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("harness: %s on %v (%v): %s: %v", e.Workload, e.Mode, e.Class, e.Stage, e.Err)
+}
+
+func (e *RunError) Unwrap() error { return e.Err }
 
 // RunOptions tune a single workload execution.
 type RunOptions struct {
@@ -77,29 +98,41 @@ func (r RunResult) RequestsPerCycle() float64 {
 
 // Run executes one workload on a fresh system in the given configuration.
 func Run(mode Mode, class GPUClass, spec workload.Spec, p Params, opts RunOptions) (RunResult, error) {
+	return RunCtx(context.Background(), mode, class, spec, p, opts)
+}
+
+// RunCtx is Run with cooperative cancellation: the simulation engine polls
+// ctx between events, so a cancelled or timed-out run aborts promptly and
+// fails with a *RunError wrapping ctx.Err(). Every failure path that names
+// a specific run returns a *RunError, so parallel sweeps report exactly
+// which job broke.
+func RunCtx(ctx context.Context, mode Mode, class GPUClass, spec workload.Spec, p Params, opts RunOptions) (RunResult, error) {
+	fail := func(stage string, err error) (RunResult, error) {
+		return RunResult{}, &RunError{Workload: spec.Name, Mode: mode, Class: class, Stage: stage, Err: err}
+	}
 	sys, err := NewSystem(mode, class, p)
 	if err != nil {
 		return RunResult{}, err
 	}
 	proc, err := sys.OS.NewProcess(spec.Name)
 	if err != nil {
-		return RunResult{}, err
+		return fail("start", err)
 	}
 	prog, err := spec.Build(proc, p.Scale)
 	if err != nil {
-		return RunResult{}, fmt.Errorf("harness: building %s: %w", spec.Name, err)
+		return fail("build", err)
 	}
 
 	// Process initialization on the accelerator (paper Figure 3a).
 	sys.ATS.Activate(sys.Name, proc.ASID())
 	if sys.BC != nil {
 		if err := sys.BC.ProcessStart(proc.ASID()); err != nil {
-			return RunResult{}, err
+			return fail("start", err)
 		}
 	}
 
 	if err := sys.GPU.Launch(prog, proc.ASID()); err != nil {
-		return RunResult{}, err
+		return fail("launch", err)
 	}
 
 	var injected *uint64
@@ -111,13 +144,28 @@ func Run(mode Mode, class GPUClass, spec workload.Spec, p Params, opts RunOption
 		interval := sim.Time(float64(sim.Second) / opts.DowngradesPerSec)
 		injected = injectDowngradesEvery(sys, proc, interval, 0)
 	}
+	if done := ctx.Done(); done != nil {
+		sys.Eng.Interrupt = func() bool {
+			select {
+			case <-done:
+				return true
+			default:
+				return false
+			}
+		}
+	}
 	sys.Eng.Run()
 
 	if !sys.GPU.Finished() {
-		return RunResult{}, fmt.Errorf("harness: %s on %v did not finish", spec.Name, mode)
+		// Distinguish an external interruption (cancellation, timeout) from
+		// a genuinely stuck simulation.
+		if err := ctx.Err(); err != nil {
+			return fail("interrupted", err)
+		}
+		return fail("hang", fmt.Errorf("simulation drained with the kernel incomplete"))
 	}
 	if gerr := sys.GPU.Err(); gerr != nil {
-		return RunResult{}, fmt.Errorf("harness: %s aborted on %v: %w", spec.Name, mode, gerr)
+		return fail("abort", gerr)
 	}
 
 	res := RunResult{

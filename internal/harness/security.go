@@ -1,12 +1,14 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"bordercontrol/internal/accel"
 	"bordercontrol/internal/arch"
 	"bordercontrol/internal/core"
+	"bordercontrol/internal/exp"
 )
 
 // Attack names one threat-model probe from paper §2.1.
@@ -54,17 +56,32 @@ type SecurityResult struct {
 // configurations (and the unsafe baseline, where they succeed — that is
 // the paper's threat).
 func SecurityMatrix(p Params) ([]SecurityResult, error) {
-	var out []SecurityResult
+	return SecurityMatrixCtx(context.Background(), Exec{}, p)
+}
+
+// SecurityMatrixCtx runs the probe matrix on the experiment-execution
+// layer: every (configuration, attack) probe builds its own System, so all
+// probes run in parallel and land in report order.
+func SecurityMatrixCtx(ctx context.Context, ex Exec, p Params) ([]SecurityResult, error) {
+	type cell struct {
+		cfg string
+		atk Attack
+	}
+	var cells []cell
 	for _, cfg := range SecurityConfigs() {
 		for _, atk := range Attacks() {
-			res, err := probe(cfg, atk, p)
-			if err != nil {
-				return nil, fmt.Errorf("harness: %s/%s: %w", cfg, atk, err)
-			}
-			out = append(out, res)
+			cells = append(cells, cell{cfg: cfg, atk: atk})
 		}
 	}
-	return out, nil
+	return exp.Map(ctx, ex.runner(), cells,
+		func(_ int, c cell) string { return "security/" + c.cfg + "/" + string(c.atk) },
+		func(_ context.Context, c cell) (SecurityResult, error) {
+			res, err := probe(c.cfg, c.atk, p)
+			if err != nil {
+				return res, fmt.Errorf("harness: %s/%s: %w", c.cfg, c.atk, err)
+			}
+			return res, nil
+		})
 }
 
 // SecurityConfigs lists the probed configurations: the unsafe baseline,

@@ -102,7 +102,18 @@ type Engine struct {
 	seq    uint64
 	events eventHeap
 	fired  uint64
+
+	// Interrupt, when non-nil, is polled by Run every interruptStride
+	// events; when it reports true, Run stops between events with the
+	// remaining queue intact. It lets a caller abort a long simulation from
+	// outside the simulated timeline (context cancellation, timeouts)
+	// without affecting the determinism of runs that complete.
+	Interrupt func() bool
 }
+
+// interruptStride is how many events Run executes between Interrupt polls;
+// a power of two so the check compiles to a mask.
+const interruptStride = 4096
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
@@ -141,9 +152,16 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run executes events until the queue is empty and returns the final time.
+// Run executes events until the queue is empty (or Interrupt reports true)
+// and returns the final time.
 func (e *Engine) Run() Time {
-	for e.Step() {
+	for {
+		if e.Interrupt != nil && e.fired%interruptStride == 0 && e.Interrupt() {
+			break
+		}
+		if !e.Step() {
+			break
+		}
 	}
 	return e.now
 }

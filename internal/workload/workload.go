@@ -31,6 +31,10 @@ type Spec struct {
 	Build func(p *hostos.Process, scale int) (*accel.Program, error)
 }
 
+// registry is populated here and never mutated afterwards: concurrent
+// sweeps read it from many goroutines, so it must stay effectively
+// immutable. All returns a copy so no caller can alias (and then mutate)
+// the backing array.
 var registry = []Spec{
 	{Name: "backprop", Description: "neural-net training layer; regular streaming with heavy input reuse", Build: BuildBackprop},
 	{Name: "bfs", Description: "breadth-first search over a CSR random graph; irregular, data-dependent", Build: BuildBFS},

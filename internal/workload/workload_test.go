@@ -252,3 +252,21 @@ func TestBFSGraphIsTraversed(t *testing.T) {
 		t.Errorf("widest frontier only %d wavefronts", max)
 	}
 }
+
+func TestAllReturnsCopy(t *testing.T) {
+	// Concurrent sweeps share the registry; a caller mutating the slice
+	// All() hands out must not corrupt it for everyone else.
+	mutated := All()
+	if len(mutated) == 0 {
+		t.Fatal("empty registry")
+	}
+	original := mutated[0]
+	mutated[0] = Spec{Name: "corrupted", Build: nil}
+	fresh := All()
+	if fresh[0].Name != original.Name || fresh[0].Build == nil {
+		t.Fatalf("All() aliases the registry: mutation leaked (got %q)", fresh[0].Name)
+	}
+	if names := Names(); names[0] != original.Name {
+		t.Fatalf("Names()[0] = %q after mutation, want %q", names[0], original.Name)
+	}
+}
