@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet test race bench check trace-smoke bench-json
 
 all: check
 
@@ -24,4 +24,16 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
 
-check: vet build test race
+# Observability smoke: record a Chrome trace and a stats snapshot on a
+# short run, then validate the trace file with bctool's own checker.
+trace-smoke:
+	$(GO) run ./cmd/bctool run -mode bc-bcc -class moderate -workload pathfinder \
+		-trace trace-smoke.json -stats-json stats-smoke.json >/dev/null
+	$(GO) run ./cmd/bctool tracecheck trace-smoke.json
+	rm -f trace-smoke.json stats-smoke.json
+
+# Refresh the checked-in simulator-throughput snapshot (BENCH.json).
+bench-json:
+	$(GO) run ./cmd/bctool bench -json > BENCH.json
+
+check: vet build test race trace-smoke

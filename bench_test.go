@@ -72,7 +72,7 @@ func benchFigure4(b *testing.B, class GPUClass) {
 	var res harness.Figure4Result
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = Figure4(class, DefaultParams())
+		res, err = Figure4(context.Background(), Exec{}, class, DefaultParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -100,7 +100,7 @@ func BenchmarkFigure5(b *testing.B) {
 	var res harness.Figure5Result
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = Figure5(DefaultParams())
+		res, err = Figure5(context.Background(), Exec{}, DefaultParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -117,7 +117,7 @@ func BenchmarkFigure6(b *testing.B) {
 	var res harness.Figure6Result
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = Figure6(DefaultParams())
+		res, err = Figure6(context.Background(), Exec{}, DefaultParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -137,7 +137,7 @@ func BenchmarkFigure7(b *testing.B) {
 	var res harness.Figure7Result
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = Figure7(DefaultParams())
+		res, err = Figure7(context.Background(), Exec{}, DefaultParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -166,7 +166,7 @@ func BenchmarkExecFigure4(b *testing.B) {
 		jobs := jobs
 		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := Figure4Ctx(context.Background(), Exec{Jobs: jobs}, HighlyThreaded, DefaultParams())
+				res, err := Figure4(context.Background(), Exec{Jobs: jobs}, HighlyThreaded, DefaultParams())
 				if err != nil {
 					b.Fatal(err)
 				}

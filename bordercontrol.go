@@ -40,6 +40,8 @@ import (
 	"bordercontrol/internal/hostos"
 	"bordercontrol/internal/memory"
 	"bordercontrol/internal/sim"
+	"bordercontrol/internal/stats"
+	"bordercontrol/internal/trace"
 	"bordercontrol/internal/workload"
 )
 
@@ -123,33 +125,133 @@ func RunCtx(ctx context.Context, mode Mode, class GPUClass, workloadName string,
 // border-violation detail).
 type RunError = harness.RunError
 
+// Observability: every Result (and sweep artifact) carries a hierarchical
+// metrics Snapshot, and runs can record Chrome trace-event timelines.
+
+// Snapshot is an immutable, name-ordered capture of every metric a run's
+// System registered (dotted paths: "border.bcc.miss_ratio", "gpu.l2.hits",
+// "engine.events", ...). It marshals to a flat ordered JSON object.
+type Snapshot = stats.Snapshot
+
+// HostStats is a run's host-side self-measurement (wall clock, events
+// fired, events per second); it feeds `bctool bench`.
+type HostStats = harness.HostStats
+
+// MergeSnapshots combines snapshots sample-by-sample: counters sum, ratio
+// gauges average. Use it to aggregate the runs of a custom sweep.
+func MergeSnapshots(snaps ...Snapshot) Snapshot { return stats.Merge(snaps...) }
+
+// Tracer records simulation events in Chrome trace-event form; pass one in
+// RunOptions.Tracer and write it with WriteJSON (open in Perfetto or
+// chrome://tracing).
+type Tracer = trace.Tracer
+
+// TraceSet merges the per-job Tracers of a sweep into one trace file, one
+// Perfetto process per job; set it on Exec.Trace.
+type TraceSet = trace.Multi
+
+// NewTracer builds a Tracer recording the given categories ("engine",
+// "gpu", "border", "border.check", ... — comma-splitting each argument);
+// with no categories it records everything.
+func NewTracer(categories ...string) *Tracer { return trace.New(categories...) }
+
+// NewTraceSet builds a TraceSet whose per-job Tracers record the given
+// categories.
+func NewTraceSet(categories ...string) *TraceSet { return trace.NewMulti(categories...) }
+
 // The experiment-execution layer (internal/exp): every figure, table and
 // probe sweep decomposes into independent jobs over fresh Systems, runs on
 // a bounded worker pool, and collects results in submission order — so
 // parallel artifacts are byte-identical to serial ones.
 
-// Exec configures sweep execution: Jobs workers (0 = GOMAXPROCS, 1 =
-// serial), an optional per-job Timeout, and an optional Progress callback.
-type Exec = harness.Exec
-
 // JobResult is one finished experiment job, as delivered to Exec.Progress.
-type JobResult = exp.Result
+type JobResult struct {
+	// Index is the job's position in the sweep's submission order.
+	Index int
+	// Name labels the job (e.g. "fig4/high/BC-BCC/bfs").
+	Name string
+	// Err is the job's failure, nil on success.
+	Err error
+	// Elapsed is the host wall-clock time the job took.
+	Elapsed time.Duration
+}
+
+// Exec configures sweep execution: Jobs workers (0 = GOMAXPROCS, 1 =
+// serial), an optional per-job Timeout, an optional Progress callback, and
+// an optional TraceSet collecting per-job timelines.
+type Exec struct {
+	// Jobs bounds concurrent simulations: 0 = GOMAXPROCS, 1 = serial.
+	Jobs int
+	// Timeout, when positive, bounds each simulation.
+	Timeout time.Duration
+	// Progress, when non-nil, receives each finished job in completion
+	// order (calls are serialized).
+	Progress func(JobResult)
+	// Trace, when non-nil, collects one Chrome-trace timeline per job of
+	// the sweep (open the written file in Perfetto). Pure observation:
+	// rendered artifacts are byte-identical with it on.
+	Trace *TraceSet
+}
+
+// toHarness converts the facade Exec to the internal execution config.
+func (e Exec) toHarness() harness.Exec {
+	hx := harness.Exec{Jobs: e.Jobs, Timeout: e.Timeout, Trace: e.Trace}
+	if e.Progress != nil {
+		progress := e.Progress
+		hx.Progress = func(r exp.Result) {
+			progress(JobResult{Index: r.Index, Name: r.Name, Err: r.Err, Elapsed: r.Elapsed})
+		}
+	}
+	return hx
+}
 
 // Figure4, Figure5, Figure6 and Figure7 regenerate the paper's evaluation
-// figures in parallel on all cores; each result renders itself as a text
-// table. The Ctx variants take a context and an Exec for cancellation,
-// timeouts, bounded parallelism and progress reporting.
-var (
-	Figure4 = harness.Figure4
-	Figure5 = harness.Figure5
-	Figure6 = harness.Figure6
-	Figure7 = harness.Figure7
+// figures on the parallel execution layer; each result renders itself as a
+// text table and carries the sweep's merged metrics snapshot in its Stats
+// field. The context cancels or times out the whole sweep; Exec bounds
+// parallelism and reports progress (the zero Exec uses all cores).
 
-	Figure4Ctx = harness.Figure4Ctx
-	Figure5Ctx = harness.Figure5Ctx
-	Figure6Ctx = harness.Figure6Ctx
-	Figure7Ctx = harness.Figure7Ctx
-)
+// Figure4 reproduces paper Figure 4 (runtime by configuration) for one GPU
+// class across all workloads.
+func Figure4(ctx context.Context, ex Exec, class GPUClass, p Params) (harness.Figure4Result, error) {
+	return harness.Figure4(ctx, ex.toHarness(), class, p)
+}
+
+// Figure5 reproduces paper Figure 5 (border requests per cycle).
+func Figure5(ctx context.Context, ex Exec, p Params) (harness.Figure5Result, error) {
+	return harness.Figure5(ctx, ex.toHarness(), p)
+}
+
+// Figure6 reproduces paper Figure 6 (BCC miss ratio vs geometry).
+func Figure6(ctx context.Context, ex Exec, p Params) (harness.Figure6Result, error) {
+	return harness.Figure6(ctx, ex.toHarness(), p)
+}
+
+// Figure7 reproduces paper Figure 7 (downgrade-rate sensitivity).
+func Figure7(ctx context.Context, ex Exec, p Params) (harness.Figure7Result, error) {
+	return harness.Figure7(ctx, ex.toHarness(), p)
+}
+
+// Deprecated: the figure generators are now ctx-first; Figure4Ctx is
+// Figure4. These wrappers will be removed in a future release.
+func Figure4Ctx(ctx context.Context, ex Exec, class GPUClass, p Params) (harness.Figure4Result, error) {
+	return Figure4(ctx, ex, class, p)
+}
+
+// Deprecated: use Figure5.
+func Figure5Ctx(ctx context.Context, ex Exec, p Params) (harness.Figure5Result, error) {
+	return Figure5(ctx, ex, p)
+}
+
+// Deprecated: use Figure6.
+func Figure6Ctx(ctx context.Context, ex Exec, p Params) (harness.Figure6Result, error) {
+	return Figure6(ctx, ex, p)
+}
+
+// Deprecated: use Figure7.
+func Figure7Ctx(ctx context.Context, ex Exec, p Params) (harness.Figure7Result, error) {
+	return Figure7(ctx, ex, p)
+}
 
 // RenderTable1, RenderTable2 and RenderTable3 regenerate the paper's
 // tables.
@@ -162,95 +264,110 @@ var (
 // SecurityMatrix probes every configuration with the paper's §2.1 threat
 // vectors (wild reads/writes, stale-TLB writes, late writebacks) and
 // RenderSecurityMatrix prints the BLOCKED/VULNERABLE table.
-var (
-	SecurityMatrix       = harness.SecurityMatrix
-	SecurityMatrixCtx    = harness.SecurityMatrixCtx
-	RenderSecurityMatrix = harness.RenderSecurityMatrix
-)
+func SecurityMatrix(ctx context.Context, ex Exec, p Params) ([]harness.SecurityResult, error) {
+	return harness.SecurityMatrix(ctx, ex.toHarness(), p)
+}
+
+// Deprecated: SecurityMatrix is now ctx-first; SecurityMatrixCtx is
+// SecurityMatrix. This wrapper will be removed in a future release.
+func SecurityMatrixCtx(ctx context.Context, ex Exec, p Params) ([]harness.SecurityResult, error) {
+	return SecurityMatrix(ctx, ex, p)
+}
+
+// RenderSecurityMatrix prints the BLOCKED/VULNERABLE table.
+var RenderSecurityMatrix = harness.RenderSecurityMatrix
 
 // Config configures a full evaluation sweep (RunAll).
 type Config struct {
 	// Params is the simulated-system configuration; the zero value means
-	// DefaultParams().
+	// DefaultParams(). Any other value must pass Params.Validate.
 	Params Params
-	// Exec controls parallelism, per-job timeouts and progress reporting.
+	// Exec controls parallelism, per-job timeouts, progress reporting and
+	// tracing.
 	Exec Exec
 }
 
-// Artifact is one rendered evaluation artifact and the wall-clock time it
-// took to regenerate.
+// Artifact is one rendered evaluation artifact: its text, the wall-clock
+// time it took to regenerate, and (for the simulation-backed artifacts)
+// the merged metrics snapshot of the runs behind it.
 type Artifact struct {
 	Name    string
 	Text    string
 	Elapsed time.Duration
+	// Stats aggregates the metrics snapshots of the simulations behind
+	// this artifact (empty for the static tables and the security matrix).
+	Stats Snapshot
 }
 
 // RunAll regenerates every evaluation artifact — the three tables, the
 // four figures (Figure 4 for both GPU classes) and the security matrix —
 // on the parallel execution layer, returning them in the paper's order.
 // It fails on the first failed job (in submission order), so any broken
-// simulation yields a non-nil error rather than a silently partial sweep.
+// simulation yields a non-nil error and nil artifacts rather than a
+// silently partial sweep.
 func RunAll(ctx context.Context, cfg Config) ([]Artifact, error) {
-	p := cfg.Params
-	if p.GPUHz == 0 {
-		p = DefaultParams()
+	p := cfg.Params.Normalize()
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("bordercontrol: %w", err)
 	}
 	ex := cfg.Exec
 	steps := []struct {
 		name string
-		gen  func() (string, error)
+		gen  func() (string, Snapshot, error)
 	}{
-		{"table1", func() (string, error) { return RenderTable1() + "\n", nil }},
-		{"table2", func() (string, error) { return RenderTable2() + "\n", nil }},
-		{"table3", func() (string, error) { return RenderTable3(p) + "\n", nil }},
-		{"fig4", func() (string, error) {
+		{"table1", func() (string, Snapshot, error) { return RenderTable1() + "\n", Snapshot{}, nil }},
+		{"table2", func() (string, Snapshot, error) { return RenderTable2() + "\n", Snapshot{}, nil }},
+		{"table3", func() (string, Snapshot, error) { return RenderTable3(p) + "\n", Snapshot{}, nil }},
+		{"fig4", func() (string, Snapshot, error) {
 			var text string
+			var snaps []Snapshot
 			for _, class := range []GPUClass{HighlyThreaded, ModeratelyThreaded} {
-				res, err := Figure4Ctx(ctx, ex, class, p)
+				res, err := Figure4(ctx, ex, class, p)
 				if err != nil {
-					return "", err
+					return "", Snapshot{}, err
 				}
 				text += res.Render() + "\n"
+				snaps = append(snaps, res.Stats)
 			}
-			return text, nil
+			return text, stats.Merge(snaps...), nil
 		}},
-		{"fig5", func() (string, error) {
-			res, err := Figure5Ctx(ctx, ex, p)
+		{"fig5", func() (string, Snapshot, error) {
+			res, err := Figure5(ctx, ex, p)
 			if err != nil {
-				return "", err
+				return "", Snapshot{}, err
 			}
-			return res.Render() + "\n", nil
+			return res.Render() + "\n", res.Stats, nil
 		}},
-		{"fig6", func() (string, error) {
-			res, err := Figure6Ctx(ctx, ex, p)
+		{"fig6", func() (string, Snapshot, error) {
+			res, err := Figure6(ctx, ex, p)
 			if err != nil {
-				return "", err
+				return "", Snapshot{}, err
 			}
-			return res.Render() + "\n", nil
+			return res.Render() + "\n", res.Stats, nil
 		}},
-		{"fig7", func() (string, error) {
-			res, err := Figure7Ctx(ctx, ex, p)
+		{"fig7", func() (string, Snapshot, error) {
+			res, err := Figure7(ctx, ex, p)
 			if err != nil {
-				return "", err
+				return "", Snapshot{}, err
 			}
-			return res.Render() + "\n", nil
+			return res.Render() + "\n", res.Stats, nil
 		}},
-		{"security", func() (string, error) {
-			res, err := SecurityMatrixCtx(ctx, ex, p)
+		{"security", func() (string, Snapshot, error) {
+			res, err := SecurityMatrix(ctx, ex, p)
 			if err != nil {
-				return "", err
+				return "", Snapshot{}, err
 			}
-			return RenderSecurityMatrix(res), nil
+			return RenderSecurityMatrix(res), Snapshot{}, nil
 		}},
 	}
 	var out []Artifact
 	for _, step := range steps {
 		start := time.Now()
-		text, err := step.gen()
+		text, snap, err := step.gen()
 		if err != nil {
-			return out, fmt.Errorf("bordercontrol: %s: %w", step.name, err)
+			return nil, fmt.Errorf("bordercontrol: %s: %w", step.name, err)
 		}
-		out = append(out, Artifact{Name: step.name, Text: text, Elapsed: time.Since(start)})
+		out = append(out, Artifact{Name: step.name, Text: text, Elapsed: time.Since(start), Stats: snap})
 	}
 	return out, nil
 }

@@ -15,20 +15,34 @@
 //	bctool all                             everything above + security matrix
 //	bctool security                        run the threat-model probe matrix
 //	bctool run -mode bc-bcc -class high -workload bfs [-downgrades N]
+//	bctool bench [-json]                   host-side self-measurement
+//	bctool tracecheck FILE                 validate a Chrome trace file
 //	bctool list                            list workloads and modes
 //
 // Figure, security and all accept -jobs N (0 = all cores, 1 = serial),
 // -timeout D (per simulation) and -quiet (suppress progress lines). Any
 // failed job makes bctool exit non-zero.
+//
+// Observability (run, figures and all):
+//
+//	-stats-json FILE   write the sweep's merged metrics snapshot as JSON
+//	-trace FILE        record a Chrome trace (open in Perfetto)
+//	-trace-cats LIST   trace categories (default "engine,gpu,border"; a
+//	                   parent enables its children, so border includes the
+//	                   per-check border.check events)
+//	-metrics           print the metrics snapshot to stderr
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -59,6 +73,10 @@ func main() {
 		err = all(ctx, args)
 	case "run":
 		err = runOne(ctx, args)
+	case "bench":
+		err = bench(ctx, args)
+	case "tracecheck":
+		err = traceCheck(args)
 	case "list":
 		fmt.Println("workloads:", strings.Join(bc.Workloads(), " "))
 		fmt.Println("modes:     ats-only full-iommu capi bc-nobcc bc-bcc")
@@ -74,7 +92,62 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: bctool <table1|table2|table3|fig4|fig5|fig6|fig7|security|all|run|list> [csv] [-jobs N] [-timeout D] [-quiet]`)
+	fmt.Fprintln(os.Stderr, `usage: bctool <table1|table2|table3|fig4|fig5|fig6|fig7|security|all|run|bench|tracecheck|list> [csv]
+	[-jobs N] [-timeout D] [-quiet] [-stats-json FILE] [-trace FILE] [-trace-cats LIST] [-metrics]`)
+}
+
+// obsFlags are the observability knobs shared by run and the sweeps.
+type obsFlags struct {
+	statsJSON string
+	tracePath string
+	traceCats string
+	metrics   bool
+}
+
+func (o *obsFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&o.statsJSON, "stats-json", "", "write the metrics snapshot as JSON to this file (- = stdout)")
+	fs.StringVar(&o.tracePath, "trace", "", "record a Chrome trace-event file (open in Perfetto)")
+	fs.StringVar(&o.traceCats, "trace-cats", "engine,gpu,border",
+		"comma-separated trace categories; a parent enables its children (border includes border.check)")
+	fs.BoolVar(&o.metrics, "metrics", false, "print the metrics snapshot to stderr")
+}
+
+// emitStats writes/prints the snapshot per the -stats-json and -metrics
+// flags.
+func (o *obsFlags) emitStats(snap bc.Snapshot) error {
+	if o.metrics {
+		fmt.Fprint(os.Stderr, snap.String())
+	}
+	if o.statsJSON == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if o.statsJSON == "-" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	return os.WriteFile(o.statsJSON, blob, 0o644)
+}
+
+// writeTrace writes any recorded trace to -trace.
+func writeTrace(path string, w interface{ WriteJSON(io.Writer) error }) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := w.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace written to %s\n", path)
+	return nil
 }
 
 // execFlags are the execution-layer knobs shared by every sweep command.
@@ -83,6 +156,7 @@ type execFlags struct {
 	timeout time.Duration
 	quiet   bool
 	csv     bool
+	obs     obsFlags
 }
 
 // parseExec parses sweep flags; a leading "csv" operand is accepted for
@@ -98,6 +172,7 @@ func parseExec(name string, args []string) (execFlags, error) {
 	fs.DurationVar(&f.timeout, "timeout", 0, "per-simulation timeout (0 = none)")
 	fs.BoolVar(&f.quiet, "quiet", false, "suppress per-job progress lines on stderr")
 	fs.BoolVar(&f.csv, "csv", f.csv, "emit CSV instead of a text table")
+	f.obs.register(fs)
 	err := fs.Parse(args)
 	return f, err
 }
@@ -133,11 +208,26 @@ func (t *tracker) done(r bc.JobResult) {
 
 func (f execFlags) exec(t *tracker) bc.Exec {
 	t.quiet = f.quiet
-	return bc.Exec{Jobs: f.jobs, Timeout: f.timeout, Progress: t.done}
+	ex := bc.Exec{Jobs: f.jobs, Timeout: f.timeout, Progress: t.done}
+	if f.obs.tracePath != "" {
+		ex.Trace = bc.NewTraceSet(f.obs.traceCats)
+	}
+	return ex
 }
 
 func fmtDur(d time.Duration) string {
 	return d.Round(time.Millisecond).String()
+}
+
+// finishObs emits the sweep's stats and trace after the artifact printed.
+func (f execFlags) finishObs(ex bc.Exec, snap bc.Snapshot) error {
+	if err := f.obs.emitStats(snap); err != nil {
+		return err
+	}
+	if ex.Trace != nil {
+		return writeTrace(f.obs.tracePath, ex.Trace)
+	}
+	return nil
 }
 
 // sweep runs one figure or the security matrix on the execution layer.
@@ -149,57 +239,64 @@ func sweep(ctx context.Context, cmd string, args []string) error {
 	var t tracker
 	ex := f.exec(&t)
 	p := bc.DefaultParams()
+	var snap bc.Snapshot
 	switch cmd {
 	case "fig4":
+		var snaps []bc.Snapshot
 		for _, class := range []bc.GPUClass{bc.HighlyThreaded, bc.ModeratelyThreaded} {
-			res, err := bc.Figure4Ctx(ctx, ex, class, p)
+			res, err := bc.Figure4(ctx, ex, class, p)
 			if err != nil {
 				return err
 			}
+			snaps = append(snaps, res.Stats)
 			if f.csv {
 				fmt.Print(res.CSV())
 			} else {
 				fmt.Println(res.Render())
 			}
 		}
+		snap = bc.MergeSnapshots(snaps...)
 	case "fig5":
-		res, err := bc.Figure5Ctx(ctx, ex, p)
+		res, err := bc.Figure5(ctx, ex, p)
 		if err != nil {
 			return err
 		}
+		snap = res.Stats
 		if f.csv {
 			fmt.Print(res.CSV())
 		} else {
 			fmt.Println(res.Render())
 		}
 	case "fig6":
-		res, err := bc.Figure6Ctx(ctx, ex, p)
+		res, err := bc.Figure6(ctx, ex, p)
 		if err != nil {
 			return err
 		}
+		snap = res.Stats
 		if f.csv {
 			fmt.Print(res.CSV())
 		} else {
 			fmt.Println(res.Render())
 		}
 	case "fig7":
-		res, err := bc.Figure7Ctx(ctx, ex, p)
+		res, err := bc.Figure7(ctx, ex, p)
 		if err != nil {
 			return err
 		}
+		snap = res.Stats
 		if f.csv {
 			fmt.Print(res.CSV())
 		} else {
 			fmt.Println(res.Render())
 		}
 	case "security":
-		results, err := bc.SecurityMatrixCtx(ctx, ex, p)
+		results, err := bc.SecurityMatrix(ctx, ex, p)
 		if err != nil {
 			return err
 		}
 		fmt.Print(bc.RenderSecurityMatrix(results))
 	}
-	return nil
+	return f.finishObs(ex, snap)
 }
 
 // all regenerates every artifact and prints a per-artifact wall-clock and
@@ -210,14 +307,17 @@ func all(ctx context.Context, args []string) error {
 		return err
 	}
 	var t tracker
+	ex := f.exec(&t)
 	start := time.Now()
-	artifacts, err := bc.RunAll(ctx, bc.Config{Exec: f.exec(&t)})
+	artifacts, err := bc.RunAll(ctx, bc.Config{Exec: ex})
 	if err != nil {
 		return err
 	}
 	wall := time.Since(start)
+	var snaps []bc.Snapshot
 	for _, a := range artifacts {
 		fmt.Print(a.Text)
+		snaps = append(snaps, a.Stats)
 	}
 
 	fmt.Fprintf(os.Stderr, "\n%-10s %10s\n", "artifact", "wall")
@@ -233,7 +333,7 @@ func all(ctx context.Context, args []string) error {
 	if t.failed > 0 {
 		return fmt.Errorf("%d of %d jobs failed", t.failed, t.jobs)
 	}
-	return nil
+	return f.finishObs(ex, bc.MergeSnapshots(snaps...))
 }
 
 func parseMode(s string) (bc.Mode, error) {
@@ -260,6 +360,8 @@ func runOne(ctx context.Context, args []string) error {
 	downgrades := fs.Float64("downgrades", 0, "permission downgrades per second to inject")
 	scale := fs.Int("scale", 1, "workload problem-size multiplier")
 	timeout := fs.Duration("timeout", 0, "abort the simulation after this long (0 = none)")
+	var obs obsFlags
+	obs.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -278,7 +380,13 @@ func runOne(ctx context.Context, args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := bc.RunCtx(ctx, m, cl, *name, p, bc.RunOptions{DowngradesPerSec: *downgrades})
+	opts := bc.RunOptions{DowngradesPerSec: *downgrades}
+	var tr *bc.Tracer
+	if obs.tracePath != "" {
+		tr = bc.NewTracer(obs.traceCats)
+		opts.Tracer = tr
+	}
+	res, err := bc.RunCtx(ctx, m, cl, *name, p, opts)
 	if err != nil {
 		return err
 	}
@@ -302,9 +410,168 @@ func runOne(ctx context.Context, args []string) error {
 	if res.Downgrades > 0 {
 		fmt.Printf("downgrades    %d\n", res.Downgrades)
 	}
+	fmt.Fprintf(os.Stderr, "host: %s wall, %d events, %.0f events/sec\n",
+		fmtDur(res.Host.Wall), res.Host.Events, res.Host.EventsPerSec)
+	if err := obs.emitStats(res.Stats); err != nil {
+		return err
+	}
+	if tr != nil {
+		if err := writeTrace(obs.tracePath, tr); err != nil {
+			return err
+		}
+	}
 	if res.VerifyErr != nil {
 		return fmt.Errorf("results INCORRECT: %w", res.VerifyErr)
 	}
 	fmt.Println("results       verified correct")
+	return nil
+}
+
+// benchRun is one row of `bctool bench` output: a (mode, class, workload)
+// simulation and its host-side self-measurement.
+type benchRun struct {
+	Name         string  `json:"name"`
+	SimPs        uint64  `json:"sim_ps"`
+	WallMs       float64 `json:"wall_ms"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// benchReport is the `bctool bench -json` document; checked-in snapshots
+// of it (BENCH.json) record simulator throughput on a reference host.
+type benchReport struct {
+	GOOS      string     `json:"goos"`
+	GOARCH    string     `json:"goarch"`
+	CPUs      int        `json:"cpus"`
+	GoVersion string     `json:"go_version"`
+	Runs      []benchRun `json:"runs"`
+	// TotalEventsPerSec is the sum of events over the sum of wall time —
+	// the simulator's aggregate serial throughput.
+	TotalEventsPerSec float64 `json:"total_events_per_sec"`
+}
+
+// bench self-measures the simulator: a fixed matrix of short runs, each
+// reporting wall-clock, events fired and events/sec from RunResult.Host.
+func bench(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	workloadName := fs.String("workload", "pathfinder", "workload to measure")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	matrix := []struct {
+		mode  bc.Mode
+		class bc.GPUClass
+		label string
+	}{
+		{bc.ATSOnly, bc.HighlyThreaded, "ats-only/high"},
+		{bc.BCBCC, bc.HighlyThreaded, "bc-bcc/high"},
+		{bc.FullIOMMU, bc.HighlyThreaded, "full-iommu/high"},
+		{bc.BCBCC, bc.ModeratelyThreaded, "bc-bcc/moderate"},
+	}
+	rep := benchReport{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+	var wall time.Duration
+	var events uint64
+	for _, m := range matrix {
+		res, err := bc.RunCtx(ctx, m.mode, m.class, *workloadName, bc.DefaultParams(), bc.RunOptions{})
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", m.label, err)
+		}
+		rep.Runs = append(rep.Runs, benchRun{
+			Name:         m.label + "/" + *workloadName,
+			SimPs:        uint64(res.Runtime),
+			WallMs:       float64(res.Host.Wall) / float64(time.Millisecond),
+			Events:       res.Host.Events,
+			EventsPerSec: res.Host.EventsPerSec,
+		})
+		wall += res.Host.Wall
+		events += res.Host.Events
+	}
+	if s := wall.Seconds(); s > 0 {
+		rep.TotalEventsPerSec = float64(events) / s
+	}
+	if *asJSON {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(blob))
+		return nil
+	}
+	fmt.Printf("%-28s %12s %12s %14s\n", "run", "wall", "events", "events/sec")
+	for _, r := range rep.Runs {
+		fmt.Printf("%-28s %11.1fms %12d %14.0f\n", r.Name, r.WallMs, r.Events, r.EventsPerSec)
+	}
+	fmt.Printf("aggregate: %.0f events/sec on %d CPUs (%s/%s, %s)\n",
+		rep.TotalEventsPerSec, rep.CPUs, rep.GOOS, rep.GOARCH, rep.GoVersion)
+	return nil
+}
+
+// traceCheck validates a Chrome trace-event file: well-formed JSON, the
+// fields Perfetto needs, and monotonically sane timestamps. It is the
+// `make trace-smoke` backend.
+func traceCheck(args []string) error {
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: bctool tracecheck FILE")
+	}
+	blob, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string   `json:"name"`
+			Cat  string   `json:"cat"`
+			Ph   string   `json:"ph"`
+			Ts   *float64 `json:"ts"`
+			Pid  *int     `json:"pid"`
+			Tid  *int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		return fmt.Errorf("%s: not valid trace JSON: %w", fs.Arg(0), err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("%s: no trace events", fs.Arg(0))
+	}
+	cats := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("%s: event %d has no name", fs.Arg(0), i)
+		}
+		switch ev.Ph {
+		case "X", "i", "C", "M":
+		default:
+			return fmt.Errorf("%s: event %d (%s) has unknown phase %q", fs.Arg(0), i, ev.Name, ev.Ph)
+		}
+		if ev.Ph != "M" {
+			if ev.Ts == nil || *ev.Ts < 0 {
+				return fmt.Errorf("%s: event %d (%s) has a missing or negative ts", fs.Arg(0), i, ev.Name)
+			}
+			cats[ev.Cat]++
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			return fmt.Errorf("%s: event %d (%s) lacks pid/tid", fs.Arg(0), i, ev.Name)
+		}
+	}
+	names := make([]string, 0, len(cats))
+	for c := range cats {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	fmt.Printf("%s: valid, %d events\n", fs.Arg(0), len(doc.TraceEvents))
+	for _, c := range names {
+		fmt.Printf("  %-16s %d\n", c, cats[c])
+	}
 	return nil
 }

@@ -139,3 +139,12 @@ func (p *BorderPort) Owned(addr arch.Phys) bool {
 
 // Evict tells the directory the accelerator silently dropped a clean block.
 func (p *BorderPort) Evict(addr arch.Phys) { p.dir.Evict(p.agent, addr) }
+
+// RegisterMetrics publishes the port's traffic counters under s
+// ("gpu.port.reads", "gpu.port.blocked_writes", ...).
+func (p *BorderPort) RegisterMetrics(s stats.Scope) {
+	s.Counter("reads", &p.Reads)
+	s.Counter("writes", &p.Writes)
+	s.Counter("blocked_reads", &p.BlockedReads)
+	s.Counter("blocked_writes", &p.BlockedWrites)
+}

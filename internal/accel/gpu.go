@@ -6,6 +6,7 @@ import (
 	"bordercontrol/internal/arch"
 	"bordercontrol/internal/sim"
 	"bordercontrol/internal/stats"
+	"bordercontrol/internal/trace"
 )
 
 // GPUConfig sets the compute side of the accelerator: how many compute
@@ -47,6 +48,10 @@ type GPU struct {
 	finish   sim.Time
 	err      error
 
+	// tr receives per-phase and per-kernel spans under the "gpu" category.
+	tr         *trace.Tracer
+	phaseStart sim.Time
+
 	// OpsDone counts completed memory operations.
 	OpsDone stats.Counter
 }
@@ -65,6 +70,17 @@ func NewGPU(cfg GPUConfig, eng *sim.Engine, hier Hierarchy) (*GPU, error) {
 
 // Config returns the GPU configuration.
 func (g *GPU) Config() GPUConfig { return g.cfg }
+
+// SetTracer attaches (or, with nil, detaches) a timeline tracer; the GPU
+// emits one span per phase and one per kernel under the "gpu" category.
+func (g *GPU) SetTracer(t *trace.Tracer) { g.tr = t }
+
+// RegisterMetrics publishes the GPU's counters under s ("gpu.ops",
+// "gpu.cycles").
+func (g *GPU) RegisterMetrics(s stats.Scope) {
+	s.Counter("ops", &g.OpsDone)
+	s.CounterFunc("cycles", g.Cycles)
+}
 
 // Hierarchy returns the memory hierarchy.
 func (g *GPU) Hierarchy() Hierarchy { return g.hier }
@@ -106,11 +122,18 @@ func (g *GPU) Runtime() sim.Time { return g.finish - g.start }
 func (g *GPU) Cycles() uint64 { return g.cfg.Clock.CyclesAt(g.Runtime()) }
 
 func (g *GPU) nextPhase(at sim.Time) {
+	if g.tr != nil && g.phaseIdx >= 0 && g.phaseIdx < len(g.prog.Phases) {
+		g.tr.Complete("gpu", g.prog.Phases[g.phaseIdx].Name, uint64(g.phaseStart), uint64(at-g.phaseStart))
+	}
 	g.phaseIdx++
+	g.phaseStart = at
 	if g.err != nil || g.phaseIdx >= len(g.prog.Phases) {
 		done := g.hier.Drain(at)
 		g.finished = true
 		g.finish = done
+		if g.tr != nil {
+			g.tr.Complete("gpu", "kernel "+g.prog.Name, uint64(g.start), uint64(done-g.start))
+		}
 		return
 	}
 	ph := &g.prog.Phases[g.phaseIdx]

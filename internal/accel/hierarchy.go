@@ -346,3 +346,68 @@ func (h *Sandboxed) Recall(addr arch.Phys) ([]byte, bool) {
 	}
 	return data[:], true
 }
+
+// RegisterMetrics publishes the hierarchy's counters under s: its own
+// traffic directly ("gpu.loads"), the per-CU L1 caches and TLBs aggregated
+// ("gpu.l1.hits"), and the shared L2 ("gpu.l2.hits").
+func (h *Sandboxed) RegisterMetrics(s stats.Scope) {
+	s.Counter("loads", &h.Loads)
+	s.Counter("stores", &h.Stores)
+	s.Counter("drains", &h.Drains)
+	s.Counter("downgrades", &h.Downgrades)
+
+	l1 := s.Scope("l1")
+	l1Hits := func() uint64 {
+		var n uint64
+		for _, c := range h.l1s {
+			n += c.HitMiss.Hits.Value()
+		}
+		return n
+	}
+	l1Misses := func() uint64 {
+		var n uint64
+		for _, c := range h.l1s {
+			n += c.HitMiss.Misses.Value()
+		}
+		return n
+	}
+	l1.CounterFunc("hits", l1Hits)
+	l1.CounterFunc("misses", l1Misses)
+	l1.Gauge("miss_ratio", func() float64 {
+		h, m := l1Hits(), l1Misses()
+		if h+m == 0 {
+			return 0
+		}
+		return float64(m) / float64(h+m)
+	})
+
+	l1tlb := s.Scope("l1tlb")
+	tlbHits := func() uint64 {
+		var n uint64
+		for _, t := range h.l1tlbs {
+			n += t.HitMiss.Hits.Value()
+		}
+		return n
+	}
+	tlbMisses := func() uint64 {
+		var n uint64
+		for _, t := range h.l1tlbs {
+			n += t.HitMiss.Misses.Value()
+		}
+		return n
+	}
+	l1tlb.CounterFunc("hits", tlbHits)
+	l1tlb.CounterFunc("misses", tlbMisses)
+	l1tlb.Gauge("miss_ratio", func() float64 {
+		h, m := tlbHits(), tlbMisses()
+		if h+m == 0 {
+			return 0
+		}
+		return float64(m) / float64(h+m)
+	})
+
+	h.l2.RegisterMetrics(s.Scope("l2"))
+	if h.border != nil {
+		h.border.RegisterMetrics(s.Scope("port"))
+	}
+}

@@ -248,3 +248,24 @@ func (h *CAPIHierarchy) Recall(addr arch.Phys) ([]byte, bool) {
 	}
 	return data[:], true
 }
+
+// RegisterMetrics publishes the IOMMU path's counters under s
+// ("gpu.loads", "gpu.stores", "gpu.port.*").
+func (h *IOMMUHierarchy) RegisterMetrics(s stats.Scope) {
+	s.Counter("loads", &h.Loads)
+	s.Counter("stores", &h.Stores)
+	if h.border != nil {
+		h.border.RegisterMetrics(s.Scope("port"))
+	}
+}
+
+// RegisterMetrics publishes the CAPI path's counters under s ("gpu.loads",
+// "gpu.l2.*", "gpu.port.*").
+func (h *CAPIHierarchy) RegisterMetrics(s stats.Scope) {
+	s.Counter("loads", &h.Loads)
+	s.Counter("stores", &h.Stores)
+	h.l2.RegisterMetrics(s.Scope("l2"))
+	if h.border != nil {
+		h.border.RegisterMetrics(s.Scope("port"))
+	}
+}

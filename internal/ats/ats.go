@@ -224,3 +224,14 @@ func (a *ATS) notify(at sim.Time, asid arch.ASID, vpn arch.VPN, ppn arch.PPN, pe
 func (a *ATS) InvalidatePage(asid arch.ASID, vpn arch.VPN) {
 	a.l2tlb.Invalidate(asid, vpn)
 }
+
+// RegisterMetrics publishes the IOMMU/ATS counters under s
+// ("iommu.translations", "iommu.walks", "iommu.l2tlb.hits", ...).
+func (a *ATS) RegisterMetrics(s stats.Scope) {
+	s.Counter("translations", &a.Translation)
+	s.Counter("walks", &a.Walks)
+	s.Counter("walk_reads", &a.WalkReads)
+	s.Counter("faults", &a.Faults)
+	s.Counter("rejected", &a.Rejected)
+	a.l2tlb.RegisterMetrics(s.Scope("l2tlb"))
+}

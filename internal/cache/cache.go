@@ -304,3 +304,11 @@ func (c *Cache) ValidBlocks() int {
 	}
 	return n
 }
+
+// RegisterMetrics publishes the cache's counters under s ("hits",
+// "misses", "miss_ratio", "writebacks", "fills" within the given scope).
+func (c *Cache) RegisterMetrics(s stats.Scope) {
+	s.HitMiss("", &c.HitMiss)
+	s.Counter("writebacks", &c.Writebacks)
+	s.Counter("fills", &c.Fills)
+}

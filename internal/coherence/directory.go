@@ -245,3 +245,12 @@ func (d *Directory) CheckInvariant(addr arch.Phys, canWrite func(agent Agent, ad
 	}
 	return nil
 }
+
+// RegisterMetrics publishes the directory's traffic counters under s
+// ("coherence.get_s", "coherence.recalls", ...).
+func (d *Directory) RegisterMetrics(s stats.Scope) {
+	s.Counter("get_s", &d.GetS)
+	s.Counter("get_m", &d.GetM)
+	s.Counter("recalls", &d.Recalls)
+	s.Counter("wb_recalls", &d.WBRecalls)
+}

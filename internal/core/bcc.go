@@ -199,3 +199,11 @@ func (b *BCC) ValidEntries() int {
 	}
 	return n
 }
+
+// RegisterMetrics publishes the BCC's counters under s ("hits", "misses",
+// "miss_ratio", "fills", "write_throughs" within the given scope).
+func (b *BCC) RegisterMetrics(s stats.Scope) {
+	s.HitMiss("", &b.CheckHitMiss)
+	s.Counter("fills", &b.Fills)
+	s.Counter("write_throughs", &b.WriteThroughs)
+}

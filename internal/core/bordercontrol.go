@@ -8,6 +8,7 @@ import (
 	"bordercontrol/internal/memory"
 	"bordercontrol/internal/sim"
 	"bordercontrol/internal/stats"
+	"bordercontrol/internal/trace"
 )
 
 // Sandboxed is what Border Control needs from the accelerator complex it
@@ -114,6 +115,12 @@ type BorderControl struct {
 	// TraceSink, when set, receives every check and insertion event.
 	TraceSink func(TraceEvent)
 
+	// tr receives timeline events when a tracer is attached. trChecks
+	// caches tr.Enabled("border.check") so the per-request hot path pays
+	// one branch, not a map lookup.
+	tr       *trace.Tracer
+	trChecks bool
+
 	// Stats.
 	Checks        stats.Counter
 	ReadChecks    stats.Counter
@@ -169,6 +176,33 @@ func (bc *BorderControl) SetAccelerator(a Sandboxed) { bc.accel = a }
 // indexes bare-metal physical addresses, so nothing else changes.
 func (bc *BorderControl) SetTableAllocator(f *hostos.FrameAllocator) { bc.tableAlloc = f }
 
+// SetTracer attaches (or, with nil, detaches) a timeline tracer. Border
+// events land in the "border" category; per-request check spans go to the
+// high-volume "border.check" category, recorded only when that category
+// is explicitly enabled.
+func (bc *BorderControl) SetTracer(t *trace.Tracer) {
+	bc.tr = t
+	bc.trChecks = t.Enabled("border.check")
+}
+
+// RegisterMetrics publishes the border's counters under s
+// ("border.checks", "border.violations", "border.bcc.miss_ratio", ...).
+func (bc *BorderControl) RegisterMetrics(s stats.Scope) {
+	s.Counter("checks", &bc.Checks)
+	s.Counter("read_checks", &bc.ReadChecks)
+	s.Counter("write_checks", &bc.WriteChecks)
+	s.Counter("violations", &bc.Violations)
+	s.Counter("insertions", &bc.Insertions)
+	s.Counter("table_reads", &bc.TableReads)
+	s.Counter("table_writes", &bc.TableWrites)
+	s.Counter("downgrades", &bc.Downgrades)
+	s.Counter("cache_flushes", &bc.CacheFlushes)
+	s.Counter("flush_stall_ps", &bc.FlushStallsPs)
+	if bc.bcc != nil {
+		bc.bcc.RegisterMetrics(s.Scope("bcc"))
+	}
+}
+
 // Disabled reports whether the border has shut the accelerator out.
 func (bc *BorderControl) Disabled() bool { return bc.disabled }
 
@@ -203,6 +237,9 @@ func (bc *BorderControl) ProcessStart(asid arch.ASID) error {
 	}
 	bc.useCount++
 	bc.active[asid] = true
+	if bc.tr != nil {
+		bc.tr.Instant("border", "process start", uint64(bc.eng.Now()))
+	}
 	if bc.cfg.EagerPopulate {
 		if p, ok := bc.os.Process(asid); ok {
 			p.ForEachMapped(func(_ arch.VPN, ppn arch.PPN, perm arch.Perm) {
@@ -225,6 +262,9 @@ func (bc *BorderControl) ProcessComplete(at sim.Time, asid arch.ASID) sim.Time {
 	if bc.accel != nil {
 		done = bc.accel.FlushAll(at)
 		bc.accel.InvalidateTLBAll()
+	}
+	if bc.tr != nil {
+		bc.tr.Complete("border", "process complete", uint64(at), uint64(done-at))
 	}
 	if bc.bcc != nil {
 		bc.bcc.InvalidateAll()
@@ -341,6 +381,13 @@ func (bc *BorderControl) Check(at sim.Time, addr arch.Phys, kind arch.AccessKind
 		d := bc.deny(done, addr, kind)
 		return d
 	}
+	if bc.trChecks {
+		name := "check read"
+		if kind == arch.Write {
+			name = "check write"
+		}
+		bc.tr.Complete("border.check", name, uint64(at), uint64(done-at))
+	}
 	return Decision{Allowed: true, Done: done}
 }
 
@@ -356,6 +403,9 @@ func (bc *BorderControl) tableAccess(at sim.Time, ppn arch.PPN) sim.Time {
 // decision. Requested read data is not returned and writes do not proceed.
 func (bc *BorderControl) deny(at sim.Time, addr arch.Phys, kind arch.AccessKind) Decision {
 	bc.Violations.Inc()
+	if bc.tr != nil {
+		bc.tr.Instant("border", "violation", uint64(at))
+	}
 	var culprit arch.ASID
 	if len(bc.active) == 1 {
 		for a := range bc.active {
@@ -416,6 +466,9 @@ func (bc *BorderControl) OnDowngrade(d hostos.Downgrade) {
 			}
 		}
 		bc.FlushStallsPs.Add(uint64(done - start))
+		if bc.tr != nil {
+			bc.tr.Complete("border", "downgrade flush", uint64(start), uint64(done-start))
+		}
 	} else {
 		// Read-only (e.g. copy-on-write) pages cannot be dirty: update in
 		// place with no flush (paper §3.2.4).

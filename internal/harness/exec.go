@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"bordercontrol/internal/exp"
+	"bordercontrol/internal/stats"
+	"bordercontrol/internal/trace"
 	"bordercontrol/internal/workload"
 )
 
@@ -21,6 +23,11 @@ type Exec struct {
 	// Progress, when non-nil, receives each finished job in completion
 	// order (calls are serialized).
 	Progress func(exp.Result)
+	// Trace, when non-nil, collects a per-job timeline for every
+	// simulation of the sweep into one merged Chrome trace (one Perfetto
+	// process per job, labelled by the job name). Tracing is pure
+	// observation: rendered artifacts are byte-identical with it on.
+	Trace *trace.Multi
 }
 
 func (e Exec) runner() *exp.Runner {
@@ -46,8 +53,22 @@ func runAll(ctx context.Context, ex Exec, p Params, specs []runSpec) ([]RunResul
 	return exp.Map(ctx, ex.runner(), specs,
 		func(_ int, s runSpec) string { return s.Label },
 		func(ctx context.Context, s runSpec) (RunResult, error) {
-			return RunCtx(ctx, s.Mode, s.Class, s.Spec, p, s.Opts)
+			opts := s.Opts
+			if ex.Trace != nil {
+				opts.Tracer = ex.Trace.New(s.Label)
+			}
+			return RunCtx(ctx, s.Mode, s.Class, s.Spec, p, opts)
 		})
+}
+
+// sweepStats aggregates the per-run snapshots of a sweep (see stats.Merge:
+// counters sum, ratio gauges average).
+func sweepStats(runs []RunResult) stats.Snapshot {
+	snaps := make([]stats.Snapshot, 0, len(runs))
+	for _, r := range runs {
+		snaps = append(snaps, r.Stats)
+	}
+	return stats.Merge(snaps...)
 }
 
 // classShort is a compact GPU-class label for job names.

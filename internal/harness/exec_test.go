@@ -32,7 +32,8 @@ func smokeSpecs(t *testing.T) []runSpec {
 
 // TestRunnerMatchesSerial runs the same sweep serially and at Jobs=8 and
 // requires identical results slot for slot: concurrent Systems must be
-// provably independent.
+// provably independent. Host self-measurement (wall clock, events/sec) is
+// the one legitimately nondeterministic field and is cleared first.
 func TestRunnerMatchesSerial(t *testing.T) {
 	p := DefaultParams()
 	serial, err := runAll(context.Background(), Exec{Jobs: 1}, p, smokeSpecs(t))
@@ -42,6 +43,10 @@ func TestRunnerMatchesSerial(t *testing.T) {
 	parallel, err := runAll(context.Background(), Exec{Jobs: 8}, p, smokeSpecs(t))
 	if err != nil {
 		t.Fatal(err)
+	}
+	for i := range serial {
+		serial[i].Host = HostStats{}
+		parallel[i].Host = HostStats{}
 	}
 	if !reflect.DeepEqual(serial, parallel) {
 		for i := range serial {
@@ -61,7 +66,7 @@ func TestFigure4Determinism(t *testing.T) {
 	p := DefaultParams()
 	var want string
 	for _, jobs := range []int{1, 4, 8} {
-		res, err := Figure4Ctx(context.Background(), Exec{Jobs: jobs}, HighlyThreaded, p)
+		res, err := Figure4(context.Background(), Exec{Jobs: jobs}, HighlyThreaded, p)
 		if err != nil {
 			t.Fatalf("jobs=%d: %v", jobs, err)
 		}
@@ -80,11 +85,11 @@ func TestFigure4Determinism(t *testing.T) {
 // parallelism.
 func TestSecurityMatrixParallel(t *testing.T) {
 	p := DefaultParams()
-	serial, err := SecurityMatrixCtx(context.Background(), Exec{Jobs: 1}, p)
+	serial, err := SecurityMatrix(context.Background(), Exec{Jobs: 1}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := SecurityMatrixCtx(context.Background(), Exec{Jobs: 8}, p)
+	parallel, err := SecurityMatrix(context.Background(), Exec{Jobs: 8}, p)
 	if err != nil {
 		t.Fatal(err)
 	}

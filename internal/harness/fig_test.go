@@ -1,6 +1,9 @@
 package harness
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // The figure tests regenerate each paper artifact and assert the SHAPE the
 // paper reports — the orderings and rough magnitudes EXPERIMENTS.md
@@ -11,7 +14,7 @@ func TestFigure4Highly(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full figure sweep")
 	}
-	res, err := Figure4(HighlyThreaded, DefaultParams())
+	res, err := Figure4(context.Background(), Exec{}, HighlyThreaded, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +43,7 @@ func TestFigure4Moderately(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full figure sweep")
 	}
-	res, err := Figure4(ModeratelyThreaded, DefaultParams())
+	res, err := Figure4(context.Background(), Exec{}, ModeratelyThreaded, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +61,7 @@ func TestFigure4Moderately(t *testing.T) {
 
 	// Cross-panel relationship: CAPI hurts the moderately threaded GPU
 	// more than the highly threaded one (paper: 16.5%% vs 3.81%%).
-	high, err := Figure4(HighlyThreaded, DefaultParams())
+	high, err := Figure4(context.Background(), Exec{}, HighlyThreaded, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +79,7 @@ func TestFigure5(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full figure sweep")
 	}
-	res, err := Figure5(DefaultParams())
+	res, err := Figure5(context.Background(), Exec{}, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +113,7 @@ func TestFigure6(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full figure sweep")
 	}
-	res, err := Figure6(DefaultParams())
+	res, err := Figure6(context.Background(), Exec{}, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +143,7 @@ func TestFigure7(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full figure sweep")
 	}
-	res, err := Figure7(DefaultParams())
+	res, err := Figure7(context.Background(), Exec{}, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}

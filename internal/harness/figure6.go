@@ -8,6 +8,7 @@ import (
 	"bordercontrol/internal/core"
 	"bordercontrol/internal/exp"
 	"bordercontrol/internal/memory"
+	"bordercontrol/internal/stats"
 	"bordercontrol/internal/workload"
 )
 
@@ -16,6 +17,9 @@ type bcTrace struct {
 	name   string
 	events []core.TraceEvent
 	maxPPN arch.PPN
+	// stats is the capture run's metrics snapshot; the functional replays
+	// have no timing, so the capture runs carry Figure 6's observability.
+	stats stats.Snapshot
 }
 
 // captureBCTraces runs every workload once under BC-BCC on the highly
@@ -75,6 +79,7 @@ func captureBCTrace(ctx context.Context, spec workload.Spec, p Params) (bcTrace,
 	if gerr := sys.GPU.Err(); gerr != nil {
 		return tr, fmt.Errorf("harness: trace capture %s: %w", spec.Name, gerr)
 	}
+	tr.stats = sys.Metrics.Snapshot()
 	return tr, nil
 }
 

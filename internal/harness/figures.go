@@ -27,19 +27,16 @@ type Figure4Result struct {
 	// GeoMean holds the geometric-mean overhead per mode, the numbers the
 	// paper quotes in the text (374%, 3.81%, 2.04%, 0.15% for 4a).
 	GeoMean map[Mode]float64
+	// Stats aggregates the metrics snapshots of every run in the sweep.
+	Stats stats.Snapshot
 }
 
 // Figure4 runs all seven workloads under the baseline and the four safe
-// configurations for the given GPU class, in parallel on all cores.
-func Figure4(class GPUClass, p Params) (Figure4Result, error) {
-	return Figure4Ctx(context.Background(), Exec{}, class, p)
-}
-
-// Figure4Ctx is Figure4 on the experiment-execution layer: the 7 workloads
-// x (baseline + 4 safe modes) independent simulations become a job list,
-// and ordered result collection keeps the rendered figure byte-identical
-// to a serial sweep at any parallelism.
-func Figure4Ctx(ctx context.Context, ex Exec, class GPUClass, p Params) (Figure4Result, error) {
+// configurations for the given GPU class on the experiment-execution
+// layer: the 7 workloads x (baseline + 4 safe modes) independent
+// simulations become a job list, and ordered result collection keeps the
+// rendered figure byte-identical to a serial sweep at any parallelism.
+func Figure4(ctx context.Context, ex Exec, class GPUClass, p Params) (Figure4Result, error) {
 	res := Figure4Result{Class: class, GeoMean: make(map[Mode]float64)}
 	specs := workload.All()
 
@@ -60,6 +57,7 @@ func Figure4Ctx(ctx context.Context, ex Exec, class GPUClass, p Params) (Figure4
 	if err != nil {
 		return res, err
 	}
+	res.Stats = sweepStats(runs)
 
 	per := make(map[Mode][]float64)
 	next := 0
@@ -149,17 +147,14 @@ type Figure5Row struct {
 type Figure5Result struct {
 	Rows    []Figure5Row
 	Average float64
+	// Stats aggregates the metrics snapshots of every run in the sweep.
+	Stats stats.Snapshot
 }
 
 // Figure5 measures requests/cycle checked by Border Control on the highly
-// threaded GPU under BC-BCC, in parallel on all cores.
-func Figure5(p Params) (Figure5Result, error) {
-	return Figure5Ctx(context.Background(), Exec{}, p)
-}
-
-// Figure5Ctx is Figure5 on the experiment-execution layer: one job per
-// workload.
-func Figure5Ctx(ctx context.Context, ex Exec, p Params) (Figure5Result, error) {
+// threaded GPU under BC-BCC, on the experiment-execution layer: one job
+// per workload.
+func Figure5(ctx context.Context, ex Exec, p Params) (Figure5Result, error) {
 	var res Figure5Result
 	var list []runSpec
 	for _, spec := range workload.All() {
@@ -172,6 +167,7 @@ func Figure5Ctx(ctx context.Context, ex Exec, p Params) (Figure5Result, error) {
 	if err != nil {
 		return res, err
 	}
+	res.Stats = sweepStats(runs)
 	var rates []float64
 	for _, r := range runs {
 		row := Figure5Row{
@@ -213,26 +209,29 @@ type Figure6Result struct {
 	Curves map[int][]Figure6Point
 	// PagesPerEntry lists the curve keys in order.
 	PagesPerEntry []int
+	// Stats aggregates the capture runs' metrics snapshots (the geometry
+	// replays are functional and carry no timing).
+	Stats stats.Snapshot
 }
 
 // Figure6 replays captured Border Control event traces through BCC models
 // of varying geometry. Traces are captured once per workload from a
 // BC-BCC run (trace-driven BCC simulation, like the paper's sweep); the
-// miss ratio is averaged over the benchmarks.
-func Figure6(p Params) (Figure6Result, error) {
-	return Figure6Ctx(context.Background(), Exec{}, p)
-}
-
-// Figure6Ctx is Figure6 on the experiment-execution layer: trace capture
-// is one job per workload, then each BCC geometry's replay is one job (a
-// replay mutates only its own store/table/BCC, so geometries sweep in
-// parallel over the shared read-only traces).
-func Figure6Ctx(ctx context.Context, ex Exec, p Params) (Figure6Result, error) {
+// miss ratio is averaged over the benchmarks. On the experiment-execution
+// layer, trace capture is one job per workload, then each BCC geometry's
+// replay is one job (a replay mutates only its own store/table/BCC, so
+// geometries sweep in parallel over the shared read-only traces).
+func Figure6(ctx context.Context, ex Exec, p Params) (Figure6Result, error) {
 	res := Figure6Result{Curves: make(map[int][]Figure6Point), PagesPerEntry: []int{1, 2, 32, 512}}
 	traces, err := captureBCTraces(ctx, ex, p)
 	if err != nil {
 		return res, err
 	}
+	snaps := make([]stats.Snapshot, 0, len(traces))
+	for _, tr := range traces {
+		snaps = append(snaps, tr.stats)
+	}
+	res.Stats = stats.Merge(snaps...)
 
 	type geometry struct {
 		ppe, entries int
@@ -304,6 +303,8 @@ type Figure7Point struct {
 type Figure7Result struct {
 	Rates  []float64
 	Points []Figure7Point
+	// Stats aggregates the metrics snapshots of every run in both waves.
+	Stats stats.Snapshot
 }
 
 // Figure7 reproduces the downgrade sweep. Simulated kernels last well under
@@ -314,17 +315,13 @@ type Figure7Result struct {
 // measure the per-downgrade cost densely (many injections per run) and
 // report overhead(rate) = baseline-overhead + rate * cost, averaged over
 // the benchmark suite, exactly the quantity the paper plots.
-func Figure7(p Params) (Figure7Result, error) {
-	return Figure7Ctx(context.Background(), Exec{}, p)
-}
-
-// Figure7Ctx runs the downgrade sweep on the experiment-execution layer in
-// two waves: wave one runs the unsafe baselines and the zero-downgrade
-// runs for every (class, mode, workload) point; wave two runs the
-// injection experiments, whose injection schedule depends on the measured
-// zero-downgrade runtime. Within each wave every simulation is
-// independent.
-func Figure7Ctx(ctx context.Context, ex Exec, p Params) (Figure7Result, error) {
+//
+// It runs on the experiment-execution layer in two waves: wave one runs
+// the unsafe baselines and the zero-downgrade runs for every (class, mode,
+// workload) point; wave two runs the injection experiments, whose
+// injection schedule depends on the measured zero-downgrade runtime.
+// Within each wave every simulation is independent.
+func Figure7(ctx context.Context, ex Exec, p Params) (Figure7Result, error) {
 	res := Figure7Result{Rates: []float64{0, 100, 200, 500, 1000}}
 	classes := []GPUClass{HighlyThreaded, ModeratelyThreaded}
 	modes := []Mode{BCBCC, ATSOnly}
@@ -380,6 +377,7 @@ func Figure7Ctx(ctx context.Context, ex Exec, p Params) (Figure7Result, error) {
 	if err != nil {
 		return res, err
 	}
+	res.Stats = stats.Merge(sweepStats(runs1), sweepStats(runs2))
 	inject := func(ci, mi, si int) RunResult {
 		return runs2[(ci*len(modes)+mi)*len(specs)+si]
 	}

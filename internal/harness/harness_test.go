@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -222,7 +223,7 @@ func TestCSVExports(t *testing.T) {
 }
 
 func TestSecurityMatrix(t *testing.T) {
-	results, err := SecurityMatrix(DefaultParams())
+	results, err := SecurityMatrix(context.Background(), Exec{}, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}

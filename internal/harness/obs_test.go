@@ -1,0 +1,184 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"bordercontrol/internal/trace"
+	"bordercontrol/internal/workload"
+)
+
+func mustSpec(t *testing.T, name string) workload.Spec {
+	t.Helper()
+	spec, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("%s not registered", name)
+	}
+	return spec
+}
+
+// TestSnapshotDeterministic runs the same simulation twice and requires
+// byte-identical stats JSON: the metrics layer must observe only simulated
+// state, never host state.
+func TestSnapshotDeterministic(t *testing.T) {
+	spec := mustSpec(t, "pathfinder")
+	p := DefaultParams()
+	var blobs [][]byte
+	for i := 0; i < 2; i++ {
+		res, err := Run(BCBCC, ModeratelyThreaded, spec, p, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(res.Stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+	}
+	if !bytes.Equal(blobs[0], blobs[1]) {
+		t.Errorf("stats JSON differs between identical runs:\n%s\n%s", blobs[0], blobs[1])
+	}
+}
+
+// TestSnapshotCoverage checks the snapshot spans every subsystem the issue
+// names: BCC, TLBs, caches, DRAM and the engine, under dotted paths.
+func TestSnapshotCoverage(t *testing.T) {
+	spec := mustSpec(t, "pathfinder")
+	res, err := Run(BCBCC, HighlyThreaded, spec, DefaultParams(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Stats
+	for _, name := range []string{
+		"engine.events",
+		"dram.accesses",
+		"dram.row_hit_ratio",
+		"iommu.translations",
+		"iommu.l2tlb.hits",
+		"border.checks",
+		"border.bcc.hits",
+		"border.bcc.miss_ratio",
+		"gpu.ops",
+		"gpu.l1.miss_ratio",
+		"gpu.l1tlb.hits",
+		"gpu.l2.hits",
+		"gpu.port.reads",
+	} {
+		if _, ok := snap.Get(name); !ok {
+			t.Errorf("snapshot is missing %q", name)
+		}
+	}
+	// Cross-check against the scalar result fields the tables render.
+	if got := snap.Counter("border.checks"); got != res.BCChecks {
+		t.Errorf("border.checks = %d, result field says %d", got, res.BCChecks)
+	}
+	if got := snap.Counter("gpu.ops"); got != res.Ops {
+		t.Errorf("gpu.ops = %d, result field says %d", got, res.Ops)
+	}
+	if got := snap.Gauge("border.bcc.miss_ratio"); got != res.BCCMissRatio {
+		t.Errorf("border.bcc.miss_ratio = %v, result field says %v", got, res.BCCMissRatio)
+	}
+}
+
+// TestTracerIsPureObservation runs with and without a tracer attached and
+// requires identical simulation results — tracing must never perturb
+// timing — while the trace itself must be valid Chrome trace JSON with
+// events from the engine, GPU and border categories.
+func TestTracerIsPureObservation(t *testing.T) {
+	spec := mustSpec(t, "pathfinder")
+	p := DefaultParams()
+	plain, err := Run(BCBCC, ModeratelyThreaded, spec, p, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New()
+	traced, err := Run(BCBCC, ModeratelyThreaded, spec, p, RunOptions{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.Host, traced.Host = HostStats{}, HostStats{}
+	pj, _ := json.Marshal(plain)
+	tj, _ := json.Marshal(traced)
+	if !bytes.Equal(pj, tj) {
+		t.Errorf("tracer changed the simulation:\nplain:  %s\ntraced: %s", pj, tj)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	cats := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if i := indexByte(ev.Cat, '.'); i >= 0 {
+			cats[ev.Cat[:i]] = true
+		} else if ev.Cat != "" {
+			cats[ev.Cat] = true
+		}
+	}
+	for _, want := range []string{"engine", "gpu", "border"} {
+		if !cats[want] {
+			t.Errorf("trace has no %q events (have %v)", want, cats)
+		}
+	}
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestSweepTraceMerges checks Exec.Trace collects one Perfetto process per
+// job of a sweep.
+func TestSweepTraceMerges(t *testing.T) {
+	spec := mustSpec(t, "pathfinder")
+	multi := trace.NewMulti("engine,border")
+	specs := []runSpec{
+		{Label: "trace/a", Mode: BCBCC, Class: ModeratelyThreaded, Spec: spec},
+		{Label: "trace/b", Mode: BCNoBCC, Class: ModeratelyThreaded, Spec: spec},
+	}
+	if _, err := runAll(context.Background(), Exec{Jobs: 2, Trace: multi}, DefaultParams(), specs); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := multi.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Pid  int    `json:"pid"`
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+			Args struct {
+				Name string `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	labels := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			labels[ev.Args.Name] = true
+		}
+	}
+	if !labels["trace/a"] || !labels["trace/b"] {
+		t.Errorf("merged trace missing per-job processes, have %v", labels)
+	}
+}

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"fmt"
+
+	"bordercontrol/internal/arch"
+)
+
+// Normalize returns the params a caller actually meant: the zero value
+// becomes DefaultParams (the Table 3 system), anything else passes through
+// unchanged. This replaces field-sniffing ("GPUHz == 0 means defaults") at
+// the call sites — a partially-filled Params is NOT normalized and will be
+// rejected by Validate with a message naming the missing field.
+func (p Params) Normalize() Params {
+	if p == (Params{}) {
+		return DefaultParams()
+	}
+	return p
+}
+
+// Validate checks every field a System assembly depends on and returns a
+// descriptive error for the first problem found. The zero value fails;
+// start from DefaultParams (or call Normalize) and override from there.
+func (p Params) Validate() error {
+	if p == (Params{}) {
+		return fmt.Errorf("harness: zero Params; start from DefaultParams() or call Normalize()")
+	}
+	fail := func(field, format string, args ...interface{}) error {
+		return fmt.Errorf("harness: invalid Params.%s: %s (start from DefaultParams and override)",
+			field, fmt.Sprintf(format, args...))
+	}
+	if p.PhysMemBytes == 0 || p.PhysMemBytes%arch.PageSize != 0 {
+		return fail("PhysMemBytes", "%d is not a positive multiple of the %d-byte page", p.PhysMemBytes, arch.PageSize)
+	}
+	if p.CPUHz <= 0 || p.CPUHz > 1e12 {
+		return fail("CPUHz", "%v Hz outside (0, 1 THz]", p.CPUHz)
+	}
+	if p.GPUHz <= 0 || p.GPUHz > 1e12 {
+		return fail("GPUHz", "%v Hz outside (0, 1 THz]", p.GPUHz)
+	}
+	if p.DRAM.Channels <= 0 {
+		return fail("DRAM.Channels", "need at least one channel, got %d", p.DRAM.Channels)
+	}
+	if p.DRAM.BandwidthBytesPerSec <= 0 {
+		return fail("DRAM.BandwidthBytesPerSec", "non-positive bandwidth %v", p.DRAM.BandwidthBytesPerSec)
+	}
+	if p.HighCUs <= 0 || p.HighWavesPerCU <= 0 {
+		return fail("HighCUs/HighWavesPerCU", "need positive GPU geometry, got %d CUs x %d waves", p.HighCUs, p.HighWavesPerCU)
+	}
+	if p.ModCUs <= 0 || p.ModWavesPerCU <= 0 {
+		return fail("ModCUs/ModWavesPerCU", "need positive GPU geometry, got %d CUs x %d waves", p.ModCUs, p.ModWavesPerCU)
+	}
+	if p.HighL2Bytes <= 0 {
+		return fail("HighL2Bytes", "need a positive L2 size, got %d", p.HighL2Bytes)
+	}
+	if p.ModL2Bytes <= 0 {
+		return fail("ModL2Bytes", "need a positive L2 size, got %d", p.ModL2Bytes)
+	}
+	if err := p.BCC.Validate(); err != nil {
+		return fail("BCC", "%v", err)
+	}
+	if p.Scale < 1 {
+		return fail("Scale", "workload scale must be >= 1, got %d", p.Scale)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalize(t *testing.T) {
+	var zero Params
+	if got := zero.Normalize(); got != DefaultParams() {
+		t.Error("zero Params should normalize to DefaultParams")
+	}
+	p := DefaultParams()
+	p.Scale = 7
+	if got := p.Normalize(); got != p {
+		t.Error("non-zero Params must pass through Normalize unchanged")
+	}
+	if err := zero.Normalize().Validate(); err != nil {
+		t.Errorf("normalized zero Params should validate, got %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("DefaultParams must validate, got %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*Params)
+		want string // substring the error must contain
+	}{
+		{"zero", func(p *Params) { *p = Params{} }, "zero Params"},
+		{"phys-zero", func(p *Params) { p.PhysMemBytes = 0 }, "PhysMemBytes"},
+		{"phys-unaligned", func(p *Params) { p.PhysMemBytes += 3 }, "PhysMemBytes"},
+		{"cpu-hz-zero", func(p *Params) { p.CPUHz = 0 }, "CPUHz"},
+		{"cpu-hz-absurd", func(p *Params) { p.CPUHz = 2e12 }, "CPUHz"},
+		{"gpu-hz-zero", func(p *Params) { p.GPUHz = 0 }, "GPUHz"},
+		{"gpu-hz-negative", func(p *Params) { p.GPUHz = -1 }, "GPUHz"},
+		{"dram-channels", func(p *Params) { p.DRAM.Channels = 0 }, "DRAM.Channels"},
+		{"dram-bandwidth", func(p *Params) { p.DRAM.BandwidthBytesPerSec = 0 }, "DRAM.BandwidthBytesPerSec"},
+		{"high-cus", func(p *Params) { p.HighCUs = 0 }, "HighCUs"},
+		{"high-waves", func(p *Params) { p.HighWavesPerCU = -2 }, "HighWavesPerCU"},
+		{"mod-cus", func(p *Params) { p.ModCUs = 0 }, "ModCUs"},
+		{"high-l2", func(p *Params) { p.HighL2Bytes = 0 }, "HighL2Bytes"},
+		{"mod-l2", func(p *Params) { p.ModL2Bytes = 0 }, "ModL2Bytes"},
+		{"bcc", func(p *Params) { p.BCC.Entries = -1 }, "BCC"},
+		{"scale", func(p *Params) { p.Scale = 0 }, "Scale"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := DefaultParams()
+			tc.mut(&p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted a broken Params")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestNewSystemRejectsInvalidParams checks assembly fails fast with the
+// descriptive Validate error instead of a downstream panic.
+func TestNewSystemRejectsInvalidParams(t *testing.T) {
+	p := DefaultParams()
+	p.DRAM.Channels = 0
+	if _, err := NewSystem(BCBCC, HighlyThreaded, p); err == nil || !strings.Contains(err.Error(), "DRAM.Channels") {
+		t.Errorf("NewSystem error = %v, want a Params.DRAM.Channels validation error", err)
+	}
+	if _, err := NewSystem(BCBCC, HighlyThreaded, Params{}); err == nil || !strings.Contains(err.Error(), "zero Params") {
+		t.Errorf("NewSystem error = %v, want the zero-Params validation error", err)
+	}
+}

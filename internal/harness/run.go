@@ -3,11 +3,15 @@ package harness
 import (
 	"context"
 	"fmt"
+	"sort"
+	"time"
 
 	"bordercontrol/internal/accel"
 	"bordercontrol/internal/arch"
 	"bordercontrol/internal/hostos"
 	"bordercontrol/internal/sim"
+	"bordercontrol/internal/stats"
+	"bordercontrol/internal/trace"
 	"bordercontrol/internal/workload"
 )
 
@@ -48,6 +52,22 @@ type RunOptions struct {
 	// SkipVerify skips the functional output check (used by sweeps that
 	// deliberately perturb timing only).
 	SkipVerify bool
+	// Tracer, when non-nil, records the run's timeline (engine, border,
+	// and GPU events) in Chrome trace-event form. Pure observation: a run
+	// with a tracer attached produces identical results to one without.
+	Tracer *trace.Tracer
+}
+
+// HostStats is the host-side self-measurement of one run: how long the
+// simulation took in wall-clock terms and how fast the engine processed
+// events. It feeds `bctool bench`.
+type HostStats struct {
+	// Wall is the host wall-clock duration of the Engine.Run call.
+	Wall time.Duration
+	// Events is how many discrete events the engine fired.
+	Events uint64
+	// EventsPerSec is Events divided by Wall.
+	EventsPerSec float64
 }
 
 // RunResult reports one workload execution on one system configuration.
@@ -86,6 +106,15 @@ type RunResult struct {
 
 	// VerifyErr reports a functional-output mismatch (nil when correct).
 	VerifyErr error
+
+	// Stats is the full hierarchical metrics snapshot of the run's System
+	// — every registered counter and ratio under its dotted path. The
+	// scalar fields above remain as the rendered tables' inputs; new
+	// consumers should read Stats.
+	Stats stats.Snapshot
+
+	// Host is the host-side self-measurement of this run.
+	Host HostStats
 }
 
 // RequestsPerCycle returns border checks per GPU cycle (Figure 5).
@@ -154,7 +183,12 @@ func RunCtx(ctx context.Context, mode Mode, class GPUClass, spec workload.Spec, 
 			}
 		}
 	}
+	if opts.Tracer != nil {
+		sys.AttachTracer(opts.Tracer)
+	}
+	wallStart := time.Now()
 	sys.Eng.Run()
+	wall := time.Since(wallStart)
 
 	if !sys.GPU.Finished() {
 		// Distinguish an external interruption (cancellation, timeout) from
@@ -204,6 +238,11 @@ func RunCtx(ctx context.Context, mode Mode, class GPUClass, spec workload.Spec, 
 			res.BCCMissRatio = bcc.CheckHitMiss.MissRatio()
 		}
 	}
+	res.Stats = sys.Metrics.Snapshot()
+	res.Host = HostStats{Wall: wall, Events: sys.Eng.Fired()}
+	if s := wall.Seconds(); s > 0 {
+		res.Host.EventsPerSec = float64(res.Host.Events) / s
+	}
 
 	// Process completion (Figure 3e), then verify the results the program
 	// left in memory.
@@ -225,12 +264,15 @@ func injectDowngradesEvery(sys *System, proc *hostos.Process, interval sim.Time,
 		interval = 1
 	}
 	// Snapshot the writable pages (generation already faulted them in).
+	// ForEachMapped iterates a map in random order; sort so the injection
+	// round-robin — and therefore Figure 7 — is identical on every run.
 	var pages []arch.Virt
 	proc.ForEachMapped(func(vpn arch.VPN, _ arch.PPN, perm arch.Perm) {
 		if perm.CanWrite() {
 			pages = append(pages, vpn.Base())
 		}
 	})
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
 	count := new(uint64)
 	if len(pages) == 0 {
 		return count

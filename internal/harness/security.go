@@ -54,15 +54,10 @@ type SecurityResult struct {
 // The full-IOMMU and CAPI-like paths keep no accelerator-side physical
 // state, so the wild-physical-address probes target the sandboxed
 // configurations (and the unsafe baseline, where they succeed — that is
-// the paper's threat).
-func SecurityMatrix(p Params) ([]SecurityResult, error) {
-	return SecurityMatrixCtx(context.Background(), Exec{}, p)
-}
-
-// SecurityMatrixCtx runs the probe matrix on the experiment-execution
-// layer: every (configuration, attack) probe builds its own System, so all
-// probes run in parallel and land in report order.
-func SecurityMatrixCtx(ctx context.Context, ex Exec, p Params) ([]SecurityResult, error) {
+// the paper's threat). It runs on the experiment-execution layer: every
+// (configuration, attack) probe builds its own System, so all probes run
+// in parallel and land in report order.
+func SecurityMatrix(ctx context.Context, ex Exec, p Params) ([]SecurityResult, error) {
 	type cell struct {
 		cfg string
 		atk Attack

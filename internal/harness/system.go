@@ -14,6 +14,8 @@ import (
 	"bordercontrol/internal/hostos"
 	"bordercontrol/internal/memory"
 	"bordercontrol/internal/sim"
+	"bordercontrol/internal/stats"
+	"bordercontrol/internal/trace"
 )
 
 // Mode is one of the five evaluated safety configurations (paper Table 2).
@@ -160,6 +162,44 @@ type System struct {
 
 	GPUClock sim.Clock
 	Name     string // accelerator name
+
+	// Metrics is the run-scoped registry every component registered its
+	// counters with at assembly time. Snapshot it after a run for the full
+	// hierarchical view ("engine.events", "gpu.l2.hits",
+	// "border.bcc.miss_ratio", ...).
+	Metrics *stats.Registry
+}
+
+// registerMetrics builds the system's registry. Registration stores
+// accessors only, so it has no effect on simulated behaviour.
+func (sys *System) registerMetrics() {
+	reg := stats.NewRegistry()
+	sys.Eng.RegisterMetrics(reg.Scope("engine"))
+	sys.DRAM.RegisterMetrics(reg.Scope("dram"))
+	sys.ATS.RegisterMetrics(reg.Scope("iommu"))
+	sys.Dir.RegisterMetrics(reg.Scope("coherence"))
+	if sys.BC != nil {
+		sys.BC.RegisterMetrics(reg.Scope("border"))
+	}
+	gpu := reg.Scope("gpu")
+	sys.GPU.RegisterMetrics(gpu)
+	// Each hierarchy registers its own cache/TLB/port structure; the
+	// optional interface keeps custom test hierarchies assembly-compatible.
+	if rm, ok := sys.Hier.(interface{ RegisterMetrics(stats.Scope) }); ok {
+		rm.RegisterMetrics(gpu)
+	}
+	sys.Metrics = reg
+}
+
+// AttachTracer threads a timeline tracer through the engine, the border,
+// and the GPU. Tracing is pure observation — attaching a tracer never
+// changes simulated timing — and a nil tracer detaches cleanly.
+func (sys *System) AttachTracer(t *trace.Tracer) {
+	sys.Eng.Tracer = t
+	if sys.BC != nil {
+		sys.BC.SetTracer(t)
+	}
+	sys.GPU.SetTracer(t)
 }
 
 // atsShootdown forwards OS downgrades to the trusted L2 TLB.
@@ -169,8 +209,13 @@ func (a atsShootdown) OnDowngrade(d hostos.Downgrade) {
 	a.ats.InvalidatePage(d.ASID, d.VPN)
 }
 
-// NewSystem assembles a machine for the given configuration.
+// NewSystem assembles a machine for the given configuration. The params
+// must be complete: NewSystem validates them and rejects partially-filled
+// values with a descriptive error (see Params.Validate / Normalize).
 func NewSystem(mode Mode, class GPUClass, p Params) (*System, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	gpuClock, err := sim.NewClock(p.GPUHz)
 	if err != nil {
 		return nil, err
@@ -280,5 +325,6 @@ func NewSystem(mode Mode, class GPUClass, p Params) (*System, error) {
 		return nil, err
 	}
 	sys.GPU = gpu
+	sys.registerMetrics()
 	return sys, nil
 }

@@ -159,3 +159,20 @@ func (d *DRAM) Utilization(elapsed sim.Time) float64 {
 
 // Accesses returns the total number of block accesses.
 func (d *DRAM) Accesses() uint64 { return d.Reads.Value() + d.Writes.Value() }
+
+// RegisterMetrics publishes the DRAM counters under s ("dram.reads",
+// "dram.row_hit_ratio", ...).
+func (d *DRAM) RegisterMetrics(s stats.Scope) {
+	s.Counter("reads", &d.Reads)
+	s.Counter("writes", &d.Writes)
+	s.CounterFunc("accesses", d.Accesses)
+	s.Counter("row_hits", &d.RowHits)
+	s.Counter("bytes_moved", &d.BytesMoved)
+	s.CounterFunc("channels", func() uint64 { return uint64(len(d.channels)) })
+	s.Gauge("row_hit_ratio", func() float64 {
+		if n := d.Accesses(); n > 0 {
+			return float64(d.RowHits.Value()) / float64(n)
+		}
+		return 0
+	})
+}

@@ -14,6 +14,9 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"bordercontrol/internal/stats"
+	"bordercontrol/internal/trace"
 )
 
 // Time is a simulation timestamp in picoseconds.
@@ -109,6 +112,11 @@ type Engine struct {
 	// outside the simulated timeline (context cancellation, timeouts)
 	// without affecting the determinism of runs that complete.
 	Interrupt func() bool
+
+	// Tracer, when non-nil, receives a queue-depth counter sample every
+	// interruptStride events under the "engine" category. It is pure
+	// observation: attaching a tracer never changes scheduling.
+	Tracer *trace.Tracer
 }
 
 // interruptStride is how many events Run executes between Interrupt polls;
@@ -156,14 +164,27 @@ func (e *Engine) Step() bool {
 // and returns the final time.
 func (e *Engine) Run() Time {
 	for {
-		if e.Interrupt != nil && e.fired%interruptStride == 0 && e.Interrupt() {
-			break
+		if e.fired%interruptStride == 0 {
+			if e.Interrupt != nil && e.Interrupt() {
+				break
+			}
+			if e.Tracer != nil {
+				e.Tracer.Counter("engine", "pending_events", uint64(e.now), float64(len(e.events)))
+			}
 		}
 		if !e.Step() {
 			break
 		}
 	}
 	return e.now
+}
+
+// RegisterMetrics publishes the engine's progress counters under s
+// ("engine.events", "engine.pending", "engine.now_ps").
+func (e *Engine) RegisterMetrics(s stats.Scope) {
+	s.CounterFunc("events", e.Fired)
+	s.CounterFunc("pending", func() uint64 { return uint64(e.Pending()) })
+	s.CounterFunc("now_ps", func() uint64 { return uint64(e.now) })
 }
 
 // RunUntil executes events with timestamps <= deadline, then advances the

@@ -1,0 +1,304 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file holds the run-scoped metrics registry. Components register
+// named counters and gauges under dotted paths ("gpu.l2.hits",
+// "border.bcc.miss_ratio", "engine.events") when a System is assembled;
+// the harness snapshots the registry once the run completes. Registration
+// stores accessor funcs, never copies, so it costs nothing on the
+// simulation hot path: values are only read at Snapshot time.
+
+// Kind distinguishes the two sample shapes a registry can hold.
+type Kind uint8
+
+const (
+	// KindCounter is a monotonically increasing integer count.
+	KindCounter Kind = iota
+	// KindGauge is a point-in-time float (ratios, utilizations).
+	KindGauge
+)
+
+// String returns "counter" or "gauge".
+func (k Kind) String() string {
+	if k == KindGauge {
+		return "gauge"
+	}
+	return "counter"
+}
+
+// metric is one registered accessor.
+type metric struct {
+	name string
+	kind Kind
+	u64  func() uint64
+	f64  func() float64
+}
+
+// Registry is a run-scoped collection of metric accessors. It is built
+// once per System, is not safe for concurrent mutation, and is read only
+// when Snapshot is called. The zero Registry is not usable; call
+// NewRegistry.
+type Registry struct {
+	metrics []metric
+	index   map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]int)}
+}
+
+// Scope returns a registration scope whose names are prefixed with
+// prefix + ".". An empty prefix scopes to the registry root.
+func (r *Registry) Scope(prefix string) Scope {
+	return Scope{r: r, prefix: prefix}
+}
+
+// register adds one accessor. Duplicate names are a wiring bug in the
+// System assembly, so they panic rather than silently shadowing.
+func (r *Registry) register(m metric) {
+	if _, dup := r.index[m.name]; dup {
+		panic(fmt.Sprintf("stats: duplicate metric %q", m.name))
+	}
+	r.index[m.name] = len(r.metrics)
+	r.metrics = append(r.metrics, m)
+}
+
+// Len returns how many metrics are registered.
+func (r *Registry) Len() int { return len(r.metrics) }
+
+// Snapshot reads every registered accessor and returns the values as an
+// immutable, name-sorted sample list.
+func (r *Registry) Snapshot() Snapshot {
+	samples := make([]Sample, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		s := Sample{Name: m.name, Kind: m.kind}
+		switch m.kind {
+		case KindCounter:
+			s.Count = m.u64()
+		case KindGauge:
+			s.Value = m.f64()
+		}
+		samples = append(samples, s)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Name < samples[j].Name })
+	return Snapshot{Samples: samples}
+}
+
+// Scope names metrics under a dotted-path prefix. Scopes are cheap values;
+// nested components receive a sub-scope rather than the whole registry.
+type Scope struct {
+	r      *Registry
+	prefix string
+}
+
+// join returns the full dotted path for name within the scope.
+func (s Scope) join(name string) string {
+	switch {
+	case s.prefix == "":
+		return name
+	case name == "":
+		return s.prefix
+	default:
+		return s.prefix + "." + name
+	}
+}
+
+// Scope returns a child scope one path segment deeper.
+func (s Scope) Scope(name string) Scope {
+	return Scope{r: s.r, prefix: s.join(name)}
+}
+
+// Counter registers an existing Counter under name.
+func (s Scope) Counter(name string, c *Counter) {
+	s.CounterFunc(name, c.Value)
+}
+
+// CounterFunc registers a counter whose value is produced by f at
+// snapshot time — used to aggregate per-CU structures into one figure.
+func (s Scope) CounterFunc(name string, f func() uint64) {
+	s.r.register(metric{name: s.join(name), kind: KindCounter, u64: f})
+}
+
+// Gauge registers a float accessor (ratio, utilization) under name.
+func (s Scope) Gauge(name string, f func() float64) {
+	s.r.register(metric{name: s.join(name), kind: KindGauge, f64: f})
+}
+
+// HitMiss registers the standard trio for a cache-like structure: under
+// base (empty means directly in the scope) it adds "hits", "misses", and
+// a "miss_ratio" gauge.
+func (s Scope) HitMiss(base string, hm *HitMiss) {
+	sub := s
+	if base != "" {
+		sub = s.Scope(base)
+	}
+	sub.Counter("hits", &hm.Hits)
+	sub.Counter("misses", &hm.Misses)
+	sub.Gauge("miss_ratio", hm.MissRatio)
+}
+
+// Sample is one metric value captured by Snapshot.
+type Sample struct {
+	Name  string
+	Kind  Kind
+	Count uint64  // valid when Kind == KindCounter
+	Value float64 // valid when Kind == KindGauge
+}
+
+// Snapshot is an ordered, immutable capture of a registry. Samples are
+// sorted by name, so rendering and JSON output are deterministic.
+type Snapshot struct {
+	Samples []Sample
+}
+
+// Get returns the sample with the given dotted name.
+func (s Snapshot) Get(name string) (Sample, bool) {
+	i := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].Name >= name })
+	if i < len(s.Samples) && s.Samples[i].Name == name {
+		return s.Samples[i], true
+	}
+	return Sample{}, false
+}
+
+// Counter returns the named counter's value, or 0 when absent.
+func (s Snapshot) Counter(name string) uint64 {
+	smp, _ := s.Get(name)
+	return smp.Count
+}
+
+// Gauge returns the named gauge's value, or 0 when absent.
+func (s Snapshot) Gauge(name string) float64 {
+	smp, _ := s.Get(name)
+	return smp.Value
+}
+
+// String renders the snapshot one "name value" line per sample, in name
+// order.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	for _, smp := range s.Samples {
+		b.WriteString(smp.Name)
+		b.WriteByte(' ')
+		if smp.Kind == KindGauge {
+			b.WriteString(formatGauge(smp.Value))
+		} else {
+			b.WriteString(strconv.FormatUint(smp.Count, 10))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// formatGauge renders a gauge value deterministically; non-finite values
+// (which no well-formed ratio should produce) collapse to 0 so the output
+// stays valid JSON.
+func formatGauge(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "0"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// MarshalJSON renders the snapshot as a flat JSON object whose keys appear
+// in name order — identical runs produce byte-identical output. Counters
+// marshal as integers, gauges as shortest-round-trip floats.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i, smp := range s.Samples {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		key, err := json.Marshal(smp.Name)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(key)
+		b.WriteByte(':')
+		if smp.Kind == KindGauge {
+			b.WriteString(formatGauge(smp.Value))
+		} else {
+			b.WriteString(strconv.FormatUint(smp.Count, 10))
+		}
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
+}
+
+// UnmarshalJSON restores a snapshot from the flat-object form produced by
+// MarshalJSON. Sample order follows name order regardless of input order;
+// numbers with a fractional part or exponent load as gauges, the rest as
+// counters.
+func (s *Snapshot) UnmarshalJSON(data []byte) error {
+	var raw map[string]json.Number
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	samples := make([]Sample, 0, len(raw))
+	for name, num := range raw {
+		text := num.String()
+		if !strings.ContainsAny(text, ".eE") {
+			if u, err := strconv.ParseUint(text, 10, 64); err == nil {
+				samples = append(samples, Sample{Name: name, Kind: KindCounter, Count: u})
+				continue
+			}
+		}
+		f, err := num.Float64()
+		if err != nil {
+			return fmt.Errorf("stats: sample %q: %w", name, err)
+		}
+		samples = append(samples, Sample{Name: name, Kind: KindGauge, Value: f})
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Name < samples[j].Name })
+	s.Samples = samples
+	return nil
+}
+
+// Merge combines snapshots from several runs into one aggregate view:
+// counters sum, gauges average over the snapshots that contain them. The
+// gauge mean is advisory (a mean of ratios, not a ratio of sums) — exact
+// re-derivation is always possible from the summed hit/miss counters.
+func Merge(snaps ...Snapshot) Snapshot {
+	type acc struct {
+		kind  Kind
+		count uint64
+		sum   float64
+		n     int
+	}
+	byName := make(map[string]*acc)
+	var names []string
+	for _, snap := range snaps {
+		for _, smp := range snap.Samples {
+			a, ok := byName[smp.Name]
+			if !ok {
+				a = &acc{kind: smp.Kind}
+				byName[smp.Name] = a
+				names = append(names, smp.Name)
+			}
+			a.count += smp.Count
+			a.sum += smp.Value
+			a.n++
+		}
+	}
+	sort.Strings(names)
+	samples := make([]Sample, 0, len(names))
+	for _, name := range names {
+		a := byName[name]
+		smp := Sample{Name: name, Kind: a.kind, Count: a.count}
+		if a.kind == KindGauge && a.n > 0 {
+			smp.Value = a.sum / float64(a.n)
+		}
+		samples = append(samples, smp)
+	}
+	return Snapshot{Samples: samples}
+}

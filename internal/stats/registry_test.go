@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRegistrySnapshotOrdered(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	c.Add(7)
+	gpu := r.Scope("gpu")
+	gpu.Counter("ops", &c)
+	gpu.Scope("l2").CounterFunc("fills", func() uint64 { return 3 })
+	r.Scope("engine").CounterFunc("events", func() uint64 { return 42 })
+	r.Scope("border").Gauge("utilization", func() float64 { return 0.5 })
+
+	snap := r.Snapshot()
+	want := []string{"border.utilization", "engine.events", "gpu.l2.fills", "gpu.ops"}
+	if len(snap.Samples) != len(want) {
+		t.Fatalf("got %d samples, want %d", len(snap.Samples), len(want))
+	}
+	for i, name := range want {
+		if snap.Samples[i].Name != name {
+			t.Errorf("sample %d = %s, want %s", i, snap.Samples[i].Name, name)
+		}
+	}
+	if snap.Counter("gpu.ops") != 7 || snap.Counter("engine.events") != 42 {
+		t.Errorf("counter values wrong: %v", snap.Samples)
+	}
+	if snap.Gauge("border.utilization") != 0.5 {
+		t.Errorf("gauge value wrong")
+	}
+	if _, ok := snap.Get("nope"); ok {
+		t.Error("Get on missing name should report false")
+	}
+}
+
+func TestRegistryLiveAccessors(t *testing.T) {
+	// Registration must capture the accessor, not the value.
+	r := NewRegistry()
+	var c Counter
+	r.Scope("x").Counter("n", &c)
+	c.Add(9)
+	if got := r.Snapshot().Counter("x.n"); got != 9 {
+		t.Errorf("snapshot = %d, want live value 9", got)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration should panic")
+		}
+	}()
+	r := NewRegistry()
+	var c Counter
+	r.Scope("a").Counter("n", &c)
+	r.Scope("a").Counter("n", &c)
+}
+
+func TestScopeHitMiss(t *testing.T) {
+	r := NewRegistry()
+	var hm HitMiss
+	hm.Record(true)
+	hm.Record(true)
+	hm.Record(false)
+	r.Scope("gpu").HitMiss("l1", &hm)
+	var direct HitMiss
+	direct.Record(false)
+	r.Scope("bcc").HitMiss("", &direct)
+	snap := r.Snapshot()
+	if snap.Counter("gpu.l1.hits") != 2 || snap.Counter("gpu.l1.misses") != 1 {
+		t.Errorf("hitmiss counters wrong: %v", snap.Samples)
+	}
+	if snap.Counter("bcc.misses") != 1 {
+		t.Errorf("empty-base HitMiss should register directly in scope: %v", snap.Samples)
+	}
+	if got := snap.Gauge("gpu.l1.miss_ratio"); got < 0.33 || got > 0.34 {
+		t.Errorf("miss ratio = %v", got)
+	}
+}
+
+func TestSnapshotJSONDeterministicAndValid(t *testing.T) {
+	build := func() Snapshot {
+		r := NewRegistry()
+		var hm HitMiss
+		hm.Record(true)
+		hm.Record(false)
+		r.Scope("gpu").HitMiss("l2", &hm)
+		r.Scope("engine").CounterFunc("events", func() uint64 { return 12345 })
+		r.Scope("dram").Gauge("row_hit_ratio", func() float64 { return 1.0 / 3.0 })
+		return r.Snapshot()
+	}
+	a, err := json.Marshal(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("identical snapshots marshal differently:\n%s\n%s", a, b)
+	}
+	// Keys appear in sorted order in the raw bytes.
+	if di, ei := bytes.Index(a, []byte("dram")), bytes.Index(a, []byte("engine")); di < 0 || ei < 0 || di > ei {
+		t.Errorf("keys out of order: %s", a)
+	}
+	// Round-trips through the standard library.
+	var back Snapshot
+	if err := json.Unmarshal(a, &back); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if back.Counter("engine.events") != 12345 {
+		t.Errorf("round trip lost counter: %v", back.Samples)
+	}
+	if g := back.Gauge("dram.row_hit_ratio"); g < 0.333 || g > 0.334 {
+		t.Errorf("round trip lost gauge: %v", g)
+	}
+	if !strings.Contains(build().String(), "engine.events 12345\n") {
+		t.Errorf("String() wrong:\n%s", build().String())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	mk := func(hits, misses uint64) Snapshot {
+		r := NewRegistry()
+		var hm HitMiss
+		hm.Hits.Add(hits)
+		hm.Misses.Add(misses)
+		r.Scope("l1").HitMiss("", &hm)
+		return r.Snapshot()
+	}
+	m := Merge(mk(3, 1), mk(1, 3))
+	if m.Counter("l1.hits") != 4 || m.Counter("l1.misses") != 4 {
+		t.Errorf("merged counters wrong: %v", m.Samples)
+	}
+	// Gauges average: (0.25 + 0.75) / 2.
+	if g := m.Gauge("l1.miss_ratio"); g != 0.5 {
+		t.Errorf("merged gauge = %v, want 0.5", g)
+	}
+	if len(Merge().Samples) != 0 {
+		t.Error("empty merge should be empty")
+	}
+}

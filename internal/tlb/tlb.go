@@ -154,3 +154,11 @@ func (t *TLB) Valid() int {
 	}
 	return n
 }
+
+// RegisterMetrics publishes the TLB's counters under s ("hits", "misses",
+// "miss_ratio", "invalidates", "flushes" within the given scope).
+func (t *TLB) RegisterMetrics(s stats.Scope) {
+	s.HitMiss("", &t.HitMiss)
+	s.Counter("invalidates", &t.Invalidates)
+	s.Counter("flushes", &t.Flushes)
+}

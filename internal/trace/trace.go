@@ -1,0 +1,310 @@
+// Package trace records simulation events in the Chrome trace-event JSON
+// format, loadable in Perfetto (ui.perfetto.dev) and chrome://tracing.
+//
+// Design constraints, in order:
+//
+//  1. Off means free. Every emit helper is a method on *Tracer with an
+//     explicit nil-receiver check, so instrumented components hold a plain
+//     possibly-nil pointer and pay one predictable branch when tracing is
+//     disabled. Hot paths (the border check) additionally gate on a bool
+//     the component caches at attach time.
+//  2. Observation only. Tracing must never perturb the simulated timeline:
+//     the tracer takes timestamps as raw picosecond integers supplied by
+//     the caller and never consults a clock of its own.
+//  3. Determinism. Events are kept in emission order (which is itself
+//     deterministic for a deterministic run), and JSON rendering is pure
+//     formatting — identical runs produce identical trace bytes.
+//
+// Timestamps are uint64 picoseconds, not sim.Time, so that package sim can
+// itself import trace without an import cycle. The JSON "ts"/"dur" fields
+// are microseconds per the trace-event spec; values render with six
+// decimal places, i.e. exact picosecond resolution.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Phase bytes from the trace-event format.
+const (
+	phaseComplete = 'X' // duration event: ts + dur
+	phaseInstant  = 'i' // point event
+	phaseCounter  = 'C' // sampled counter track
+)
+
+// event is one recorded trace entry.
+type event struct {
+	name  string
+	cat   string
+	ph    byte
+	ts    uint64 // picoseconds
+	dur   uint64 // picoseconds, phaseComplete only
+	value float64
+}
+
+// Tracer collects events for one simulated run. A Tracer is not safe for
+// concurrent use; parallel sweeps give each job its own Tracer via Multi.
+// A nil *Tracer is valid and records nothing.
+type Tracer struct {
+	cats   map[string]bool // nil or empty: every category enabled
+	events []event
+	name   string // process label when rendered through Multi
+}
+
+// New returns a tracer that records only the listed categories; with no
+// arguments every category is enabled. A category enables its
+// sub-categories ("border" also enables "border.check").
+func New(cats ...string) *Tracer {
+	t := &Tracer{}
+	if len(cats) > 0 {
+		t.cats = make(map[string]bool, len(cats))
+		for _, c := range cats {
+			for _, part := range strings.Split(c, ",") {
+				if part = strings.TrimSpace(part); part != "" {
+					t.cats[part] = true
+				}
+			}
+		}
+	}
+	return t
+}
+
+// Enabled reports whether events in cat would be recorded. It is safe on a
+// nil receiver (false).
+func (t *Tracer) Enabled(cat string) bool {
+	if t == nil {
+		return false
+	}
+	if len(t.cats) == 0 {
+		return true
+	}
+	if t.cats[cat] {
+		return true
+	}
+	// A parent category enables its children: "border" covers "border.check".
+	for i := strings.LastIndexByte(cat, '.'); i > 0; i = strings.LastIndexByte(cat, '.') {
+		cat = cat[:i]
+		if t.cats[cat] {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns how many events are recorded.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Instant records a point event at ps.
+func (t *Tracer) Instant(cat, name string, ps uint64) {
+	if !t.Enabled(cat) {
+		return
+	}
+	t.events = append(t.events, event{name: name, cat: cat, ph: phaseInstant, ts: ps})
+}
+
+// Complete records a duration event spanning [startPs, startPs+durPs].
+func (t *Tracer) Complete(cat, name string, startPs, durPs uint64) {
+	if !t.Enabled(cat) {
+		return
+	}
+	t.events = append(t.events, event{name: name, cat: cat, ph: phaseComplete, ts: startPs, dur: durPs})
+}
+
+// Counter records a sample on a counter track (rendered by Perfetto as a
+// stepped area chart).
+func (t *Tracer) Counter(cat, name string, ps uint64, value float64) {
+	if !t.Enabled(cat) {
+		return
+	}
+	t.events = append(t.events, event{name: name, cat: cat, ph: phaseCounter, ts: ps, value: value})
+}
+
+// WriteJSON renders the trace as a single-process Chrome trace-event JSON
+// object.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	bw := &errWriter{w: w}
+	bw.str(`{"displayTimeUnit":"ns","traceEvents":[`)
+	writeProcessMeta(bw, 0, t.label(), true)
+	t.writeEvents(bw, 0, true)
+	bw.str("]}\n")
+	return bw.err
+}
+
+// label returns the process label for rendering.
+func (t *Tracer) label() string {
+	if t == nil || t.name == "" {
+		return "sim"
+	}
+	return t.name
+}
+
+// writeEvents appends the tracer's events as JSON array elements.
+func (t *Tracer) writeEvents(bw *errWriter, pid int, leadingComma bool) {
+	if t == nil {
+		return
+	}
+	for _, ev := range t.events {
+		if leadingComma {
+			bw.str(",")
+		}
+		leadingComma = true
+		bw.str(`{"name":`)
+		bw.quoted(ev.name)
+		bw.str(`,"cat":`)
+		bw.quoted(ev.cat)
+		bw.str(`,"ph":"`)
+		bw.byte(ev.ph)
+		bw.str(`","pid":`)
+		bw.int(pid)
+		bw.str(`,"tid":0,"ts":`)
+		bw.micros(ev.ts)
+		switch ev.ph {
+		case phaseComplete:
+			bw.str(`,"dur":`)
+			bw.micros(ev.dur)
+		case phaseInstant:
+			bw.str(`,"s":"t"`)
+		case phaseCounter:
+			bw.str(`,"args":{"value":`)
+			bw.float(ev.value)
+			bw.str("}")
+		}
+		bw.str("}")
+	}
+}
+
+// writeProcessMeta emits the metadata event naming a pid's process track.
+func writeProcessMeta(bw *errWriter, pid int, name string, first bool) {
+	if !first {
+		bw.str(",")
+	}
+	bw.str(`{"name":"process_name","ph":"M","pid":`)
+	bw.int(pid)
+	bw.str(`,"tid":0,"args":{"name":`)
+	bw.quoted(name)
+	bw.str("}}")
+}
+
+// Multi hands out one Tracer per job in a parallel sweep and merges them
+// into a single multi-process trace, one pid per job. New is safe to call
+// from concurrent workers; each returned Tracer is still single-goroutine.
+type Multi struct {
+	mu      sync.Mutex
+	cats    []string
+	tracers []*Tracer
+}
+
+// NewMulti returns an empty trace set; cats filter as in New.
+func NewMulti(cats ...string) *Multi {
+	return &Multi{cats: cats}
+}
+
+// New registers and returns a tracer labelled name (shown as the Perfetto
+// process name). Safe for concurrent use.
+func (m *Multi) New(name string) *Tracer {
+	t := New(m.cats...)
+	t.name = name
+	m.mu.Lock()
+	m.tracers = append(m.tracers, t)
+	m.mu.Unlock()
+	return t
+}
+
+// Len returns the total event count across all tracers.
+func (m *Multi) Len() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, t := range m.tracers {
+		n += len(t.events)
+	}
+	return n
+}
+
+// WriteJSON renders every job's events into one trace, jobs sorted by
+// label for deterministic output regardless of worker completion order.
+func (m *Multi) WriteJSON(w io.Writer) error {
+	m.mu.Lock()
+	tracers := append([]*Tracer(nil), m.tracers...)
+	m.mu.Unlock()
+	sort.SliceStable(tracers, func(i, j int) bool { return tracers[i].label() < tracers[j].label() })
+
+	bw := &errWriter{w: w}
+	bw.str(`{"displayTimeUnit":"ns","traceEvents":[`)
+	wrote := false
+	for pid, t := range tracers {
+		writeProcessMeta(bw, pid, t.label(), !wrote)
+		wrote = true
+		t.writeEvents(bw, pid, true)
+	}
+	bw.str("]}\n")
+	return bw.err
+}
+
+// errWriter is a sticky-error writer with the few formatting helpers the
+// renderer needs; a reused scratch buffer keeps the event loop free of
+// per-event allocations.
+type errWriter struct {
+	w   io.Writer
+	err error
+	buf []byte
+}
+
+func (b *errWriter) write(p []byte) {
+	if b.err != nil {
+		return
+	}
+	_, b.err = b.w.Write(p)
+}
+
+func (b *errWriter) flush() {
+	b.write(b.buf)
+	b.buf = b.buf[:0]
+}
+
+func (b *errWriter) str(s string) {
+	b.buf = append(b.buf, s...)
+	b.flush()
+}
+
+func (b *errWriter) byte(c byte) {
+	b.buf = append(b.buf, c)
+	b.flush()
+}
+
+func (b *errWriter) int(n int) {
+	b.buf = strconv.AppendInt(b.buf, int64(n), 10)
+	b.flush()
+}
+
+func (b *errWriter) quoted(s string) {
+	b.buf = strconv.AppendQuote(b.buf, s)
+	b.flush()
+}
+
+// micros renders picoseconds as microseconds with full picosecond
+// precision (six decimal places).
+func (b *errWriter) micros(ps uint64) {
+	b.buf = strconv.AppendUint(b.buf, ps/1_000_000, 10)
+	b.buf = append(b.buf, '.')
+	b.buf = append(b.buf, fmt.Sprintf("%06d", ps%1_000_000)...)
+	b.flush()
+}
+
+func (b *errWriter) float(v float64) {
+	b.buf = strconv.AppendFloat(b.buf, v, 'g', -1, 64)
+	b.flush()
+}

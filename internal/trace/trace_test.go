@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// chromeTrace mirrors the subset of the trace-event JSON container format
+// the tests validate.
+type chromeTrace struct {
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	TraceEvents     []json.RawMessage `json:"traceEvents"`
+}
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Pid  *int           `json:"pid"`
+	Tid  *int           `json:"tid"`
+	Ts   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	Args map[string]any `json:"args"`
+}
+
+func parseTrace(t *testing.T, data []byte) []chromeEvent {
+	t.Helper()
+	var ct chromeTrace
+	if err := json.Unmarshal(data, &ct); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, data)
+	}
+	events := make([]chromeEvent, len(ct.TraceEvents))
+	for i, raw := range ct.TraceEvents {
+		if err := json.Unmarshal(raw, &events[i]); err != nil {
+			t.Fatalf("event %d does not parse: %v", i, err)
+		}
+	}
+	return events
+}
+
+func TestNilTracerIsSafeAndFree(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled("engine") {
+		t.Error("nil tracer should report disabled")
+	}
+	tr.Instant("engine", "x", 1)
+	tr.Complete("engine", "x", 1, 2)
+	tr.Counter("engine", "x", 1, 3)
+	if tr.Len() != 0 {
+		t.Error("nil tracer recorded events")
+	}
+}
+
+func TestCategoryFiltering(t *testing.T) {
+	tr := New("border", "engine")
+	if !tr.Enabled("border") || !tr.Enabled("engine") {
+		t.Error("listed categories should be enabled")
+	}
+	if !tr.Enabled("border.check") {
+		t.Error("parent category should enable children")
+	}
+	if tr.Enabled("gpu") {
+		t.Error("unlisted category should be disabled")
+	}
+	tr.Instant("gpu", "dropped", 10)
+	tr.Instant("border", "kept", 10)
+	if tr.Len() != 1 {
+		t.Errorf("len = %d, want 1", tr.Len())
+	}
+	// Comma-separated spec and the no-filter default.
+	if tr := New("gpu, border.check"); !tr.Enabled("border.check") || tr.Enabled("border") {
+		t.Error("child category must not enable its parent")
+	}
+	if tr := New(); !tr.Enabled("anything") {
+		t.Error("no filter means everything enabled")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tr := New()
+	tr.Complete("gpu", "phase 0", 1_000_000, 2_500_000) // 1µs start, 2.5µs dur
+	tr.Instant("border", "violation", 3_000_001)
+	tr.Counter("engine", "pending_events", 4_000_000, 17)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events := parseTrace(t, buf.Bytes())
+	// Metadata + 3 events.
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	if events[0].Ph != "M" || events[0].Name != "process_name" {
+		t.Errorf("first event should be process metadata: %+v", events[0])
+	}
+	x := events[1]
+	if x.Ph != "X" || x.Cat != "gpu" || *x.Ts != 1.0 || *x.Dur != 2.5 {
+		t.Errorf("complete event wrong: %+v", x)
+	}
+	i := events[2]
+	if i.Ph != "i" || *i.Ts != 3.000001 {
+		t.Errorf("instant event wrong: %+v (ts=%v)", i, *i.Ts)
+	}
+	c := events[3]
+	if c.Ph != "C" || c.Args["value"].(float64) != 17 {
+		t.Errorf("counter event wrong: %+v", c)
+	}
+}
+
+func TestMultiMergesDeterministically(t *testing.T) {
+	render := func(order []string) []byte {
+		m := NewMulti()
+		for _, name := range order {
+			tr := m.New(name)
+			tr.Instant("border", "ev "+name, 5)
+		}
+		var buf bytes.Buffer
+		if err := m.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := render([]string{"b/job", "a/job"})
+	b := render([]string{"a/job", "b/job"})
+	if !bytes.Equal(a, b) {
+		t.Errorf("multi trace depends on registration order:\n%s\n%s", a, b)
+	}
+	events := parseTrace(t, a)
+	// Two metadata + two instants, pids 0 and 1 sorted by label.
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	if events[0].Args["name"] != "a/job" || *events[0].Pid != 0 {
+		t.Errorf("pid 0 should be a/job: %+v", events[0])
+	}
+	if got := *events[1].Pid; got != 0 {
+		t.Errorf("a/job's event should carry pid 0, got %d", got)
+	}
+	if events[2].Args["name"] != "b/job" || *events[2].Pid != 1 {
+		t.Errorf("pid 1 should be b/job: %+v", events[2])
+	}
+}
+
+func TestMultiCategoryFilterPropagates(t *testing.T) {
+	m := NewMulti("engine")
+	tr := m.New("job")
+	tr.Instant("border", "dropped", 1)
+	tr.Instant("engine", "kept", 1)
+	if m.Len() != 1 {
+		t.Errorf("multi len = %d, want 1", m.Len())
+	}
+}
+
+func BenchmarkDisabledInstant(b *testing.B) {
+	var tr *Tracer
+	for i := 0; i < b.N; i++ {
+		tr.Instant("border.check", "check", uint64(i))
+	}
+}
