@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check trace-smoke bench-json
+.PHONY: all build vet test race bench check trace-smoke bench-json bench-check fuzz-smoke
 
 all: check
 
@@ -36,4 +36,17 @@ trace-smoke:
 bench-json:
 	$(GO) run ./cmd/bctool bench -json > BENCH.json
 
-check: vet build test race trace-smoke
+# Re-run the bench matrix and compare against the checked-in snapshot:
+# sim_ps/events must match exactly (the model is deterministic and
+# host-independent); the events/sec delta is informational only.
+bench-check:
+	$(GO) run ./cmd/bctool bench -compare BENCH.json
+
+# Short coverage-guided runs of both fuzz targets: the border-protocol
+# differential fuzzer and the event-engine ordering fuzzer. Anything they
+# minimize lands in the package testdata/fuzz corpora — commit it.
+fuzz-smoke:
+	$(GO) test -run '^FuzzBorderCheck$$' -fuzz '^FuzzBorderCheck$$' -fuzztime 10s ./internal/core
+	$(GO) test -run '^FuzzEngineSchedule$$' -fuzz '^FuzzEngineSchedule$$' -fuzztime 10s ./internal/sim
+
+check: vet build test race trace-smoke fuzz-smoke bench-check

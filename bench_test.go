@@ -333,20 +333,60 @@ func BenchmarkBCCProbe(b *testing.B) {
 	}
 }
 
-// BenchmarkEngine measures raw event throughput of the simulation engine.
+// BenchmarkEngine measures raw event throughput of the simulation engine:
+// one schedule+fire per op, for both scheduling forms. Steady state must be
+// allocation-free (0 allocs/op): the indexed heap recycles slots, and
+// neither a long-lived closure nor a pre-bound callback boxes anything.
 func BenchmarkEngine(b *testing.B) {
-	var eng sim.Engine
-	n := 0
-	var tick func()
-	tick = func() {
-		n++
-		if n < b.N {
-			eng.After(100, tick)
+	b.Run("closure", func(b *testing.B) {
+		var eng sim.Engine
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < b.N {
+				eng.After(100, tick)
+			}
 		}
-	}
-	eng.After(100, tick)
-	b.ResetTimer()
-	eng.Run()
+		eng.After(100, tick)
+		b.ReportAllocs()
+		b.ResetTimer()
+		eng.Run()
+	})
+	b.Run("schedule-into", func(b *testing.B) {
+		var eng sim.Engine
+		n := 0
+		var tick sim.EventFunc
+		tick = func(_ sim.Time, arg uint64) {
+			n++
+			if n < b.N {
+				eng.ScheduleIntoAfter(100, tick, arg+1)
+			}
+		}
+		eng.ScheduleIntoAfter(100, tick, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		eng.Run()
+	})
+	// depth-64: a standing population of events, so every schedule+fire
+	// exercises real heap sift work rather than the trivial 1-element queue.
+	b.Run("depth-64", func(b *testing.B) {
+		var eng sim.Engine
+		n := 0
+		var tick sim.EventFunc
+		tick = func(_ sim.Time, arg uint64) {
+			n++
+			if n < b.N {
+				eng.ScheduleIntoAfter(sim.Time(50+arg%101), tick, arg*2654435761+1)
+			}
+		}
+		for i := 0; i < 64; i++ {
+			eng.ScheduleIntoAfter(sim.Time(i+1), tick, uint64(i))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		eng.Run()
+	})
 }
 
 // BenchmarkAblationHugePageInsert compares populating 2 MB of permissions

@@ -15,7 +15,7 @@
 //	bctool all                             everything above + security matrix
 //	bctool security                        run the threat-model probe matrix
 //	bctool run -mode bc-bcc -class high -workload bfs [-downgrades N]
-//	bctool bench [-json]                   host-side self-measurement
+//	bctool bench [-json|-compare FILE]     host-side self-measurement
 //	bctool tracecheck FILE                 validate a Chrome trace file
 //	bctool list                            list workloads and modes
 //
@@ -455,6 +455,7 @@ type benchReport struct {
 func bench(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	compare := fs.String("compare", "", "compare against a BENCH.json snapshot: error on any sim_ps/events drift, report the events/sec delta")
 	workloadName := fs.String("workload", "pathfinder", "workload to measure")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -495,6 +496,9 @@ func bench(ctx context.Context, args []string) error {
 	if s := wall.Seconds(); s > 0 {
 		rep.TotalEventsPerSec = float64(events) / s
 	}
+	if *compare != "" {
+		return benchCompare(rep, *compare)
+	}
 	if *asJSON {
 		blob, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -509,6 +513,51 @@ func bench(ctx context.Context, args []string) error {
 	}
 	fmt.Printf("aggregate: %.0f events/sec on %d CPUs (%s/%s, %s)\n",
 		rep.TotalEventsPerSec, rep.CPUs, rep.GOOS, rep.GOARCH, rep.GoVersion)
+	return nil
+}
+
+// benchCompare checks a fresh bench matrix against a checked-in snapshot.
+// sim_ps and events are host-independent model outputs, so any drift means
+// the simulation itself changed and is an error. events/sec is host-bound,
+// so its delta is reported but never fails the comparison.
+func benchCompare(rep benchReport, path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap benchReport
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]benchRun, len(snap.Runs))
+	for _, r := range snap.Runs {
+		byName[r.Name] = r
+	}
+	bad := 0
+	for _, r := range rep.Runs {
+		want, ok := byName[r.Name]
+		if !ok {
+			fmt.Printf("%-28s not in snapshot %s\n", r.Name, path)
+			bad++
+			continue
+		}
+		if r.SimPs != want.SimPs || r.Events != want.Events {
+			fmt.Printf("%-28s DRIFT sim_ps %d->%d events %d->%d\n",
+				r.Name, want.SimPs, r.SimPs, want.Events, r.Events)
+			bad++
+			continue
+		}
+		fmt.Printf("%-28s ok: sim_ps=%d events=%d (%+.1f%% events/sec vs snapshot)\n",
+			r.Name, r.SimPs, r.Events, 100*(r.EventsPerSec-want.EventsPerSec)/want.EventsPerSec)
+	}
+	if snap.TotalEventsPerSec > 0 {
+		fmt.Printf("aggregate: %.0f events/sec, snapshot %.0f (%+.1f%%; informational — hosts differ)\n",
+			rep.TotalEventsPerSec, snap.TotalEventsPerSec,
+			100*(rep.TotalEventsPerSec-snap.TotalEventsPerSec)/snap.TotalEventsPerSec)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d bench run(s) drifted from %s (simulation outputs are deterministic; refresh with `make bench-json` only if the change is intended)", bad, path)
+	}
 	return nil
 }
 

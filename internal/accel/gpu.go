@@ -37,6 +37,14 @@ type GPU struct {
 	running  int
 	nextSlot int
 
+	// waves are the in-flight wavefront contexts, recycled through
+	// freeWaves; stepFn is the pre-bound continuation callback whose payload
+	// is a wave index. Together they keep the per-memory-op event
+	// (the simulator's hottest path) free of closure allocation.
+	waves     []wave
+	freeWaves []int32
+	stepFn    sim.EventFunc
+
 	// issue serializes memory-op issue per CU: one operation per GPU cycle,
 	// the LSU port limit that makes throughput (not just latency) a first-
 	// class constraint.
@@ -65,7 +73,16 @@ func NewGPU(cfg GPUConfig, eng *sim.Engine, hier Hierarchy) (*GPU, error) {
 	for i := 0; i < cfg.CUs; i++ {
 		g.issue = append(g.issue, sim.NewResource(cfg.Clock.Cycles(1)))
 	}
+	g.stepFn = g.stepEvent
 	return g, nil
+}
+
+// wave is one in-flight wavefront: which CU it issues on, its trace, and
+// the next position to execute.
+type wave struct {
+	cu    int32
+	pos   int32
+	trace Trace
 }
 
 // Config returns the GPU configuration.
@@ -149,36 +166,56 @@ func (g *GPU) nextPhase(at sim.Time) {
 	}
 }
 
-// dispatch starts the next queued trace on compute unit cu.
+// dispatch starts the next queued trace on compute unit cu, in a wave
+// context drawn from the pool.
 func (g *GPU) dispatch(at sim.Time, cu int) {
 	t := g.queue[0]
 	g.queue = g.queue[1:]
 	g.running++
-	g.step(at, cu, t, 0)
+	var w int32
+	if n := len(g.freeWaves); n > 0 {
+		w = g.freeWaves[n-1]
+		g.freeWaves = g.freeWaves[:n-1]
+	} else {
+		g.waves = append(g.waves, wave{})
+		w = int32(len(g.waves) - 1)
+	}
+	g.waves[w] = wave{cu: int32(cu), trace: t}
+	g.step(at, w)
 }
 
-// step executes trace position i on cu at the given time and schedules the
-// continuation.
-func (g *GPU) step(at sim.Time, cu int, t Trace, i int) {
-	if g.err != nil {
+// stepEvent is the engine-facing continuation: arg is a wave index.
+func (g *GPU) stepEvent(now sim.Time, arg uint64) { g.step(now, int32(arg)) }
+
+// step executes wave w's next trace position at the given time and
+// schedules the continuation.
+func (g *GPU) step(at sim.Time, w int32) {
+	wv := &g.waves[w]
+	if g.err != nil || int(wv.pos) >= len(wv.trace) {
+		g.release(w)
 		g.retire(at)
 		return
 	}
-	if i >= len(t) {
-		g.retire(at)
-		return
-	}
-	op := t[i]
+	op := wv.trace[wv.pos]
+	wv.pos++
+	cu := int(wv.cu)
 	at += g.cfg.Clock.Cycles(uint64(op.Compute))
 	at = g.issue[cu].Claim(at) // LSU port: one memory op per CU per cycle
 	done, err := g.hier.Access(at, cu, g.asid, op)
 	if err != nil {
 		g.err = err
+		g.release(w)
 		g.retire(done)
 		return
 	}
 	g.OpsDone.Inc()
-	g.eng.At(done, func() { g.step(done, cu, t, i+1) })
+	g.eng.ScheduleInto(done, g.stepFn, uint64(w))
+}
+
+// release returns a wave context to the pool, dropping its trace reference.
+func (g *GPU) release(w int32) {
+	g.waves[w] = wave{}
+	g.freeWaves = append(g.freeWaves, w)
 }
 
 // retire ends one wavefront's trace: pick up more work, or close the phase.

@@ -29,6 +29,11 @@ type Hierarchy interface {
 	Drain(at sim.Time) sim.Time
 }
 
+// zeroBlock backs the data of ops that carry none. Callers only ever copy
+// from the returned slice (cache.Write copies into the line), so sharing
+// one immutable buffer keeps stores allocation-free.
+var zeroBlock [arch.BlockSize]byte
+
 func opBytes(op Op) []byte {
 	if op.Data != nil {
 		return op.Data
@@ -37,7 +42,7 @@ func opBytes(op Op) []byte {
 	if n <= 0 || n > int(arch.BlockSize) {
 		n = 8
 	}
-	return make([]byte, n)
+	return zeroBlock[:n]
 }
 
 // SandboxConfig describes the accelerator-resident hierarchy used by the

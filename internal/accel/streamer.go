@@ -32,6 +32,13 @@ type Streamer struct {
 	start    sim.Time
 	finish   sim.Time
 
+	// chans are the in-flight DMA-channel contexts, recycled through
+	// freeChans; stepFn is the pre-bound per-block continuation (payload: a
+	// channel index), so streaming a buffer allocates no closures.
+	chans     []streamChan
+	freeChans []int32
+	stepFn    sim.EventFunc
+
 	Blocks stats.Counter
 	Jobs   stats.Counter
 }
@@ -62,7 +69,7 @@ func NewStreamer(cfg StreamerConfig, eng *sim.Engine, atsvc *ats.ATS, border *Bo
 	if cfg.Latency == 0 {
 		cfg.Latency = cfg.Clock.Cycles(8)
 	}
-	return &Streamer{
+	s := &Streamer{
 		name:     cfg.Name,
 		eng:      eng,
 		ats:      atsvc,
@@ -70,7 +77,15 @@ func NewStreamer(cfg StreamerConfig, eng *sim.Engine, atsvc *ats.ATS, border *Bo
 		clock:    cfg.Clock,
 		latency:  cfg.Latency,
 		channels: cfg.Channels,
-	}, nil
+	}
+	s.stepFn = s.stepEvent
+	return s, nil
+}
+
+// streamChan is one in-flight DMA transfer: the job and its progress.
+type streamChan struct {
+	job *StreamJob
+	off uint64
 }
 
 // Border returns the streamer's border port.
@@ -110,17 +125,39 @@ func (s *Streamer) dispatch(at sim.Time) {
 	job := s.queue[0]
 	s.queue = s.queue[1:]
 	s.running++
-	s.step(at, job, 0)
+	var c int32
+	if n := len(s.freeChans); n > 0 {
+		c = s.freeChans[n-1]
+		s.freeChans = s.freeChans[:n-1]
+	} else {
+		s.chans = append(s.chans, streamChan{})
+		c = int32(len(s.chans) - 1)
+	}
+	s.chans[c] = streamChan{job: job}
+	s.step(at, c)
 }
 
-// step processes one block of the job and schedules the next.
-func (s *Streamer) step(at sim.Time, job *StreamJob, off uint64) {
+// stepEvent is the engine-facing continuation: arg is a channel index.
+func (s *Streamer) stepEvent(now sim.Time, arg uint64) { s.step(now, int32(arg)) }
+
+// release returns a channel context to the pool, dropping its job reference.
+func (s *Streamer) release(c int32) {
+	s.chans[c] = streamChan{}
+	s.freeChans = append(s.freeChans, c)
+}
+
+// step processes channel c's next block and schedules the continuation.
+func (s *Streamer) step(at sim.Time, c int32) {
+	ch := &s.chans[c]
+	job, off := ch.job, ch.off
 	if s.err != nil {
+		s.release(c)
 		s.retire(at)
 		return
 	}
 	if off >= job.Len {
 		s.Jobs.Inc()
+		s.release(c)
 		s.retire(at)
 		return
 	}
@@ -129,11 +166,13 @@ func (s *Streamer) step(at sim.Time, job *StreamJob, off uint64) {
 	// amortizes over a page of blocks; the ATS's own TLB absorbs repeats).
 	srcRes, err := s.ats.Translate(s.name, job.ASID, job.Src+arch.Virt(off), arch.Read, at)
 	if err != nil {
+		s.release(c)
 		s.fail(at, err)
 		return
 	}
 	dstRes, err := s.ats.Translate(s.name, job.ASID, job.Dst+arch.Virt(off), arch.Write, srcRes.Done)
 	if err != nil {
+		s.release(c)
 		s.fail(at, err)
 		return
 	}
@@ -145,6 +184,7 @@ func (s *Streamer) step(at sim.Time, job *StreamJob, off uint64) {
 	var buf [arch.BlockSize]byte
 	done, ok := s.border.ReadBlock(at, srcPA, arch.Read, &buf)
 	if !ok {
+		s.release(c)
 		s.fail(at, fmt.Errorf("%w: stream read of %#x", ErrBlocked, srcPA))
 		return
 	}
@@ -154,6 +194,7 @@ func (s *Streamer) step(at sim.Time, job *StreamJob, off uint64) {
 	}
 	wbDone, ok := s.border.WriteBlock(done, dstPA, &buf)
 	if !ok {
+		s.release(c)
 		s.fail(done, fmt.Errorf("%w: stream write of %#x", ErrBlocked, dstPA))
 		return
 	}
@@ -161,7 +202,8 @@ func (s *Streamer) step(at sim.Time, job *StreamJob, off uint64) {
 	if wbDone > done {
 		done = wbDone
 	}
-	s.eng.At(done, func() { s.step(done, job, off+arch.BlockSize) })
+	ch.off = off + arch.BlockSize
+	s.eng.ScheduleInto(done, s.stepFn, uint64(c))
 }
 
 func (s *Streamer) fail(at sim.Time, err error) {

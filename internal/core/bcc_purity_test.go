@@ -1,0 +1,72 @@
+package core
+
+// The BCC is architecturally a pure cache over the Protection Table (paper
+// §3.1.2): it may change when a check completes, never what it decides.
+// These property tests drive a BCC-enabled border and a table-direct
+// (BC-noBCC) border through identical random Figure 3 op sequences and
+// require identical grant/deny logs; runBorderOps additionally pins both
+// final table states to the flat-map oracle, so the tables agree too.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// purityLogs runs one op sequence on both configurations and returns the
+// two decision logs.
+func purityLogs(t *testing.T, data []byte) (withBCC, noBCC []bool) {
+	t.Helper()
+	var logs [2][]bool
+	for i, use := range []bool{true, false} {
+		e := newBCEnv(t, func(c *Config) { c.UseBCC = use })
+		p := e.newProc(t)
+		if err := e.bc.ProcessStart(p.ASID()); err != nil {
+			t.Fatal(err)
+		}
+		logs[i] = runBorderOps(t, e, p.ASID(), data)
+	}
+	return logs[0], logs[1]
+}
+
+func sameDecisions(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBCCIsPureCache is the quick-check form: arbitrary op bytes.
+func TestBCCIsPureCache(t *testing.T) {
+	f := func(data []byte) bool {
+		a, b := purityLogs(t, data)
+		return sameDecisions(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Errorf("BCC changed a security decision: %v", err)
+	}
+}
+
+// TestBCCIsPureCacheLongSequences stresses longer seeded sequences than
+// quick generates, with enough ops to force BCC evictions (the op domain
+// spans two 512-page entries, the default BCC holds 64, but downgrade /
+// complete churn exercises invalidation paths).
+func TestBCCIsPureCacheLongSequences(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, 2048)
+		rng.Read(data)
+		a, b := purityLogs(t, data)
+		if len(a) == 0 {
+			t.Fatalf("seed %d: sequence made no checks", seed)
+		}
+		if !sameDecisions(a, b) {
+			t.Errorf("seed %d: BCC-enabled and table-direct decisions diverge", seed)
+		}
+	}
+}

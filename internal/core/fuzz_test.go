@@ -1,0 +1,165 @@
+package core
+
+// Differential fuzzing of the Figure 3 event protocol. The oracle is the
+// simplest possible permission model — a flat map[PPN]Perm — updated by the
+// paper's rules: translations widen, downgrades overwrite after a flush,
+// process completion zeroes everything, and a page the ATS never produced
+// has no permissions (fail-closed). BorderControl, with all its machinery
+// (Protection Table bit-packing, BCC sub-blocking, write-throughs, flush
+// protocol), must make the identical grant/deny decision on every check and
+// end every sequence with table state identical to the map.
+
+import (
+	"testing"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/hostos"
+)
+
+// fuzzPages is the PPN domain ops are folded into: small enough for heavy
+// collisions (BCC entries cover 512 pages, so two entries' worth), large
+// enough to cross table-block boundaries. Must stay a multiple of
+// PagesPerHugePage so huge fan-outs stay in bounds.
+const fuzzPages = 2 * PagesPerBlock // 1024
+
+// borderOracle mirrors what the Figure 3 protocol should grant.
+type borderOracle map[arch.PPN]arch.Perm
+
+// runBorderOps drives e.bc with the op sequence encoded in data, checking
+// every decision against the oracle as it goes, and returns the decision
+// log. Each op consumes 4 bytes: opcode, then three operand bytes.
+func runBorderOps(t *testing.T, e *bcEnv, asid arch.ASID, data []byte) []bool {
+	t.Helper()
+	oracle := borderOracle{}
+	var decisions []bool
+	bogus := asid + 1 // never started on this border
+	for i := 0; i+4 <= len(data); i += 4 {
+		op, a, b, c := data[i]%6, data[i+1], data[i+2], data[i+3]
+		ppn := arch.PPN(a) | arch.PPN(b&3)<<8 // 0..fuzzPages-1
+		perm := arch.Perm(c % 4)
+		who := asid
+		if c&8 != 0 {
+			who = bogus
+		}
+		switch op {
+		case 0, 1: // OnTranslation (Figure 3b): permissions only widen.
+			huge := c&0xf0 == 0x10
+			e.bc.OnTranslation(e.eng.Now(), who, arch.VPN(a), ppn, perm, huge)
+			if who != asid {
+				break // inactive process: the border must ignore it
+			}
+			if huge {
+				head := ppn - ppn%arch.PagesPerHugePage
+				for j := arch.PPN(0); j < arch.PagesPerHugePage; j++ {
+					oracle[head+j] |= perm.Border()
+				}
+			} else {
+				oracle[ppn] |= perm.Border()
+			}
+		case 2: // Check (Figure 3c) inside bounds.
+			kind := arch.Read
+			if c&1 != 0 {
+				kind = arch.Write
+			}
+			addr := ppn.Base() + arch.Phys(b)
+			d := e.bc.Check(e.eng.Now(), addr, kind)
+			want := oracle[ppn].Allows(kind.Need())
+			if d.Allowed != want {
+				t.Fatalf("op %d: Check(ppn=%#x, %v) = %v, oracle (perm %v) says %v",
+					i/4, ppn, kind, d.Allowed, oracle[ppn], want)
+			}
+			decisions = append(decisions, d.Allowed)
+		case 3: // Check outside the bounds register: always a violation.
+			addr := arch.Phys(e.os.Store().Size()) + ppn.Base()
+			d := e.bc.Check(e.eng.Now(), addr, arch.Read)
+			if d.Allowed {
+				t.Fatalf("op %d: out-of-bounds check of %#x allowed", i/4, addr)
+			}
+			decisions = append(decisions, d.Allowed)
+		case 4: // OnDowngrade (Figure 3d): overwrite, flushing dirty pages first.
+			flushes := len(e.accel.pageFlushes)
+			e.bc.OnDowngrade(hostos.Downgrade{ASID: who, VPN: arch.VPN(a), PPN: ppn, New: perm})
+			if who != asid {
+				break
+			}
+			old := oracle[ppn]
+			if old == arch.PermNone && perm.Border() == arch.PermNone {
+				break // never granted: nothing cached, nothing to update
+			}
+			if old.CanWrite() {
+				// The page may be dirty in the accelerator: the protocol
+				// must flush it (writebacks re-checked under the old
+				// permissions) before the table changes.
+				if len(e.accel.pageFlushes) != flushes+1 || e.accel.pageFlushes[flushes] != ppn {
+					t.Fatalf("op %d: downgrade of writable ppn %#x did not flush it (flush log %v)",
+						i/4, ppn, e.accel.pageFlushes[flushes:])
+				}
+			}
+			oracle[ppn] = perm.Border()
+		case 5: // ProcessComplete + restart (Figure 3e/3a): zero everything.
+			full := e.accel.fullFlushes
+			e.bc.ProcessComplete(e.eng.Now(), asid)
+			if e.accel.fullFlushes != full+1 {
+				t.Fatalf("op %d: process completion did not flush the accelerator", i/4)
+			}
+			if err := e.bc.ProcessStart(asid); err != nil {
+				t.Fatal(err)
+			}
+			oracle = borderOracle{}
+		}
+	}
+	// Final state equivalence: the Protection Table must encode exactly the
+	// oracle, bit for bit, across the whole fuzzed domain.
+	for p := arch.PPN(0); p < fuzzPages; p++ {
+		if got, want := e.bc.Table().Lookup(p), oracle[p]; got != want {
+			t.Fatalf("final table state diverges at ppn %#x: table %v, oracle %v", p, got, want)
+		}
+	}
+	return decisions
+}
+
+// FuzzBorderCheck fuzzes random Figure 3 op sequences against the flat-map
+// oracle, once with the BCC and once without (the useBCC argument), so both
+// the cached and the table-direct check paths stay protocol-correct. Extend
+// the corpus under testdata/fuzz/FuzzBorderCheck, or run
+// `go test -fuzz FuzzBorderCheck ./internal/core` and commit what it finds.
+func FuzzBorderCheck(f *testing.F) {
+	// translate ppn=5 RW; check read+write; downgrade to R (flush); check
+	// write (deny); complete (zero); check read (deny).
+	f.Add(true, []byte{
+		0, 5, 0, 3,
+		2, 5, 0, 0,
+		2, 5, 0, 1,
+		4, 5, 0, 1,
+		2, 5, 0, 1,
+		5, 0, 0, 0,
+		2, 5, 0, 0,
+	})
+	// huge-page fan-out, then checks across the covered range and a
+	// same-block neighbour, then an out-of-bounds probe.
+	f.Add(false, []byte{
+		0, 0, 0, 0x13,
+		2, 0, 1, 0,
+		2, 255, 1, 1,
+		3, 9, 0, 0,
+	})
+	// inactive-ASID traffic must be ignored; downgrade of a never-granted
+	// page is a no-op.
+	f.Add(true, []byte{
+		0, 7, 0, 11,
+		2, 7, 0, 0,
+		4, 9, 0, 8,
+		2, 9, 0, 0,
+	})
+	f.Fuzz(func(t *testing.T, useBCC bool, data []byte) {
+		if len(data) > 4096 {
+			return
+		}
+		e := newBCEnv(t, func(c *Config) { c.UseBCC = useBCC })
+		p := e.newProc(t)
+		if err := e.bc.ProcessStart(p.ASID()); err != nil {
+			t.Fatal(err)
+		}
+		runBorderOps(t, e, p.ASID(), data)
+	})
+}

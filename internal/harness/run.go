@@ -277,14 +277,15 @@ func injectDowngradesEvery(sys *System, proc *hostos.Process, interval sim.Time,
 	if len(pages) == 0 {
 		return count
 	}
-	idx := 0
-	var tick func()
-	tick = func() {
+	// One pre-bound callback rescheduling itself: the payload word is the
+	// round-robin page index, so injection runs allocation-free however many
+	// downgrades fire.
+	var tick sim.EventFunc
+	tick = func(_ sim.Time, idx uint64) {
 		if sys.GPU.Finished() || (max > 0 && *count >= uint64(max)) {
 			return
 		}
-		v := pages[idx%len(pages)]
-		idx++
+		v := pages[idx%uint64(len(pages))]
 		// Downgrade RW -> R (shootdown + border flush), then restore so
 		// the workload can continue; the restore is an upgrade and incurs
 		// no shootdown (paper §3.2.4).
@@ -292,8 +293,8 @@ func injectDowngradesEvery(sys *System, proc *hostos.Process, interval sim.Time,
 			*count++
 		}
 		_, _ = sys.OS.Protect(proc, v, arch.PageSize, arch.PermRW)
-		sys.Eng.After(interval, tick)
+		sys.Eng.ScheduleIntoAfter(interval, tick, idx+1)
 	}
-	sys.Eng.After(interval, tick)
+	sys.Eng.ScheduleIntoAfter(interval, tick, 0)
 	return count
 }

@@ -1,0 +1,271 @@
+package sim
+
+// This file keeps the engine's original container/heap event queue as an
+// unexported reference implementation. The production engine (an inlined
+// 4-ary indexed heap with pooled slots) must fire events in exactly the
+// order this one does — (timestamp, schedule sequence) — on any schedule,
+// including same-timestamp bursts and events scheduled from inside a firing
+// event. The cross-check below and FuzzEngineSchedule enforce that.
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refEvent is the reference queue's closure-carrying event.
+type refEvent struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type refHeap []refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(refEvent)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// refEngine is the pre-overhaul engine: a binary container/heap of events.
+type refEngine struct {
+	now    Time
+	seq    uint64
+	events refHeap
+}
+
+func (e *refEngine) Now() Time { return e.now }
+
+func (e *refEngine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("refEngine: scheduling in the past")
+	}
+	e.seq++
+	heap.Push(&e.events, refEvent{at: t, seq: e.seq, fn: fn})
+}
+
+func (e *refEngine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(refEvent)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// scheduler is the least common API of the two engines, for differential
+// driving. The production adapter alternates the closure and pre-bound
+// forms so their shared sequence counter is exercised too.
+type scheduler interface {
+	Now() Time
+	At(t Time, fn func())
+	Step() bool
+}
+
+// intoAdapter drives an Engine scheduling every other event through
+// ScheduleInto instead of At, routing the payload word back to a closure
+// table. Ordering must be indistinguishable from closures all the way down.
+type intoAdapter struct {
+	*Engine
+	fns []func()
+}
+
+func (a *intoAdapter) At(t Time, fn func()) {
+	if a.seq%2 == 0 {
+		a.fns = append(a.fns, fn)
+		a.Engine.ScheduleInto(t, func(_ Time, arg uint64) { a.fns[arg]() }, uint64(len(a.fns)-1))
+		return
+	}
+	a.Engine.At(t, fn)
+}
+
+// fireRec is one observed firing: when, and which scheduled event.
+type fireRec struct {
+	at Time
+	id int
+}
+
+// runScript drives a scheduler from a byte script: each firing event logs
+// itself and spends script bytes to schedule children at small deltas (so
+// same-timestamp collisions are common). The script is consumed in firing
+// order, so two engines diverge loudly if their orders ever differ.
+func runScript(s scheduler, data []byte) []fireRec {
+	var log []fireRec
+	pos, nextID := 0, 0
+	next := func() (byte, bool) {
+		if pos >= len(data) {
+			return 0, false
+		}
+		b := data[pos]
+		pos++
+		return b, true
+	}
+	var schedule func(t Time)
+	schedule = func(t Time) {
+		id := nextID
+		nextID++
+		s.At(t, func() {
+			log = append(log, fireRec{at: s.Now(), id: id})
+			n, ok := next()
+			if !ok {
+				return
+			}
+			for j := byte(0); j < n%4; j++ {
+				d, ok := next()
+				if !ok {
+					return
+				}
+				// %8 keeps deltas tiny, so same-timestamp bursts and
+				// children scheduled exactly at Now() are common.
+				schedule(s.Now() + Time(d%8))
+			}
+		})
+	}
+	for i := 0; i < 3; i++ {
+		d, _ := next()
+		schedule(Time(d % 8))
+	}
+	for s.Step() {
+	}
+	return log
+}
+
+// diffEngines runs the same script on the production engine (mixed At /
+// ScheduleInto) and the container/heap reference and reports the first
+// divergence.
+func diffEngines(t testing.TB, data []byte) {
+	t.Helper()
+	got := runScript(&intoAdapter{Engine: &Engine{}}, data)
+	want := runScript(&refEngine{}, data)
+	if len(got) != len(want) {
+		t.Fatalf("engines fired different event counts: new=%d ref=%d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("firing order diverges at event %d: new=(t=%d id=%d) ref=(t=%d id=%d)",
+				i, got[i].at, got[i].id, want[i].at, want[i].id)
+		}
+	}
+}
+
+func TestEngineMatchesHeapReference(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, 64+rng.Intn(512))
+		rng.Read(data)
+		diffEngines(t, data)
+	}
+}
+
+// TestEngineMatchesReferenceSameTimestampBurst pins the FIFO contract for a
+// pure burst: many events at one timestamp, half scheduled through each
+// form, interleaved with nested scheduling at the already-current time.
+func TestEngineMatchesReferenceSameTimestampBurst(t *testing.T) {
+	newE := &intoAdapter{Engine: &Engine{}}
+	ref := &refEngine{}
+	var got, want []fireRec
+	collect := func(s scheduler, log *[]fireRec) {
+		id := 0
+		for i := 0; i < 100; i++ {
+			i := i
+			s.At(9, func() {
+				*log = append(*log, fireRec{at: s.Now(), id: id})
+				id++
+				if i%5 == 0 {
+					s.At(s.Now(), func() { *log = append(*log, fireRec{at: s.Now(), id: -i}) })
+				}
+			})
+		}
+		for s.Step() {
+		}
+	}
+	collect(newE, &got)
+	collect(ref, &want)
+	if len(got) != len(want) {
+		t.Fatalf("burst fired %d events on the new engine, %d on the reference", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("burst order diverges at %d: new=%+v ref=%+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestEnginePoolRecycles checks the slot arena stops growing once the
+// in-flight population peaks: a long self-rescheduling chain must reuse one
+// slot, not leak one per event.
+func TestEnginePoolRecycles(t *testing.T) {
+	var e Engine
+	n := 0
+	var tick EventFunc
+	tick = func(_ Time, _ uint64) {
+		n++
+		if n < 100000 {
+			e.ScheduleIntoAfter(3, tick, 0)
+		}
+	}
+	e.ScheduleIntoAfter(3, tick, 0)
+	e.Run()
+	if n != 100000 {
+		t.Fatalf("chain fired %d times, want 100000", n)
+	}
+	if len(e.slots) > 4 {
+		t.Errorf("slot arena grew to %d for a 1-deep chain; pool not recycling", len(e.slots))
+	}
+}
+
+func TestScheduleIntoOrderingWithAt(t *testing.T) {
+	var e Engine
+	var got []int
+	cb := func(_ Time, arg uint64) { got = append(got, int(arg)) }
+	e.At(10, func() { got = append(got, 0) })
+	e.ScheduleInto(10, cb, 1)
+	e.At(10, func() { got = append(got, 2) })
+	e.ScheduleInto(5, cb, 3)
+	e.Run()
+	want := []int{3, 0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScheduleIntoPanics(t *testing.T) {
+	var e Engine
+	cb := func(Time, uint64) {}
+	e.ScheduleInto(100, cb, 0)
+	e.Run()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ScheduleInto in the past should panic")
+			}
+		}()
+		e.ScheduleInto(50, cb, 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil ScheduleInto callback should panic")
+			}
+		}()
+		e.ScheduleInto(200, nil, 0)
+	}()
+}

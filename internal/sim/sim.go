@@ -8,10 +8,14 @@
 // Determinism: events at the same timestamp fire in the order they were
 // scheduled (FIFO by sequence number), so a run is a pure function of its
 // inputs.
+//
+// The event queue is engineered for the hot path: an inlined 4-ary min-heap
+// of int32 indexes into a flat slot arena, with freed slots recycled through
+// a free list. Steady-state scheduling and firing allocates nothing — see
+// DESIGN.md §10 for the layout and the determinism argument.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -73,38 +77,35 @@ func (c Clock) CyclesAt(t Time) uint64 {
 	return uint64(t / c.period)
 }
 
-// event is a scheduled callback.
+// EventFunc is the pre-bound event callback form: fired with the current
+// simulation time and the payload word it was scheduled with. Bind the func
+// value once (at component construction) and thread per-event state through
+// arg — scheduling it then allocates nothing, unlike a fresh closure.
+type EventFunc func(now Time, arg uint64)
+
+// event is one scheduled callback, stored in the engine's slot arena.
+// Exactly one of fn and cb is set: fn is the closure form (At/After), cb+arg
+// the pre-bound form (ScheduleInto).
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	cb  EventFunc
+	arg uint64
 }
 
 // Engine is a discrete-event simulator. The zero Engine is ready to use.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	fired  uint64
+	now   Time
+	seq   uint64
+	fired uint64
+
+	// The pending-event queue: heap is a 4-ary min-heap of indexes into the
+	// slots arena, ordered by (at, seq); free recycles retired slot indexes
+	// LIFO so the arena stops growing once the in-flight population peaks.
+	slots []event
+	heap  []int32
+	free  []int32
 
 	// Interrupt, when non-nil, is polled by Run every interruptStride
 	// events; when it reports true, Run stops between events with the
@@ -130,10 +131,83 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns how many events are scheduled but not yet executed.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// alloc returns a free slot index, growing the arena only when no retired
+// slot is available.
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		idx := e.free[n-1]
+		e.free = e.free[:n-1]
+		return idx
+	}
+	e.slots = append(e.slots, event{})
+	return int32(len(e.slots) - 1)
+}
+
+// siftUp restores heap order after an append at position i. The hole
+// technique: hold the new index in a register and slide parents down.
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	idx := h[i]
+	at, seq := e.slots[idx].at, e.slots[idx].seq
+	for i > 0 {
+		p := (i - 1) >> 2
+		ps := &e.slots[h[p]]
+		if ps.at < at || (ps.at == at && ps.seq < seq) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = idx
+}
+
+// siftDown re-inserts index idx starting from the root after a pop.
+func (e *Engine) siftDown(idx int32) {
+	h := e.heap
+	n := len(h)
+	at, seq := e.slots[idx].at, e.slots[idx].seq
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		// Pick the least of up to four children.
+		m := c
+		ms := &e.slots[h[c]]
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			js := &e.slots[h[j]]
+			if js.at < ms.at || (js.at == ms.at && js.seq < ms.seq) {
+				m, ms = j, js
+			}
+		}
+		if at < ms.at || (at == ms.at && seq < ms.seq) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = idx
+}
+
+// schedule files slot idx (whose at/seq are already set) into the heap.
+func (e *Engine) schedule(idx int32) {
+	e.heap = append(e.heap, idx)
+	e.siftUp(len(e.heap) - 1)
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it is always a component bug, never valid input.
+//
+// The closure form is convenient for setup and low-frequency events; code on
+// the per-request hot path should use ScheduleInto, whose pre-bound callback
+// avoids allocating a closure per event.
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
@@ -142,21 +216,66 @@ func (e *Engine) At(t Time, fn func()) {
 		panic("sim: scheduling nil event")
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	idx := e.alloc()
+	s := &e.slots[idx]
+	s.at, s.seq, s.fn, s.cb, s.arg = t, e.seq, fn, nil, 0
+	e.schedule(idx)
 }
 
 // After schedules fn to run d picoseconds from now.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
+// ScheduleInto schedules the pre-bound callback cb to fire at absolute time
+// t with payload arg. It is the allocation-free form of At: cb should be a
+// long-lived func value (a field bound at component construction), with all
+// per-event state packed into arg or reachable from cb's receiver. Ordering
+// is identical to At — the two forms share one sequence counter.
+func (e *Engine) ScheduleInto(t Time, cb EventFunc, arg uint64) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	if cb == nil {
+		panic("sim: scheduling nil event")
+	}
+	e.seq++
+	idx := e.alloc()
+	s := &e.slots[idx]
+	s.at, s.seq, s.fn, s.cb, s.arg = t, e.seq, nil, cb, arg
+	e.schedule(idx)
+}
+
+// ScheduleIntoAfter is ScheduleInto at d picoseconds from now.
+func (e *Engine) ScheduleIntoAfter(d Time, cb EventFunc, arg uint64) {
+	e.ScheduleInto(e.now+d, cb, arg)
+}
+
 // Step executes the single next event. It reports false if no events remain.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	h := e.heap
+	n := len(h)
+	if n == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
-	e.now = ev.at
+	idx := h[0]
+	last := h[n-1]
+	e.heap = h[:n-1]
+	if n > 1 {
+		e.siftDown(last)
+	}
+	s := &e.slots[idx]
+	e.now = s.at
 	e.fired++
-	ev.fn()
+	fn, cb, arg := s.fn, s.cb, s.arg
+	// Clear the callback references before firing: the slot is recycled (a
+	// callback may immediately schedule into it) and must not pin closures
+	// for the GC.
+	s.fn, s.cb = nil, nil
+	e.free = append(e.free, idx)
+	if cb != nil {
+		cb(e.now, arg)
+	} else {
+		fn()
+	}
 	return true
 }
 
@@ -169,7 +288,7 @@ func (e *Engine) Run() Time {
 				break
 			}
 			if e.Tracer != nil {
-				e.Tracer.Counter("engine", "pending_events", uint64(e.now), float64(len(e.events)))
+				e.Tracer.Counter("engine", "pending_events", uint64(e.now), float64(len(e.heap)))
 			}
 		}
 		if !e.Step() {
@@ -192,7 +311,7 @@ func (e *Engine) RegisterMetrics(s stats.Scope) {
 // queued. It reports how many events fired.
 func (e *Engine) RunUntil(deadline Time) uint64 {
 	var n uint64
-	for len(e.events) > 0 && e.events[0].at <= deadline {
+	for len(e.heap) > 0 && e.slots[e.heap[0]].at <= deadline {
 		e.Step()
 		n++
 	}
