@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check trace-smoke bench-json bench-check fuzz-smoke
+.PHONY: all build vet test race bench check trace-smoke bench-json bench-check fuzz-smoke adversary-smoke
 
 all: check
 
@@ -42,6 +42,17 @@ bench-json:
 bench-check:
 	$(GO) run ./cmd/bctool bench -compare BENCH.json
 
+# Red-team smoke: fixed-seed sandbox-escape campaigns against all four
+# Border Control protocol variants, with the shadow-memory oracle auditing
+# every crossing. Runs twice and byte-compares the reports: the campaigns
+# must both hold and be deterministic. A failure prints a single
+# reproducing `bctool adversary -seed ...` command.
+adversary-smoke:
+	$(GO) run ./cmd/bctool adversary -seed 1 -campaigns 4 -quiet > adversary-smoke.txt
+	$(GO) run ./cmd/bctool adversary -seed 1 -campaigns 4 -quiet > adversary-smoke2.txt
+	cmp adversary-smoke.txt adversary-smoke2.txt
+	rm -f adversary-smoke.txt adversary-smoke2.txt
+
 # Short coverage-guided runs of both fuzz targets: the border-protocol
 # differential fuzzer and the event-engine ordering fuzzer. Anything they
 # minimize lands in the package testdata/fuzz corpora — commit it.
@@ -49,4 +60,4 @@ fuzz-smoke:
 	$(GO) test -run '^FuzzBorderCheck$$' -fuzz '^FuzzBorderCheck$$' -fuzztime 10s ./internal/core
 	$(GO) test -run '^FuzzEngineSchedule$$' -fuzz '^FuzzEngineSchedule$$' -fuzztime 10s ./internal/sim
 
-check: vet build test race trace-smoke fuzz-smoke bench-check
+check: vet build test race trace-smoke adversary-smoke fuzz-smoke bench-check

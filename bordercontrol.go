@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"bordercontrol/internal/accel"
+	"bordercontrol/internal/adversary"
 	"bordercontrol/internal/arch"
 	"bordercontrol/internal/core"
 	"bordercontrol/internal/exp"
@@ -276,6 +277,29 @@ func SecurityMatrixCtx(ctx context.Context, ex Exec, p Params) ([]harness.Securi
 
 // RenderSecurityMatrix prints the BLOCKED/VULNERABLE table.
 var RenderSecurityMatrix = harness.RenderSecurityMatrix
+
+// AdversaryReport is one seeded attack run's outcome set; see
+// RunAdversary.
+type AdversaryReport = adversary.Report
+
+// RunAdversary runs seeded sandbox-escape campaigns: malicious-accelerator
+// attacks (stale-TLB replay, ignored flushes, in-flight DMA races,
+// out-of-bounds probes, cross-ASID replay, fabricated writebacks) against
+// freshly assembled Border Control systems, with a shadow-memory oracle
+// auditing every border crossing. Campaign i uses seed+i and rotates the
+// protocol variant (BCC on/off, selective vs full flush). attacks may be
+// nil for the full vocabulary. The report is deterministic: the same seed
+// renders byte-identically.
+func RunAdversary(ctx context.Context, ex Exec, p Params, seed int64, campaigns int, attacks []string) (AdversaryReport, error) {
+	return harness.AdversaryReport(ctx, ex.toHarness(), p, seed, campaigns, attacks)
+}
+
+// RenderAdversaryReport prints the campaign report, including a single
+// reproducing seed per failing attack.
+var RenderAdversaryReport = adversary.Render
+
+// AdversaryAttacks lists the attack vocabulary in report order.
+var AdversaryAttacks = adversary.AttackNames
 
 // Config configures a full evaluation sweep (RunAll).
 type Config struct {

@@ -14,6 +14,9 @@
 //	bctool fig4|fig5|fig6|fig7 [csv]       regenerate a paper figure
 //	bctool all                             everything above + security matrix
 //	bctool security                        run the threat-model probe matrix
+//	bctool adversary [-seed N] [-campaigns N] [-attacks a,b]
+//	                                       seeded sandbox-escape campaigns
+//	                                       with the shadow-memory oracle
 //	bctool run -mode bc-bcc -class high -workload bfs [-downgrades N]
 //	bctool bench [-json|-compare FILE]     host-side self-measurement
 //	bctool tracecheck FILE                 validate a Chrome trace file
@@ -69,6 +72,8 @@ func main() {
 		fmt.Print(bc.RenderTable3(bc.DefaultParams()))
 	case "fig4", "fig5", "fig6", "fig7", "security":
 		err = sweep(ctx, cmd, args)
+	case "adversary":
+		err = adversaryCmd(ctx, args)
 	case "all":
 		err = all(ctx, args)
 	case "run":
@@ -92,7 +97,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: bctool <table1|table2|table3|fig4|fig5|fig6|fig7|security|all|run|bench|tracecheck|list> [csv]
+	fmt.Fprintln(os.Stderr, `usage: bctool <table1|table2|table3|fig4|fig5|fig6|fig7|security|adversary|all|run|bench|tracecheck|list> [csv]
 	[-jobs N] [-timeout D] [-quiet] [-stats-json FILE] [-trace FILE] [-trace-cats LIST] [-metrics]`)
 }
 
@@ -297,6 +302,43 @@ func sweep(ctx context.Context, cmd string, args []string) error {
 		fmt.Print(bc.RenderSecurityMatrix(results))
 	}
 	return f.finishObs(ex, snap)
+}
+
+// adversaryCmd runs the seeded sandbox-escape campaigns. The report is a
+// pure function of -seed/-campaigns/-attacks: the same flags render
+// byte-identically at any parallelism. A breached invariant exits non-zero
+// after printing one reproducing command per failing attack.
+func adversaryCmd(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("adversary", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "base campaign seed (campaign i uses seed+i)")
+	campaigns := fs.Int("campaigns", 4, "number of campaigns (each rotates the protocol variant)")
+	attacks := fs.String("attacks", "", "comma-separated attack names (empty = all: "+strings.Join(bc.AdversaryAttacks(), ",")+")")
+	jobs := fs.Int("jobs", 0, "concurrent attack runs (0 = all cores, 1 = serial)")
+	timeout := fs.Duration("timeout", 0, "per-run timeout (0 = none)")
+	quiet := fs.Bool("quiet", false, "suppress per-run progress lines on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var names []string
+	if *attacks != "" {
+		for _, a := range strings.Split(*attacks, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				names = append(names, a)
+			}
+		}
+	}
+	var t tracker
+	t.quiet = *quiet
+	ex := bc.Exec{Jobs: *jobs, Timeout: *timeout, Progress: t.done}
+	rep, err := bc.RunAdversary(ctx, ex, bc.DefaultParams(), *seed, *campaigns, names)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bc.RenderAdversaryReport(rep))
+	if rep.Failed() {
+		return fmt.Errorf("sandbox breached — see the reproducing seeds above")
+	}
+	return nil
 }
 
 // all regenerates every artifact and prints a per-artifact wall-clock and

@@ -56,9 +56,9 @@ func main() {
 	translate(sys, alice.ASID(), aliceBuf, arch.Write)
 	translate(sys, bob.ASID(), bobBuf, arch.Read)
 
-	show(sys, "alice's page (RW mapping)", alicePA, arch.Write)
-	show(sys, "bob's page (read-only mapping)", bobPA, arch.Read)
-	show(sys, "bob's page written", bobPA, arch.Write) // union lacks W here
+	show(sys, "alice's page (RW mapping)", alice.ASID(), alicePA, arch.Write)
+	show(sys, "bob's page (read-only mapping)", bob.ASID(), bobPA, arch.Read)
+	show(sys, "bob's page written", bob.ASID(), bobPA, arch.Write) // union lacks W here
 
 	// Alice finishes: caches flushed, BCC invalidated, table ZEROED — even
 	// bob's entries are revoked and must be re-inserted via the ATS (paper
@@ -67,10 +67,10 @@ func main() {
 	sys.ATS.Deactivate(sys.Name, alice.ASID())
 	fmt.Printf("\nalice completed; processes on accelerator: %d\n", sys.BC.ActiveProcesses())
 
-	show(sys, "alice's page after her exit", alicePA, arch.Read)
-	show(sys, "bob's page before re-translation", bobPA, arch.Read)
+	show(sys, "alice's page after her exit", alice.ASID(), alicePA, arch.Read)
+	show(sys, "bob's page before re-translation", bob.ASID(), bobPA, arch.Read)
 	translate(sys, bob.ASID(), bobBuf, arch.Read)
-	show(sys, "bob's page after re-translation", bobPA, arch.Read)
+	show(sys, "bob's page after re-translation", bob.ASID(), bobPA, arch.Read)
 }
 
 func mustProcess(sys *bc.System, name string) *bc.Process {
@@ -109,8 +109,8 @@ func translate(sys *bc.System, asid arch.ASID, v bc.Virt, kind arch.AccessKind) 
 	}
 }
 
-func show(sys *bc.System, what string, pa bc.Phys, kind arch.AccessKind) {
-	dec := sys.BC.Check(sys.Eng.Now(), pa, kind)
+func show(sys *bc.System, what string, asid arch.ASID, pa bc.Phys, kind arch.AccessKind) {
+	dec := sys.BC.Check(sys.Eng.Now(), asid, pa, kind)
 	verdict := "ALLOWED"
 	if !dec.Allowed {
 		verdict = "BLOCKED"

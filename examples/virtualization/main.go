@@ -72,7 +72,7 @@ func main() {
 
 	check := func(what string, pa bc.Phys, kind arch.AccessKind) {
 		verdict := "BLOCKED"
-		if border.Check(eng.Now(), pa, kind).Allowed {
+		if border.Check(eng.Now(), procA.ASID(), pa, kind).Allowed {
 			verdict = "allowed"
 		}
 		fmt.Printf("  accelerator %-5s %-28s -> %s\n", kind, what, verdict)

@@ -287,7 +287,7 @@ func TestStaleTLBBugIsContained(t *testing.T) {
 	if _, err := r.ats.Translate("gpu0", r.proc.ASID(), v, arch.Write, 0); err != nil {
 		t.Fatal(err)
 	}
-	if !r.bc.Check(0, ppn.Base(), arch.Write).Allowed {
+	if !r.bc.Check(0, r.proc.ASID(), ppn.Base(), arch.Write).Allowed {
 		t.Fatal("legitimate write should pass")
 	}
 	// The OS revokes the page entirely.
@@ -296,7 +296,7 @@ func TestStaleTLBBugIsContained(t *testing.T) {
 	}
 	// The buggy accelerator still holds the stale translation and tries to
 	// write: blocked at the border regardless.
-	if r.bc.Check(r.eng.Now(), ppn.Base(), arch.Write).Allowed {
+	if r.bc.Check(r.eng.Now(), r.proc.ASID(), ppn.Base(), arch.Write).Allowed {
 		t.Error("stale-TLB write after revocation must be blocked")
 	}
 }
@@ -320,7 +320,7 @@ func TestFlushIgnorerIsContained(t *testing.T) {
 		t.Fatal(err)
 	}
 	pa := ppn.Base()
-	if _, err := r.hier.store(0, 0, pa, storeOp(v, []byte("tampered"))); err != nil {
+	if _, err := r.hier.store(0, 0, r.proc.ASID(), pa, storeOp(v, []byte("tampered"))); err != nil {
 		t.Fatal(err)
 	}
 	if !r.hier.L2().IsDirty(pa) {
@@ -334,7 +334,7 @@ func TestFlushIgnorerIsContained(t *testing.T) {
 	blocked := 0
 	for _, db := range r.hier.L2().FlushAll() {
 		db := db
-		if _, ok := r.hier.Border().WriteBlock(r.eng.Now(), db.Addr, &db.Data); !ok {
+		if _, ok := r.hier.Border().WriteBlock(r.eng.Now(), r.proc.ASID(), db.Addr, &db.Data); !ok {
 			blocked++
 		}
 	}
@@ -360,7 +360,7 @@ func TestDowngradeFlushWritesBackThroughBorder(t *testing.T) {
 		t.Fatal(err)
 	}
 	pa := ppn.Base()
-	if _, err := r.hier.store(0, 0, pa, storeOp(v, []byte("flushed!"))); err != nil {
+	if _, err := r.hier.store(0, 0, r.proc.ASID(), pa, storeOp(v, []byte("flushed!"))); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := r.os.Protect(r.proc, v, arch.PageSize, arch.PermRead); err != nil {
@@ -399,12 +399,12 @@ func TestUpgradePathChecked(t *testing.T) {
 	}
 	pa := ppn.Base()
 	// Fill for reading...
-	if _, err := r.hier.load(0, 0, pa); err != nil {
+	if _, err := r.hier.load(0, 0, r.proc.ASID(), pa); err != nil {
 		t.Fatal(err)
 	}
 	// ...then a (buggy) store to the read-only page: the upgrade or the
 	// eventual writeback is blocked; either way memory stays clean.
-	if _, err := r.hier.store(0, 0, pa, storeOp(ro, []byte{0x66})); err == nil {
+	if _, err := r.hier.store(0, 0, r.proc.ASID(), pa, storeOp(ro, []byte{0x66})); err == nil {
 		t.Error("store to read-only block should fail at the border")
 	}
 	if r.bc.Violations.Value() == 0 {

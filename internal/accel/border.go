@@ -48,20 +48,22 @@ func (p *BorderPort) SetChecker(c core.Checker) {
 	p.bc, _ = c.(*core.BorderControl)
 }
 
-// ReadBlock requests the 128-byte block at addr from host memory. intent
-// is Read for a plain fill and Write for a fill-for-ownership (a store
-// miss): Border Control checks the permission the accelerator will
-// ultimately exercise. The block data is copied into buf on success.
+// ReadBlock requests the 128-byte block at addr from host memory on behalf
+// of process asid (0 for hardware-initiated crossings). intent is Read for
+// a plain fill and Write for a fill-for-ownership (a store miss): Border
+// Control checks the permission the accelerator will ultimately exercise.
+// The block data is copied into buf on success.
 //
 // The permission check proceeds in parallel with the memory access (paper
 // §3.1.1): the returned time is the max of the two, but a failed check
-// discards the data — it never reaches the accelerator.
-func (p *BorderPort) ReadBlock(at sim.Time, addr arch.Phys, intent arch.AccessKind, buf *[arch.BlockSize]byte) (sim.Time, bool) {
+// discards the data — it never reaches the accelerator, no line is
+// allocated, and the coherence directory records nothing.
+func (p *BorderPort) ReadBlock(at sim.Time, asid arch.ASID, addr arch.Phys, intent arch.AccessKind, buf *[arch.BlockSize]byte) (sim.Time, bool) {
 	addr = addr.BlockOf()
 	p.Reads.Inc()
 	checkDone := at
 	if p.check != nil {
-		dec := p.check.Check(at, addr, intent)
+		dec := p.check.Check(at, asid, addr, intent)
 		if !dec.Allowed {
 			p.BlockedReads.Inc()
 			return dec.Done, false
@@ -82,15 +84,16 @@ func (p *BorderPort) ReadBlock(at sim.Time, addr arch.Phys, intent arch.AccessKi
 	return memDone, true
 }
 
-// WriteBlock writes a dirty block back to host memory. The check must pass
-// before the data is applied: a blocked writeback leaves memory untouched
-// (paper §3.2.4).
-func (p *BorderPort) WriteBlock(at sim.Time, addr arch.Phys, data *[arch.BlockSize]byte) (sim.Time, bool) {
+// WriteBlock writes a dirty block back to host memory on behalf of asid
+// (0 for flush-driven writebacks with no process context). The check must
+// pass before the data is applied: a blocked writeback leaves memory
+// untouched (paper §3.2.4).
+func (p *BorderPort) WriteBlock(at sim.Time, asid arch.ASID, addr arch.Phys, data *[arch.BlockSize]byte) (sim.Time, bool) {
 	addr = addr.BlockOf()
 	p.Writes.Inc()
 	checkDone := at
 	if p.check != nil {
-		dec := p.check.Check(at, addr, arch.Write)
+		dec := p.check.Check(at, asid, addr, arch.Write)
 		if !dec.Allowed {
 			p.BlockedWrites.Inc()
 			return dec.Done, false
@@ -114,13 +117,13 @@ func (p *BorderPort) WriteBlock(at sim.Time, addr arch.Phys, data *[arch.BlockSi
 }
 
 // Upgrade requests write ownership of a block the accelerator already
-// holds shared (a store hit on a read-filled block). No data moves, but
-// the request crosses the border and is checked.
-func (p *BorderPort) Upgrade(at sim.Time, addr arch.Phys) (sim.Time, bool) {
+// holds shared (a store hit on a read-filled block), on behalf of asid. No
+// data moves, but the request crosses the border and is checked.
+func (p *BorderPort) Upgrade(at sim.Time, asid arch.ASID, addr arch.Phys) (sim.Time, bool) {
 	addr = addr.BlockOf()
 	done := at
 	if p.check != nil {
-		dec := p.check.Check(at, addr, arch.Write)
+		dec := p.check.Check(at, asid, addr, arch.Write)
 		if !dec.Allowed {
 			p.BlockedWrites.Inc()
 			return dec.Done, false

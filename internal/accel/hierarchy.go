@@ -158,6 +158,9 @@ func (h *Sandboxed) L2() *cache.Cache { return h.l2 }
 // L1 returns CU cu's L1 cache.
 func (h *Sandboxed) L1(cu int) *cache.Cache { return h.l1s[cu] }
 
+// CUs returns the number of compute units (and so of L1 caches and TLBs).
+func (h *Sandboxed) CUs() int { return len(h.l1s) }
+
 // L1TLB returns CU cu's TLB.
 func (h *Sandboxed) L1TLB(cu int) *tlb.TLB { return h.l1tlbs[cu] }
 
@@ -185,19 +188,19 @@ func (h *Sandboxed) Access(at sim.Time, cu int, asid arch.ASID, op Op) (sim.Time
 	pa := e.PPN.Base() + arch.Phys(op.Addr.Offset())
 	if op.Kind == arch.Read {
 		h.Loads.Inc()
-		return h.load(at, cu, pa)
+		return h.load(at, cu, asid, pa)
 	}
 	h.Stores.Inc()
-	return h.store(at, cu, pa, op)
+	return h.store(at, cu, asid, pa, op)
 }
 
-func (h *Sandboxed) load(at sim.Time, cu int, pa arch.Phys) (sim.Time, error) {
+func (h *Sandboxed) load(at sim.Time, cu int, asid arch.ASID, pa arch.Phys) (sim.Time, error) {
 	l1 := h.l1s[cu]
 	at += l1.HitLatency()
 	if l1.Lookup(pa) {
 		return at, nil
 	}
-	done, err := h.l2Fill(at, pa, arch.Read)
+	done, err := h.l2Fill(at, asid, pa, arch.Read)
 	if err != nil {
 		return done, err
 	}
@@ -208,25 +211,27 @@ func (h *Sandboxed) load(at sim.Time, cu int, pa arch.Phys) (sim.Time, error) {
 }
 
 // l2Fill ensures pa's block is in the L2 with the given intent, returning
-// when the data is available.
-func (h *Sandboxed) l2Fill(at sim.Time, pa arch.Phys, intent arch.AccessKind) (sim.Time, error) {
+// when the data is available. A blocked fill allocates nothing: the L2 and
+// the directory are exactly as they were before the request.
+func (h *Sandboxed) l2Fill(at sim.Time, asid arch.ASID, pa arch.Phys, intent arch.AccessKind) (sim.Time, error) {
 	at += h.l2.HitLatency()
 	if h.l2.Lookup(pa) {
 		return at, nil
 	}
 	var buf [arch.BlockSize]byte
-	done, ok := h.border.ReadBlock(at, pa, intent, &buf)
+	done, ok := h.border.ReadBlock(at, asid, pa, intent, &buf)
 	if !ok {
 		return done, fmt.Errorf("%w: %s fill of %#x", ErrBlocked, intent, pa)
 	}
 	victim, dirty := h.l2.Fill(pa, buf[:])
 	if dirty {
 		// The victim writeback is off the requester's critical path but
-		// crosses the border (and is checked there). Its bandwidth is
-		// claimed at the fill request time — write buffers drain
-		// opportunistically, and claiming at fill completion would reserve
-		// the channel into the future and stall unrelated traffic.
-		h.border.WriteBlock(at, victim.Addr, &victim.Data)
+		// crosses the border (and is checked there), attributed to the
+		// requester whose fill evicted it. Its bandwidth is claimed at the
+		// fill request time — write buffers drain opportunistically, and
+		// claiming at fill completion would reserve the channel into the
+		// future and stall unrelated traffic.
+		h.border.WriteBlock(at, asid, victim.Addr, &victim.Data)
 	}
 	return done, nil
 }
@@ -236,23 +241,25 @@ func (h *Sandboxed) l2Fill(at sim.Time, pa arch.Phys, intent arch.AccessKind) (s
 // victim writeback) proceeds in the background, claiming its resources.
 // This mirrors real GPU write buffering and the paper's placement of write
 // checking: writes are verified when they cross the border, not on the
-// wavefront's critical path.
-func (h *Sandboxed) store(at sim.Time, cu int, pa arch.Phys, op Op) (sim.Time, error) {
+// wavefront's critical path. No cache level may absorb the data before the
+// border authorizes it — a blocked store that had already updated the L1
+// would serve forbidden data to later loads.
+func (h *Sandboxed) store(at sim.Time, cu int, asid arch.ASID, pa arch.Phys, op Op) (sim.Time, error) {
 	l1 := h.l1s[cu]
 	at += l1.HitLatency()
-	if l1.Contains(pa) {
-		l1.Write(pa, opBytes(op))
-	}
 	if !h.l2.Lookup(pa) {
-		if _, err := h.l2Fill(at, pa, arch.Write); err != nil {
+		if _, err := h.l2Fill(at, asid, pa, arch.Write); err != nil {
 			return at, err
 		}
 	} else if !h.border.Owned(pa.BlockOf()) {
 		// Store to a block filled for reading: upgrade ownership across
 		// the border.
-		if _, ok := h.border.Upgrade(at, pa); !ok {
+		if _, ok := h.border.Upgrade(at, asid, pa); !ok {
 			return at, fmt.Errorf("%w: upgrade of %#x", ErrBlocked, pa)
 		}
+	}
+	if l1.Contains(pa) {
+		l1.Write(pa, opBytes(op))
 	}
 	h.l2.Write(pa, opBytes(op))
 	return at, nil
@@ -278,8 +285,9 @@ func (h *Sandboxed) FlushAll(at sim.Time) sim.Time {
 	for _, db := range h.l2.FlushAll() {
 		db := db
 		// Writebacks are issued back to back; DRAM bandwidth serializes
-		// them, and the flush completes when the last one lands.
-		if t, ok := h.border.WriteBlock(at, db.Addr, &db.Data); ok && t > done {
+		// them, and the flush completes when the last one lands. They are
+		// hardware-initiated (ASID 0): the flusher is not a process.
+		if t, ok := h.border.WriteBlock(at, 0, db.Addr, &db.Data); ok && t > done {
 			done = t
 		}
 	}
@@ -296,7 +304,7 @@ func (h *Sandboxed) FlushPage(at sim.Time, ppn arch.PPN) sim.Time {
 	done := at + h.cfg.FlushScanLatency
 	for _, db := range h.l2.FlushPage(ppn) {
 		db := db
-		if t, ok := h.border.WriteBlock(at, db.Addr, &db.Data); ok && t > done {
+		if t, ok := h.border.WriteBlock(at, 0, db.Addr, &db.Data); ok && t > done {
 			done = t
 		}
 	}

@@ -32,11 +32,11 @@ func TestHugePageEndToEnd(t *testing.T) {
 	// ...grants every base page of the huge page at the border.
 	head, _ := r.proc.PPNOf(v.PageOf())
 	for _, off := range []arch.PPN{0, 1, 255, 511} {
-		if !r.bc.Check(0, (head + off).Base(), arch.Write).Allowed {
+		if !r.bc.Check(0, r.proc.ASID(), (head + off).Base(), arch.Write).Allowed {
 			t.Errorf("base page +%d not granted by the huge fan-out", off)
 		}
 	}
-	if r.bc.Check(0, (head + 512).Base(), arch.Read).Allowed {
+	if r.bc.Check(0, r.proc.ASID(), (head + 512).Base(), arch.Read).Allowed {
 		t.Error("fan-out must stop at the huge-page boundary")
 	}
 
@@ -78,7 +78,7 @@ func TestRemapUnderAccelerator(t *testing.T) {
 	if _, err := r.ats.Translate("gpu0", r.proc.ASID(), v, arch.Write, 0); err != nil {
 		t.Fatal(err)
 	}
-	if !r.bc.Check(0, oldPPN.Base(), arch.Write).Allowed {
+	if !r.bc.Check(0, r.proc.ASID(), oldPPN.Base(), arch.Write).Allowed {
 		t.Fatal("pre-remap access should pass")
 	}
 
@@ -88,18 +88,18 @@ func TestRemapUnderAccelerator(t *testing.T) {
 	}
 	// The old frame is revoked at the border; the accelerator's stale
 	// translation is useless.
-	if r.bc.Check(r.eng.Now(), oldPPN.Base(), arch.Read).Allowed {
+	if r.bc.Check(r.eng.Now(), r.proc.ASID(), oldPPN.Base(), arch.Read).Allowed {
 		t.Error("old frame still accessible after remap")
 	}
 	// The new frame requires a fresh translation, then works, and the data
 	// moved with it.
-	if r.bc.Check(r.eng.Now(), newPPN.Base(), arch.Read).Allowed {
+	if r.bc.Check(r.eng.Now(), r.proc.ASID(), newPPN.Base(), arch.Read).Allowed {
 		t.Error("new frame accessible before re-translation (fail-closed violated)")
 	}
 	if _, err := r.ats.Translate("gpu0", r.proc.ASID(), v, arch.Write, r.eng.Now()); err != nil {
 		t.Fatal(err)
 	}
-	if !r.bc.Check(r.eng.Now(), newPPN.Base(), arch.Write).Allowed {
+	if !r.bc.Check(r.eng.Now(), r.proc.ASID(), newPPN.Base(), arch.Write).Allowed {
 		t.Error("new frame not granted after re-translation")
 	}
 	var got [7]byte

@@ -66,7 +66,7 @@ func (h *IOMMUHierarchy) Access(at sim.Time, cu int, asid arch.ASID, op Op) (sim
 	if op.Kind == arch.Read {
 		h.Loads.Inc()
 		var buf [arch.BlockSize]byte
-		done, ok := h.border.ReadBlock(at, pa, arch.Read, &buf)
+		done, ok := h.border.ReadBlock(at, asid, pa, arch.Read, &buf)
 		if !ok {
 			return done, ErrBlocked
 		}
@@ -79,7 +79,7 @@ func (h *IOMMUHierarchy) Access(at sim.Time, cu int, asid arch.ASID, op Op) (sim
 	var buf [arch.BlockSize]byte
 	h.border.dram.Store().ReadInto(pa.BlockOf(), buf[:])
 	copy(buf[uint64(pa)&arch.BlockMask:], opBytes(op))
-	if _, ok := h.border.WriteBlock(at, pa.BlockOf(), &buf); !ok {
+	if _, ok := h.border.WriteBlock(at, asid, pa.BlockOf(), &buf); !ok {
 		return at, ErrBlocked
 	}
 	return at, nil
@@ -190,14 +190,14 @@ func (h *CAPIHierarchy) Access(at sim.Time, cu int, asid arch.ASID, op Op) (sim.
 	lat := at + h.l2.HitLatency()
 	if !h.l2.Lookup(pa) {
 		var buf [arch.BlockSize]byte
-		done, ok := h.border.ReadBlock(lat, pa, op.Kind, &buf)
+		done, ok := h.border.ReadBlock(lat, asid, pa, op.Kind, &buf)
 		if !ok {
 			return done, ErrBlocked
 		}
 		victim, dirty := h.l2.Fill(pa, buf[:])
 		if dirty {
 			// Claimed at request time; see Sandboxed.l2Fill.
-			h.border.WriteBlock(lat, victim.Addr, &victim.Data)
+			h.border.WriteBlock(lat, asid, victim.Addr, &victim.Data)
 		}
 		lat = done
 	}
@@ -217,7 +217,7 @@ func (h *CAPIHierarchy) Drain(at sim.Time) sim.Time {
 	done := at
 	for _, db := range h.l2.FlushAll() {
 		db := db
-		if t, ok := h.border.WriteBlock(at, db.Addr, &db.Data); ok && t > done {
+		if t, ok := h.border.WriteBlock(at, 0, db.Addr, &db.Data); ok && t > done {
 			done = t
 		}
 	}

@@ -11,6 +11,14 @@ import (
 // without consulting the ATS and fires them across the border.
 type Trojan struct {
 	border *BorderPort
+
+	// ASID is the process identity the trojan's requests claim. Malicious
+	// hardware can put anything on the wire; the border uses it only to
+	// attribute violations, never to grant permissions, so spoofing buys the
+	// trojan nothing (and frames the spoofed process for the kill policy —
+	// which is why drivers, not accelerators, assign ASIDs in real systems;
+	// here it lets campaigns exercise the attribution path).
+	ASID arch.ASID
 }
 
 // NewTrojan returns a trojan attached to the given border port.
@@ -20,7 +28,7 @@ func NewTrojan(border *BorderPort) *Trojan { return &Trojan{border: border} }
 // if the request reached memory; false if the border blocked it.
 func (t *Trojan) TryRead(at sim.Time, pa arch.Phys) ([arch.BlockSize]byte, bool) {
 	var buf [arch.BlockSize]byte
-	_, ok := t.border.ReadBlock(at, pa, arch.Read, &buf)
+	_, ok := t.border.ReadBlock(at, t.ASID, pa, arch.Read, &buf)
 	if !ok {
 		return [arch.BlockSize]byte{}, false
 	}
@@ -32,10 +40,10 @@ func (t *Trojan) TryRead(at sim.Time, pa arch.Phys) ([arch.BlockSize]byte, bool)
 func (t *Trojan) TryWrite(at sim.Time, pa arch.Phys, data [arch.BlockSize]byte) bool {
 	// A malicious cache claims ownership first; the upgrade is itself a
 	// border crossing, so try it, then fall back to a bare writeback.
-	if _, ok := t.border.Upgrade(at, pa); !ok {
+	if _, ok := t.border.Upgrade(at, t.ASID, pa); !ok {
 		return false
 	}
-	_, ok := t.border.WriteBlock(at, pa, &data)
+	_, ok := t.border.WriteBlock(at, t.ASID, pa, &data)
 	return ok
 }
 

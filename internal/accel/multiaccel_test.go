@@ -94,10 +94,10 @@ func TestTwoAcceleratorsAreIsolated(t *testing.T) {
 		t.Fatal(err)
 	}
 	ppn0, _ := p0.PPNOf(v0.PageOf())
-	if !gpu0.bc.Check(0, ppn0.Base(), arch.Write).Allowed {
+	if !gpu0.bc.Check(0, p0.ASID(), ppn0.Base(), arch.Write).Allowed {
 		t.Error("gpu0 should access its process's page")
 	}
-	if gpu1.bc.Check(0, ppn0.Base(), arch.Read).Allowed {
+	if gpu1.bc.Check(0, p1.ASID(), ppn0.Base(), arch.Read).Allowed {
 		t.Error("gpu1 must not inherit gpu0's permissions")
 	}
 
@@ -106,7 +106,7 @@ func TestTwoAcceleratorsAreIsolated(t *testing.T) {
 	if _, err := osm.Protect(p0, v0, arch.PageSize, arch.PermRead); err != nil {
 		t.Fatal(err)
 	}
-	if gpu0.bc.Check(eng.Now(), ppn0.Base(), arch.Write).Allowed {
+	if gpu0.bc.Check(eng.Now(), p0.ASID(), ppn0.Base(), arch.Write).Allowed {
 		t.Error("gpu0 write after downgrade must be blocked")
 	}
 	if gpu1.bc.CacheFlushes.Value() != flushesBefore {

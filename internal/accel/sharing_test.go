@@ -35,7 +35,7 @@ func TestCPUReadsGPUDirtyData(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The GPU dirties the block in its L2 (no writeback yet).
-	if _, err := r.hier.store(0, 0, pa, storeOp(v, []byte("gpu-wrote"))); err != nil {
+	if _, err := r.hier.store(0, 0, r.proc.ASID(), pa, storeOp(v, []byte("gpu-wrote"))); err != nil {
 		t.Fatal(err)
 	}
 	if !r.hier.L2().IsDirty(pa) {
@@ -66,7 +66,7 @@ func TestCPUReadsGPUDirtyData(t *testing.T) {
 	}
 	// Invariant check over the block with a permission oracle.
 	if err := r.dir.CheckInvariant(pa, func(a coherence.Agent, addr arch.Phys) bool {
-		return r.bc.Check(r.eng.Now(), addr, arch.Write).Allowed
+		return r.bc.Check(r.eng.Now(), r.proc.ASID(), addr, arch.Write).Allowed
 	}); err != nil {
 		t.Error(err)
 	}
@@ -83,7 +83,7 @@ func TestGPURefetchesAfterCPUWrite(t *testing.T) {
 		t.Fatal(err)
 	}
 	pa, _ := r.proc.Translate(v, arch.Read)
-	if _, err := r.hier.load(0, 0, pa); err != nil {
+	if _, err := r.hier.load(0, 0, r.proc.ASID(), pa); err != nil {
 		t.Fatal(err)
 	}
 	if !r.hier.L2().Contains(pa) {
@@ -97,7 +97,7 @@ func TestGPURefetchesAfterCPUWrite(t *testing.T) {
 		t.Fatal("GPU copy must be invalidated by the CPU's GetM")
 	}
 	// GPU re-reads: misses, refetches the new value into its caches.
-	if _, err := r.hier.load(0, 0, pa); err != nil {
+	if _, err := r.hier.load(0, 0, r.proc.ASID(), pa); err != nil {
 		t.Fatal(err)
 	}
 	var buf [8]byte

@@ -39,8 +39,31 @@ type Streamer struct {
 	freeChans []int32
 	stepFn    sim.EventFunc
 
+	// Misbehave injects adversarial engine behavior for the red-team
+	// harness; the zero value is a correct engine.
+	Misbehave Misbehavior
+	staleTLB  map[staleKey]arch.PPN
+
 	Blocks stats.Counter
 	Jobs   stats.Counter
+}
+
+// Misbehavior selects ways a buggy or malicious DMA engine can deviate
+// from the protocol. Safety must never depend on the engine behaving, so
+// the adversary harness flips these and asserts the border still holds.
+type Misbehavior struct {
+	// StaleTranslations latches the first translation obtained for each
+	// (asid, page) and reuses it for the rest of the run instead of
+	// re-translating — the in-flight-DMA race of paper §3.2.4: the OS
+	// downgrades a page mid-transfer while the engine keeps streaming
+	// through the old physical address.
+	StaleTranslations bool
+}
+
+// staleKey identifies one latched translation.
+type staleKey struct {
+	asid arch.ASID
+	vpn  arch.VPN
 }
 
 // StreamJob is one DMA-style transfer: read Len bytes at Src, apply
@@ -164,25 +187,21 @@ func (s *Streamer) step(at sim.Time, c int32) {
 	// Translate both endpoints through the ATS (no accelerator TLB: the
 	// streamer's access pattern is fully sequential, so translation cost
 	// amortizes over a page of blocks; the ATS's own TLB absorbs repeats).
-	srcRes, err := s.ats.Translate(s.name, job.ASID, job.Src+arch.Virt(off), arch.Read, at)
+	srcPA, at, err := s.translate(job.ASID, job.Src+arch.Virt(off), arch.Read, at)
 	if err != nil {
 		s.release(c)
 		s.fail(at, err)
 		return
 	}
-	dstRes, err := s.ats.Translate(s.name, job.ASID, job.Dst+arch.Virt(off), arch.Write, srcRes.Done)
+	dstPA, at, err := s.translate(job.ASID, job.Dst+arch.Virt(off), arch.Write, at)
 	if err != nil {
 		s.release(c)
 		s.fail(at, err)
 		return
 	}
-	at = dstRes.Done
-
-	srcPA := srcRes.Entry.PPN.Base() + arch.Phys((job.Src + arch.Virt(off)).Offset())
-	dstPA := dstRes.Entry.PPN.Base() + arch.Phys((job.Dst + arch.Virt(off)).Offset())
 
 	var buf [arch.BlockSize]byte
-	done, ok := s.border.ReadBlock(at, srcPA, arch.Read, &buf)
+	done, ok := s.border.ReadBlock(at, job.ASID, srcPA, arch.Read, &buf)
 	if !ok {
 		s.release(c)
 		s.fail(at, fmt.Errorf("%w: stream read of %#x", ErrBlocked, srcPA))
@@ -192,7 +211,7 @@ func (s *Streamer) step(at sim.Time, c int32) {
 	if job.Transform != nil {
 		job.Transform(buf[:])
 	}
-	wbDone, ok := s.border.WriteBlock(done, dstPA, &buf)
+	wbDone, ok := s.border.WriteBlock(done, job.ASID, dstPA, &buf)
 	if !ok {
 		s.release(c)
 		s.fail(done, fmt.Errorf("%w: stream write of %#x", ErrBlocked, dstPA))
@@ -204,6 +223,29 @@ func (s *Streamer) step(at sim.Time, c int32) {
 	}
 	ch.off = off + arch.BlockSize
 	s.eng.ScheduleInto(done, s.stepFn, uint64(c))
+}
+
+// translate resolves one endpoint. A well-behaved engine asks the ATS for
+// every block; with Misbehave.StaleTranslations set it latches the first
+// answer per page and replays it, paying no translation time — a stale
+// physical address the border alone must stop.
+func (s *Streamer) translate(asid arch.ASID, v arch.Virt, kind arch.AccessKind, at sim.Time) (arch.Phys, sim.Time, error) {
+	if s.Misbehave.StaleTranslations {
+		if ppn, ok := s.staleTLB[staleKey{asid, v.PageOf()}]; ok {
+			return ppn.Base() + arch.Phys(v.Offset()), at, nil
+		}
+	}
+	res, err := s.ats.Translate(s.name, asid, v, kind, at)
+	if err != nil {
+		return 0, at, err
+	}
+	if s.Misbehave.StaleTranslations {
+		if s.staleTLB == nil {
+			s.staleTLB = make(map[staleKey]arch.PPN)
+		}
+		s.staleTLB[staleKey{asid, v.PageOf()}] = res.Entry.PPN
+	}
+	return res.Entry.PPN.Base() + arch.Phys(v.Offset()), res.Done, nil
 }
 
 func (s *Streamer) fail(at sim.Time, err error) {

@@ -1,0 +1,309 @@
+// Package adversary is the red-team arm of the simulator: seeded
+// campaigns of deliberately malicious or buggy accelerator behavior driven
+// against a fully-assembled system, with an independent shadow-memory
+// oracle (see Oracle) auditing every border crossing. The paper's security
+// argument (§2.1, §3.2.4) is that NOTHING accelerator-side needs to behave
+// for host memory to stay safe; these campaigns try to falsify that.
+//
+// Everything is deterministic: an attack is a pure function of its seed,
+// so a report reproduces byte-for-byte and a failing run is re-playable
+// from the single seed printed with the failure.
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"bordercontrol/internal/accel"
+	"bordercontrol/internal/ats"
+	"bordercontrol/internal/coherence"
+	"bordercontrol/internal/core"
+	"bordercontrol/internal/hostos"
+	"bordercontrol/internal/memory"
+	"bordercontrol/internal/sim"
+)
+
+// Env is one assembled system under attack, as the adversary needs to see
+// it. The harness builds it from a full System and calls Attach; attacks
+// only ever touch the accelerator-reachable surfaces (the border port, the
+// hierarchy, the ATS) plus the OS in its trusted role.
+type Env struct {
+	Eng   *sim.Engine
+	OS    *hostos.OS
+	ATS   *ats.ATS
+	BC    *core.BorderControl
+	Hier  *accel.Sandboxed
+	Port  *accel.BorderPort
+	Dir   *coherence.Directory
+	DRAM  *memory.DRAM
+	Clock sim.Clock
+	Name  string // accelerator name
+
+	Oracle *Oracle
+}
+
+// Attach builds the shadow-memory oracle and splices it into env: it wraps
+// the border checker (every crossing is audited, the real decision is
+// forwarded unchanged), observes the ATS (grants widen the shadow), and
+// listens for downgrades — registered after Border Control's listener, so
+// downgrade-flush writebacks are judged under the old shadow — and for
+// process completions (shadow revoked). selective must mirror the system's
+// SelectiveFlush configuration.
+func Attach(env *Env, selective bool) {
+	o := NewOracle(env.BC, env.OS, env.Hier, env.Dir, env.Port.Owned, selective)
+	env.Oracle = o
+	env.Port.SetChecker(o)
+	env.ATS.AddObserver(o)
+	env.OS.AddShootdownListener(o)
+	env.OS.AddCompletionListener(o)
+	// Campaigns probe the border on purpose, repeatedly; the kill policy
+	// would end the game after the first probe. Attribution is still
+	// asserted, through the violation log.
+	env.OS.KeepProcessOnViolation = true
+}
+
+// StartProcess creates a process and runs it on the accelerator: ATS
+// activation, Figure 3a ProcessStart, and the oracle's shadow of both.
+func (e *Env) StartProcess(name string) (*hostos.Process, error) {
+	p, err := e.OS.NewProcess(name)
+	if err != nil {
+		return nil, err
+	}
+	e.ATS.Activate(e.Name, p.ASID())
+	if err := e.BC.ProcessStart(p.ASID()); err != nil {
+		return nil, err
+	}
+	e.Oracle.NoteStart(p.ASID())
+	return p, nil
+}
+
+// Complete ends p's accelerator session: Figure 3e flush + table zero (the
+// oracle hears about it through the OS completion notification).
+func (e *Env) Complete(p *hostos.Process) {
+	e.BC.ProcessComplete(e.Eng.Now(), p.ASID())
+	e.ATS.Deactivate(e.Name, p.ASID())
+}
+
+// Context is what one attack run works with: the environment, its seeded
+// randomness, and the attack-level failure log (protocol expectations the
+// attack itself asserts, distinct from the oracle's invariants).
+type Context struct {
+	*Env
+	Rand *rand.Rand
+
+	probes   int
+	blocked  int
+	failures []string
+}
+
+// Failf records an attack-level failure.
+func (c *Context) Failf(format string, args ...interface{}) {
+	c.failures = append(c.failures, fmt.Sprintf(format, args...))
+}
+
+// ExpectBlocked records one adversarial probe that MUST have been refused.
+// reached reports whether the crossing got through.
+func (c *Context) ExpectBlocked(reached bool, what string) {
+	c.probes++
+	if reached {
+		c.Failf("%s reached memory", what)
+		return
+	}
+	c.blocked++
+}
+
+// ExpectAllowed records a legitimate warm-up crossing that must pass (an
+// attack proving the border fail-closed against everything proves nothing).
+func (c *Context) ExpectAllowed(reached bool, what string) {
+	c.probes++
+	if !reached {
+		c.Failf("%s was blocked (expected to pass)", what)
+	}
+}
+
+// AttackResult is the outcome of one seeded attack run.
+type AttackResult struct {
+	Attack string
+	Seed   int64
+	Probes int // adversarial + warm-up crossings the attack asserted on
+	// Blocked counts the adversarial probes the border refused; for a
+	// holding sandbox it equals the number of ExpectBlocked calls.
+	Blocked int
+	// Failures are attack-level assertion failures (a probe that landed, a
+	// warm-up that did not).
+	Failures []string
+	// OracleFailures are shadow-oracle invariant violations.
+	OracleFailures []string
+	// Checks/Allowed/Denied are the oracle's crossing counters.
+	Checks, Allowed, Denied uint64
+}
+
+// Failed reports whether the run violated any expectation or invariant.
+func (r AttackResult) Failed() bool {
+	return len(r.Failures) > 0 || len(r.OracleFailures) > 0
+}
+
+// Attack is one named adversarial behavior.
+type Attack struct {
+	Name string
+	// Desc is a one-line description for reports and docs.
+	Desc string
+	run  func(*Context)
+}
+
+// Attacks lists the campaign vocabulary in report order.
+func Attacks() []Attack {
+	return []Attack{
+		{
+			Name: "stale-tlb-replay",
+			Desc: "replay revoked translations as raw physical requests after the TLB shootdown",
+			run:  attackStaleTLBReplay,
+		},
+		{
+			Name: "flush-ignore",
+			Desc: "ignore the downgrade flush and write stale dirty blocks back later",
+			run:  attackFlushIgnore,
+		},
+		{
+			Name: "dma-downgrade-race",
+			Desc: "keep streaming through a latched translation while the OS downgrades the page",
+			run:  attackDMADowngradeRace,
+		},
+		{
+			Name: "oob-probe",
+			Desc: "probe physical addresses beyond memory and the protection table itself",
+			run:  attackOOBProbe,
+		},
+		{
+			Name: "cross-asid-replay",
+			Desc: "replay a completed process's frames, under assorted wire ASIDs",
+			run:  attackCrossASIDReplay,
+		},
+		{
+			Name: "dirty-writeback-inject",
+			Desc: "inject fabricated flush writebacks after the downgrade closed the window",
+			run:  attackDirtyWritebackInject,
+		},
+	}
+}
+
+// AttackNames lists the names in report order.
+func AttackNames() []string {
+	var names []string
+	for _, a := range Attacks() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// Lookup resolves an attack by name.
+func Lookup(name string) (Attack, bool) {
+	for _, a := range Attacks() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Attack{}, false
+}
+
+// Run executes the named attack against env with the given seed and
+// collects both the attack's own assertions and the oracle's verdict. env
+// must be freshly assembled and Attach'ed; one env serves one run.
+func Run(env *Env, name string, seed int64) (AttackResult, error) {
+	atk, ok := Lookup(name)
+	if !ok {
+		return AttackResult{}, fmt.Errorf("adversary: unknown attack %q (have %s)", name, strings.Join(AttackNames(), ", "))
+	}
+	c := &Context{Env: env, Rand: rand.New(rand.NewSource(seed))}
+	atk.run(c)
+	res := AttackResult{
+		Attack:         name,
+		Seed:           seed,
+		Probes:         c.probes,
+		Blocked:        c.blocked,
+		Failures:       c.failures,
+		OracleFailures: append([]string(nil), env.Oracle.Finish()...),
+		Checks:         env.Oracle.Checks,
+		Allowed:        env.Oracle.Allowed,
+		Denied:         env.Oracle.Denied,
+	}
+	return res, nil
+}
+
+// Report is a full campaign sweep: every requested attack run at every
+// campaign seed.
+type Report struct {
+	Seed      int64 // base seed; campaign i uses Seed+i
+	Campaigns int
+	Results   []AttackResult // campaign-major, attack-minor
+	// Configs labels the per-campaign system configuration, parallel to
+	// campaign index.
+	Configs []string
+}
+
+// Failed reports whether any run in the report failed.
+func (r Report) Failed() bool {
+	for _, res := range r.Results {
+		if res.Failed() {
+			return true
+		}
+	}
+	return false
+}
+
+// Render formats the report deterministically (same seed, same bytes).
+func Render(r Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Adversary campaigns: base seed %d, %d campaign(s)\n", r.Seed, r.Campaigns)
+	perCampaign := len(r.Results) / max(1, r.Campaigns)
+	for i := 0; i < r.Campaigns; i++ {
+		cfg := ""
+		if i < len(r.Configs) {
+			cfg = " (" + r.Configs[i] + ")"
+		}
+		fmt.Fprintf(&b, "campaign %d, seed %d%s:\n", i, r.Seed+int64(i), cfg)
+		for _, res := range r.Results[i*perCampaign : (i+1)*perCampaign] {
+			verdict := "HELD"
+			if res.Failed() {
+				verdict = "BREACHED"
+			}
+			fmt.Fprintf(&b, "  %-24s probes %3d  blocked %3d  crossings %4d  %s\n",
+				res.Attack, res.Probes, res.Blocked, res.Checks, verdict)
+			for _, f := range res.Failures {
+				fmt.Fprintf(&b, "    attack: %s\n", f)
+			}
+			for _, f := range res.OracleFailures {
+				fmt.Fprintf(&b, "    oracle: %s\n", f)
+			}
+		}
+	}
+	if r.Failed() {
+		b.WriteString("RESULT: SANDBOX BREACHED — reproduce any line above with its campaign seed:\n")
+		seen := map[string]bool{}
+		var repro []string
+		for _, res := range r.Results {
+			if res.Failed() {
+				line := fmt.Sprintf("  bctool adversary -seed %d -campaigns 1 -attacks %s", res.Seed, res.Attack)
+				if !seen[line] {
+					seen[line] = true
+					repro = append(repro, line)
+				}
+			}
+		}
+		sort.Strings(repro)
+		b.WriteString(strings.Join(repro, "\n"))
+		b.WriteString("\n")
+	} else {
+		fmt.Fprintf(&b, "RESULT: sandbox held across %d run(s); all oracle invariants intact\n", len(r.Results))
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

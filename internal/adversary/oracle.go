@@ -1,0 +1,245 @@
+package adversary
+
+import (
+	"fmt"
+
+	"bordercontrol/internal/accel"
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/coherence"
+	"bordercontrol/internal/core"
+	"bordercontrol/internal/hostos"
+	"bordercontrol/internal/sim"
+)
+
+// Oracle is the end-to-end shadow-memory safety oracle. It wraps the
+// system's real border checker and mirrors every OS-visible permission
+// transition — translations widen, downgrades narrow, completions revoke —
+// into an independent shadow map, then audits every border crossing
+// against three invariants:
+//
+//	(a) no crossing is allowed beyond the most-permissive window the ATS
+//	    granted for that page in its current epoch (an allow the shadow
+//	    cannot justify is a sandbox escape);
+//	(b) a blocked write leaves host memory byte-identical;
+//	(c) a blocked request leaves no new accelerator-side state behind —
+//	    no fresh cache line, no dirty bit, no coherence ownership.
+//
+// The oracle is pure observation: it forwards the inner checker's decision
+// unchanged, so attaching it never alters simulated behavior or timing.
+//
+// Registration order matters and is handled by Attach: the oracle's
+// shootdown listener runs AFTER Border Control's, so the writebacks of a
+// downgrade's synchronous flush are judged under the OLD shadow
+// permissions — exactly the Figure 3d ordering the protocol promises.
+type Oracle struct {
+	inner     core.Checker
+	os        *hostos.OS
+	hier      *accel.Sandboxed // nil for cacheless engines: invariant (c) vacuous
+	dir       *coherence.Directory
+	owned     func(arch.Phys) bool
+	bound     arch.Phys
+	selective bool
+
+	shadow map[arch.PPN]arch.Perm
+	active map[arch.ASID]bool
+
+	// pending holds denied crossings whose after-effects (invariants b and
+	// c) are verified lazily: any accelerator-side mutation must itself
+	// cross the border, so checking at the next oracle event — before that
+	// event's own effects — observes the state the denied request left.
+	pending  []denied
+	failures []string
+
+	Checks  uint64
+	Allowed uint64
+	Denied  uint64
+}
+
+// denied is one blocked crossing awaiting its invariant audit: the state
+// snapshot taken at denial time, to be compared at the next oracle event.
+type denied struct {
+	addr arch.Phys
+	kind arch.AccessKind
+	asid arch.ASID
+	at   sim.Time
+
+	inBounds bool
+	was      [arch.BlockSize]byte // memory bytes at denial (writes, in bounds)
+
+	l2      bool // block already (legally) present in the L2
+	dirty   bool
+	owned   bool
+	sharers int
+	l1s     int // number of L1s holding the block
+}
+
+// NewOracle wraps inner. bound is the physical-memory size; selective
+// mirrors the Border Control SelectiveFlush configuration so downgrade
+// shadow updates match the table's (per-page vs zero-everything) variant.
+func NewOracle(inner core.Checker, osm *hostos.OS, hier *accel.Sandboxed, dir *coherence.Directory, owned func(arch.Phys) bool, selective bool) *Oracle {
+	return &Oracle{
+		inner:     inner,
+		os:        osm,
+		hier:      hier,
+		dir:       dir,
+		owned:     owned,
+		bound:     arch.Phys(osm.Store().Size()),
+		selective: selective,
+		shadow:    make(map[arch.PPN]arch.Perm),
+		active:    make(map[arch.ASID]bool),
+	}
+}
+
+func (o *Oracle) failf(format string, args ...interface{}) {
+	o.failures = append(o.failures, fmt.Sprintf(format, args...))
+}
+
+// NoteStart records that asid runs on the guarded accelerator, so its
+// translations widen the shadow map (mirroring Figure 3a's ProcessStart).
+func (o *Oracle) NoteStart(asid arch.ASID) { o.active[asid] = true }
+
+// Check implements core.Checker: audit, then forward the real decision.
+func (o *Oracle) Check(at sim.Time, asid arch.ASID, addr arch.Phys, kind arch.AccessKind) core.Decision {
+	o.settle()
+	dec := o.inner.Check(at, asid, addr, kind)
+	o.Checks++
+	if dec.Allowed {
+		o.Allowed++
+		ppn := addr.PageOf()
+		if addr >= o.bound {
+			o.failf("escape: %v of %#x allowed beyond physical memory (asid %d, t=%d)", kind, addr, asid, at)
+		} else if !o.shadow[ppn].Allows(kind.Need()) {
+			o.failf("escape: %v of %#x allowed; ATS window for page %#x (epoch %d) is %v (asid %d, t=%d)",
+				kind, addr, ppn, o.os.PageEpoch(ppn), o.shadow[ppn], asid, at)
+		}
+		return dec
+	}
+	o.Denied++
+	d := denied{
+		addr:     addr.BlockOf(),
+		kind:     kind,
+		asid:     asid,
+		at:       at,
+		inBounds: addr < o.bound,
+	}
+	if d.inBounds && kind == arch.Write {
+		o.os.Store().ReadInto(d.addr, d.was[:])
+	}
+	if o.hier != nil {
+		d.l2 = o.hier.L2().Contains(d.addr)
+		d.dirty = o.hier.L2().IsDirty(d.addr)
+		for cu := 0; cu < o.hier.CUs(); cu++ {
+			if o.hier.L1(cu).Contains(d.addr) {
+				d.l1s++
+			}
+		}
+	}
+	if o.dir != nil {
+		d.owned = o.owned(d.addr)
+		d.sharers = o.dir.SharersOf(d.addr)
+	}
+	o.pending = append(o.pending, d)
+	return dec
+}
+
+// settle audits all pending denials against the current system state. Any
+// state that appeared since the denial was recorded — memory bytes, cache
+// lines, dirty bits, coherence entries — is residue of a blocked request.
+func (o *Oracle) settle() {
+	for _, d := range o.pending {
+		o.audit(d)
+	}
+	o.pending = o.pending[:0]
+}
+
+func (o *Oracle) audit(d denied) {
+	if d.inBounds && d.kind == arch.Write {
+		var now [arch.BlockSize]byte
+		o.os.Store().ReadInto(d.addr, now[:])
+		if now != d.was {
+			o.failf("residue: blocked write of %#x (asid %d, t=%d) changed host memory", d.addr, d.asid, d.at)
+		}
+	}
+	if o.hier != nil {
+		if !d.l2 && o.hier.L2().Contains(d.addr) {
+			o.failf("residue: blocked %v of %#x (asid %d, t=%d) left an L2 line", d.kind, d.addr, d.asid, d.at)
+		}
+		if !d.dirty && o.hier.L2().IsDirty(d.addr) {
+			o.failf("residue: blocked %v of %#x (asid %d, t=%d) left the L2 block dirty", d.kind, d.addr, d.asid, d.at)
+		}
+		l1s := 0
+		for cu := 0; cu < o.hier.CUs(); cu++ {
+			if o.hier.L1(cu).Contains(d.addr) {
+				l1s++
+			}
+		}
+		if l1s > d.l1s {
+			o.failf("residue: blocked %v of %#x (asid %d, t=%d) left %d new L1 line(s)", d.kind, d.addr, d.asid, d.at, l1s-d.l1s)
+		}
+	}
+	if o.dir != nil {
+		if !d.owned && o.owned(d.addr) {
+			o.failf("residue: blocked %v of %#x (asid %d, t=%d) left coherence ownership", d.kind, d.addr, d.asid, d.at)
+		}
+		if n := o.dir.SharersOf(d.addr); n > d.sharers {
+			o.failf("residue: blocked %v of %#x (asid %d, t=%d) grew the sharer set %d -> %d", d.kind, d.addr, d.asid, d.at, d.sharers, n)
+		}
+	}
+}
+
+// OnTranslation implements ats.Observer: mirror the Figure 3b widen-only
+// insertion, including the huge-page fan-out, for active processes.
+func (o *Oracle) OnTranslation(at sim.Time, asid arch.ASID, vpn arch.VPN, ppn arch.PPN, perm arch.Perm, huge bool) {
+	o.settle()
+	if !o.active[asid] {
+		return
+	}
+	if huge {
+		head := ppn - ppn%arch.PagesPerHugePage
+		for i := arch.PPN(0); i < arch.PagesPerHugePage; i++ {
+			o.shadow[head+i] |= perm.Border()
+		}
+		return
+	}
+	o.shadow[ppn] |= perm.Border()
+}
+
+// OnDowngrade implements hostos.ShootdownListener: mirror the Figure 3d
+// narrowing. Attach registers this AFTER Border Control's listener, so the
+// shadow still shows the old window while BC's synchronous flush pushes
+// writebacks across the border.
+func (o *Oracle) OnDowngrade(d hostos.Downgrade) {
+	o.settle()
+	if !o.active[d.ASID] {
+		return
+	}
+	old := o.shadow[d.PPN]
+	if old == arch.PermNone && d.New.Border() == arch.PermNone {
+		return
+	}
+	if old.CanWrite() && !o.selective {
+		// Full-flush variant: the whole table is zeroed.
+		o.shadow = make(map[arch.PPN]arch.Perm)
+		return
+	}
+	if p := d.New.Border(); p == arch.PermNone {
+		delete(o.shadow, d.PPN)
+	} else {
+		o.shadow[d.PPN] = p
+	}
+}
+
+// OnProcessComplete implements hostos.CompletionListener: Figure 3e zeroes
+// the shared table, so the union window collapses for everyone.
+func (o *Oracle) OnProcessComplete(asid arch.ASID) {
+	o.settle()
+	delete(o.active, asid)
+	o.shadow = make(map[arch.PPN]arch.Perm)
+}
+
+// Finish audits any trailing denials and returns all invariant failures in
+// the order they were detected.
+func (o *Oracle) Finish() []string {
+	o.settle()
+	return o.failures
+}

@@ -1,0 +1,170 @@
+package adversary
+
+import (
+	"strings"
+	"testing"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/core"
+	"bordercontrol/internal/hostos"
+	"bordercontrol/internal/memory"
+	"bordercontrol/internal/sim"
+)
+
+// rigged is an inner checker with a fixed verdict, for driving the oracle's
+// failure paths without a real (and correct) Border Control in the way.
+type rigged struct{ allow bool }
+
+func (r rigged) Check(at sim.Time, asid arch.ASID, addr arch.Phys, kind arch.AccessKind) core.Decision {
+	return core.Decision{Allowed: r.allow, Done: at}
+}
+
+func newTestOracle(t *testing.T, inner core.Checker) (*Oracle, *hostos.OS) {
+	t.Helper()
+	store, err := memory.NewStore(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	osm := hostos.New(store)
+	return NewOracle(inner, osm, nil, nil, nil, true), osm
+}
+
+// The whole harness is only as good as the oracle's ability to notice an
+// escape: an allowed crossing the shadow map cannot justify must fail.
+func TestOracleFlagsUnjustifiedAllow(t *testing.T) {
+	o, _ := newTestOracle(t, rigged{allow: true})
+	o.NoteStart(1)
+
+	// A grant the OS never made: permissive hardware lets it through.
+	dec := o.Check(0, 1, 0x2000, arch.Write)
+	if !dec.Allowed {
+		t.Fatal("oracle altered the inner decision")
+	}
+	fails := o.Finish()
+	if len(fails) != 1 || !strings.Contains(fails[0], "escape") {
+		t.Fatalf("want one escape failure, got %q", fails)
+	}
+
+	// With the window actually granted, the same crossing is clean.
+	o2, _ := newTestOracle(t, rigged{allow: true})
+	o2.NoteStart(1)
+	o2.OnTranslation(0, 1, arch.Virt(0x2000).PageOf(), arch.Phys(0x2000).PageOf(), arch.PermRW, false)
+	o2.Check(0, 1, 0x2000, arch.Write)
+	if fails := o2.Finish(); len(fails) != 0 {
+		t.Fatalf("granted crossing flagged: %q", fails)
+	}
+}
+
+// An allow beyond the end of physical memory is an escape even if some
+// shadow entry matched.
+func TestOracleFlagsOutOfBoundsAllow(t *testing.T) {
+	o, osm := newTestOracle(t, rigged{allow: true})
+	o.NoteStart(1)
+	oob := arch.Phys(osm.Store().Size()) + 4*arch.BlockSize
+	o.Check(0, 1, oob, arch.Read)
+	fails := o.Finish()
+	if len(fails) != 1 || !strings.Contains(fails[0], "beyond physical memory") {
+		t.Fatalf("want one out-of-bounds escape, got %q", fails)
+	}
+}
+
+// A blocked write whose target bytes change anyway is residue: the denial
+// snapshot is compared at the next oracle event (here, Finish).
+func TestOracleFlagsDeniedWriteResidue(t *testing.T) {
+	o, osm := newTestOracle(t, rigged{allow: false})
+	o.NoteStart(1)
+	addr := arch.Phys(0x4000)
+	if dec := o.Check(0, 1, addr, arch.Write); dec.Allowed {
+		t.Fatal("rigged denial leaked through")
+	}
+	// Memory changes after the denial — as if the blocked write landed.
+	osm.Store().Write(addr, []byte("tampered"))
+	fails := o.Finish()
+	if len(fails) != 1 || !strings.Contains(fails[0], "changed host memory") {
+		t.Fatalf("want one residue failure, got %q", fails)
+	}
+
+	// Control: denial with memory left alone is clean.
+	o2, _ := newTestOracle(t, rigged{allow: false})
+	o2.NoteStart(1)
+	o2.Check(0, 1, addr, arch.Write)
+	if fails := o2.Finish(); len(fails) != 0 {
+		t.Fatalf("clean denial flagged: %q", fails)
+	}
+}
+
+// Downgrades must narrow the shadow window: a post-downgrade allow at the
+// old permission is an escape.
+func TestOracleShadowFollowsDowngrade(t *testing.T) {
+	o, _ := newTestOracle(t, rigged{allow: true})
+	o.NoteStart(1)
+	vpn, ppn := arch.Virt(0x3000).PageOf(), arch.Phys(0x5000).PageOf()
+	o.OnTranslation(0, 1, vpn, ppn, arch.PermRW, false)
+	o.OnDowngrade(hostos.Downgrade{ASID: 1, VPN: vpn, PPN: ppn, Old: arch.PermRW, New: arch.PermRead})
+	o.Check(0, 1, ppn.Base(), arch.Write) // rigged hardware still allows
+	fails := o.Finish()
+	if len(fails) != 1 || !strings.Contains(fails[0], "escape") {
+		t.Fatalf("want one post-downgrade escape, got %q", fails)
+	}
+}
+
+// Completion revokes everything, for every process sharing the table.
+func TestOracleShadowFollowsCompletion(t *testing.T) {
+	o, _ := newTestOracle(t, rigged{allow: true})
+	o.NoteStart(1)
+	o.NoteStart(2)
+	ppn := arch.Phys(0x6000).PageOf()
+	o.OnTranslation(0, 2, arch.Virt(0x6000).PageOf(), ppn, arch.PermRW, false)
+	o.OnProcessComplete(1) // someone ELSE completes; shared table still zeroes
+	o.Check(0, 2, ppn.Base(), arch.Read)
+	if fails := o.Finish(); len(fails) != 1 {
+		t.Fatalf("want one post-completion escape, got %q", fails)
+	}
+}
+
+func TestLookupCoversRegistry(t *testing.T) {
+	names := AttackNames()
+	if len(names) != 6 {
+		t.Fatalf("attack vocabulary has %d entries, want 6", len(names))
+	}
+	for _, n := range names {
+		if _, ok := Lookup(n); !ok {
+			t.Fatalf("Lookup(%q) failed", n)
+		}
+	}
+	if _, ok := Lookup("no-such-attack"); ok {
+		t.Fatal("Lookup accepted an unknown attack")
+	}
+}
+
+// A breached report must end with exactly one reproducing command per
+// failing attack, and the held report must say so plainly.
+func TestRenderReproLine(t *testing.T) {
+	rep := Report{
+		Seed:      40,
+		Campaigns: 2,
+		Configs:   []string{"cfg-a", "cfg-b"},
+		Results: []AttackResult{
+			{Attack: "oob-probe", Seed: 40, Probes: 3, Blocked: 3},
+			{Attack: "oob-probe", Seed: 41, Probes: 3, Blocked: 2,
+				Failures: []string{"probe of 0x1000 reached memory"}},
+		},
+	}
+	if !rep.Failed() {
+		t.Fatal("report with a failure not marked failed")
+	}
+	out := Render(rep)
+	want := "bctool adversary -seed 41 -campaigns 1 -attacks oob-probe"
+	if !strings.Contains(out, want) {
+		t.Fatalf("breached render lacks repro command %q:\n%s", want, out)
+	}
+	if strings.Contains(out, "-seed 40 -campaigns 1") {
+		t.Fatalf("held campaign got a repro line:\n%s", out)
+	}
+
+	held := Report{Seed: 1, Campaigns: 1, Configs: []string{"cfg"},
+		Results: []AttackResult{{Attack: "oob-probe", Seed: 1, Probes: 3, Blocked: 3}}}
+	if Render(held) == out || !strings.Contains(Render(held), "sandbox held") {
+		t.Fatal("held report rendered wrong")
+	}
+}

@@ -17,7 +17,7 @@ func TestInsertRequiresActiveProcess(t *testing.T) {
 	if err := e.bc.Insert(0, p.ASID(), 5, arch.PermRead); err != nil {
 		t.Fatal(err)
 	}
-	if !e.bc.Check(0, arch.PPN(5).Base(), arch.Read).Allowed {
+	if !e.bc.Check(0, p.ASID(), arch.PPN(5).Base(), arch.Read).Allowed {
 		t.Error("inserted permission not honored")
 	}
 	if err := e.bc.Insert(0, p.ASID(), arch.PPN(1<<40), arch.PermRead); err == nil {
@@ -60,7 +60,7 @@ func TestPLBDrivesProtectionTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Before any PLB activity the border fails closed.
-	if e.bc.Check(0, 0x10000, arch.Read).Allowed {
+	if e.bc.Check(0, p.ASID(), 0x10000, arch.Read).Allowed {
 		t.Fatal("border should fail closed before the PLB miss")
 	}
 	perm, err := plb.Access(0, p.ASID(), 0x10040, arch.Read)
@@ -74,7 +74,7 @@ func TestPLBDrivesProtectionTable(t *testing.T) {
 		t.Error("first access should miss")
 	}
 	// The miss populated the Protection Table: the border now allows it.
-	if !e.bc.Check(0, 0x10000, arch.Write).Allowed {
+	if !e.bc.Check(0, p.ASID(), 0x10000, arch.Write).Allowed {
 		t.Error("PLB miss did not update the protection table")
 	}
 	// Second access hits the PLB.
@@ -89,7 +89,7 @@ func TestPLBDrivesProtectionTable(t *testing.T) {
 	if err != nil || perm != arch.PermNone {
 		t.Errorf("ungranted access: perm=%v err=%v", perm, err)
 	}
-	if e.bc.Check(0, 0x90000, arch.Read).Allowed {
+	if e.bc.Check(0, p.ASID(), 0x90000, arch.Read).Allowed {
 		t.Error("ungranted page leaked into the table")
 	}
 }
@@ -136,11 +136,11 @@ func TestCapabilities(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := arch.Phys(0); i < 3; i++ {
-		if !e.bc.Check(0, 0x40000+i*arch.PageSize, arch.Write).Allowed {
+		if !e.bc.Check(0, p.ASID(), 0x40000+i*arch.PageSize, arch.Write).Allowed {
 			t.Errorf("capability page %d not granted", i)
 		}
 	}
-	if e.bc.Check(0, 0x40000+3*arch.PageSize, arch.Read).Allowed {
+	if e.bc.Check(0, p.ASID(), 0x40000+3*arch.PageSize, arch.Read).Allowed {
 		t.Error("capability overshot its range")
 	}
 }

@@ -283,6 +283,10 @@ func (bc *BorderControl) ProcessComplete(at sim.Time, asid arch.ASID) sim.Time {
 		alloc.FreeContiguous(bc.tableBase, frames)
 		bc.table = nil
 	}
+	// The flush above ran with the table still populated (in-flight
+	// writebacks pass under the old permissions); only now that the epoch is
+	// over does the OS learn the session ended.
+	bc.os.NoteCompletion(asid)
 	return done
 }
 
@@ -341,8 +345,8 @@ func (bc *BorderControl) insert(at sim.Time, ppn arch.PPN, perm arch.Perm) {
 
 // Check implements Figure 3c: every accelerator memory request is checked
 // before it reaches the host memory system. Blocked requests raise an
-// exception to the OS.
-func (bc *BorderControl) Check(at sim.Time, addr arch.Phys, kind arch.AccessKind) Decision {
+// exception to the OS, attributed to the requesting ASID.
+func (bc *BorderControl) Check(at sim.Time, asid arch.ASID, addr arch.Phys, kind arch.AccessKind) Decision {
 	bc.Checks.Inc()
 	if kind == arch.Write {
 		bc.WriteChecks.Inc()
@@ -350,7 +354,7 @@ func (bc *BorderControl) Check(at sim.Time, addr arch.Phys, kind arch.AccessKind
 		bc.ReadChecks.Inc()
 	}
 	if bc.disabled || bc.table == nil {
-		return bc.deny(at, addr, kind)
+		return bc.deny(at, asid, addr, kind)
 	}
 	ppn := addr.PageOf()
 	if bc.TraceSink != nil {
@@ -358,7 +362,7 @@ func (bc *BorderControl) Check(at sim.Time, addr arch.Phys, kind arch.AccessKind
 	}
 	// The bounds register is checked before the table is indexed.
 	if !bc.table.InBounds(ppn) {
-		return bc.deny(at, addr, kind)
+		return bc.deny(at, asid, addr, kind)
 	}
 	var perm arch.Perm
 	done := at
@@ -378,7 +382,7 @@ func (bc *BorderControl) Check(at sim.Time, addr arch.Phys, kind arch.AccessKind
 		done = bc.tableAccess(at, ppn)
 	}
 	if !perm.Allows(kind.Need()) {
-		d := bc.deny(done, addr, kind)
+		d := bc.deny(done, asid, addr, kind)
 		return d
 	}
 	if bc.trChecks {
@@ -401,13 +405,19 @@ func (bc *BorderControl) tableAccess(at sim.Time, ppn arch.PPN) sim.Time {
 
 // deny records a violation, notifies the OS, and returns a blocking
 // decision. Requested read data is not returned and writes do not proceed.
-func (bc *BorderControl) deny(at sim.Time, addr arch.Phys, kind arch.AccessKind) Decision {
+//
+// The culprit is the ASID the request carried — even one no longer active
+// on this border (a replay after ProcessComplete still names who replayed).
+// Only hardware-initiated crossings (asid 0) fall back to the single-active
+// heuristic; with several processes co-scheduled an unattributed violation
+// blames nobody rather than the wrong process.
+func (bc *BorderControl) deny(at sim.Time, asid arch.ASID, addr arch.Phys, kind arch.AccessKind) Decision {
 	bc.Violations.Inc()
 	if bc.tr != nil {
 		bc.tr.Instant("border", "violation", uint64(at))
 	}
-	var culprit arch.ASID
-	if len(bc.active) == 1 {
+	culprit := asid
+	if culprit == 0 && len(bc.active) == 1 {
 		for a := range bc.active {
 			culprit = a
 		}
@@ -417,6 +427,7 @@ func (bc *BorderControl) deny(at sim.Time, addr arch.Phys, kind arch.AccessKind)
 	}
 	bc.os.ReportViolation(hostos.Violation{
 		Accelerator: bc.name,
+		ASID:        culprit,
 		Addr:        addr,
 		Kind:        kind,
 	}, culprit)

@@ -138,10 +138,10 @@ func TestFailClosed(t *testing.T) {
 	if err := e.bc.ProcessStart(p.ASID()); err != nil {
 		t.Fatal(err)
 	}
-	if dec := e.bc.Check(0, ppn.Base(), arch.Read); dec.Allowed {
+	if dec := e.bc.Check(0, p.ASID(), ppn.Base(), arch.Read); dec.Allowed {
 		t.Error("read of never-translated page must be blocked")
 	}
-	if dec := e.bc.Check(0, ppn.Base(), arch.Write); dec.Allowed {
+	if dec := e.bc.Check(0, p.ASID(), ppn.Base(), arch.Write); dec.Allowed {
 		t.Error("write of never-translated page must be blocked")
 	}
 	if e.bc.Violations.Value() != 2 {
@@ -160,7 +160,7 @@ func TestFailClosedKillsProcess(t *testing.T) {
 	p := e.newProc(t)
 	_, ppn := mapPage(t, p)
 	e.bc.ProcessStart(p.ASID())
-	e.bc.Check(0, ppn.Base(), arch.Read)
+	e.bc.Check(0, p.ASID(), ppn.Base(), arch.Read)
 	if !p.Dead() {
 		t.Error("violating process should be terminated by default policy")
 	}
@@ -173,10 +173,10 @@ func TestInsertionThenCheck(t *testing.T) {
 	e.bc.ProcessStart(p.ASID())
 	// The ATS notifies Border Control on translation (Figure 3b).
 	e.bc.OnTranslation(0, p.ASID(), v.PageOf(), ppn, arch.PermRW, false)
-	if dec := e.bc.Check(0, ppn.Base()+64, arch.Read); !dec.Allowed {
+	if dec := e.bc.Check(0, p.ASID(), ppn.Base()+64, arch.Read); !dec.Allowed {
 		t.Error("read after insertion should pass")
 	}
-	if dec := e.bc.Check(0, ppn.Base(), arch.Write); !dec.Allowed {
+	if dec := e.bc.Check(0, p.ASID(), ppn.Base(), arch.Write); !dec.Allowed {
 		t.Error("write after RW insertion should pass")
 	}
 	// A read-only insertion only grants reads.
@@ -189,10 +189,10 @@ func TestInsertionThenCheck(t *testing.T) {
 	}
 	ppn2, _ := p.PPNOf(v2.PageOf())
 	e.bc.OnTranslation(0, p.ASID(), v2.PageOf(), ppn2, arch.PermRead, false)
-	if dec := e.bc.Check(0, ppn2.Base(), arch.Read); !dec.Allowed {
+	if dec := e.bc.Check(0, p.ASID(), ppn2.Base(), arch.Read); !dec.Allowed {
 		t.Error("read should pass")
 	}
-	if dec := e.bc.Check(0, ppn2.Base(), arch.Write); dec.Allowed {
+	if dec := e.bc.Check(0, p.ASID(), ppn2.Base(), arch.Write); dec.Allowed {
 		t.Error("write to read-only page must be blocked")
 	}
 }
@@ -206,7 +206,7 @@ func TestInsertionIgnoresForeignASID(t *testing.T) {
 	// A translation for a process NOT active on this accelerator must not
 	// populate the table.
 	e.bc.OnTranslation(0, other.ASID(), 0x100, ppn, arch.PermRW, false)
-	if dec := e.bc.Check(0, ppn.Base(), arch.Read); dec.Allowed {
+	if dec := e.bc.Check(0, p.ASID(), ppn.Base(), arch.Read); dec.Allowed {
 		t.Error("foreign insertion leaked permissions")
 	}
 }
@@ -216,7 +216,7 @@ func TestBoundsRegister(t *testing.T) {
 	p := e.newProc(t)
 	e.bc.ProcessStart(p.ASID())
 	beyond := arch.Phys(e.os.Store().Size())
-	if dec := e.bc.Check(0, beyond, arch.Read); dec.Allowed {
+	if dec := e.bc.Check(0, p.ASID(), beyond, arch.Read); dec.Allowed {
 		t.Error("beyond-bounds physical address must be blocked")
 	}
 }
@@ -228,11 +228,11 @@ func TestHugePageFanOut(t *testing.T) {
 	e.bc.ProcessStart(p.ASID())
 	e.bc.OnTranslation(0, p.ASID(), 512, 1024, arch.PermRW, true)
 	for _, off := range []arch.PPN{0, 1, 100, 511} {
-		if dec := e.bc.Check(0, (1024 + off).Base(), arch.Write); !dec.Allowed {
+		if dec := e.bc.Check(0, p.ASID(), (1024 + off).Base(), arch.Write); !dec.Allowed {
 			t.Errorf("huge fan-out missed page +%d", off)
 		}
 	}
-	if dec := e.bc.Check(0, arch.PPN(1024+512).Base(), arch.Read); dec.Allowed {
+	if dec := e.bc.Check(0, p.ASID(), arch.PPN(1024+512).Base(), arch.Read); dec.Allowed {
 		t.Error("fan-out overshot the huge page")
 	}
 }
@@ -249,7 +249,7 @@ func TestDowngradeFlushOrdering(t *testing.T) {
 	wbAllowed := false
 	e.accel.onFlush = func(arch.PPN) {
 		// Simulate the flush pushing a dirty block through the border.
-		dec := e.bc.Check(e.eng.Now(), ppn.Base(), arch.Write)
+		dec := e.bc.Check(e.eng.Now(), p.ASID(), ppn.Base(), arch.Write)
 		wbAllowed = dec.Allowed
 	}
 	if _, err := e.os.Protect(p, v, arch.PageSize, arch.PermRead); err != nil {
@@ -262,10 +262,10 @@ func TestDowngradeFlushOrdering(t *testing.T) {
 		t.Error("writeback during the flush must pass under the OLD permissions")
 	}
 	// After the downgrade completes, writes are blocked, reads still pass.
-	if dec := e.bc.Check(e.eng.Now(), ppn.Base(), arch.Write); dec.Allowed {
+	if dec := e.bc.Check(e.eng.Now(), p.ASID(), ppn.Base(), arch.Write); dec.Allowed {
 		t.Error("write after downgrade must be blocked")
 	}
-	if dec := e.bc.Check(e.eng.Now(), ppn.Base(), arch.Read); !dec.Allowed {
+	if dec := e.bc.Check(e.eng.Now(), p.ASID(), ppn.Base(), arch.Read); !dec.Allowed {
 		t.Error("read permission should survive an RW->R downgrade")
 	}
 	if e.accel.tlbPage == 0 {
@@ -294,7 +294,7 @@ func TestReadOnlyDowngradeNeedsNoFlush(t *testing.T) {
 	if len(e.accel.pageFlushes) != 0 && e.accel.fullFlushes == 0 {
 		t.Error("read-only downgrade must not flush caches")
 	}
-	if dec := e.bc.Check(0, ppn.Base(), arch.Read); dec.Allowed {
+	if dec := e.bc.Check(0, p.ASID(), ppn.Base(), arch.Read); dec.Allowed {
 		t.Error("revoked page must be blocked")
 	}
 }
@@ -319,7 +319,7 @@ func TestFullFlushDowngradeVariant(t *testing.T) {
 	}
 	// The WHOLE table is zeroed: even the untouched page needs
 	// re-insertion (lazily, via the next translation).
-	if dec := e.bc.Check(e.eng.Now(), ppn2.Base(), arch.Read); dec.Allowed {
+	if dec := e.bc.Check(e.eng.Now(), p.ASID(), ppn2.Base(), arch.Read); dec.Allowed {
 		t.Error("table should be zeroed wholesale")
 	}
 }
@@ -338,7 +338,7 @@ func TestIgnoredFlushIsStillSafe(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The (never flushed) dirty block is written back later: blocked.
-	if dec := e.bc.Check(e.eng.Now(), ppn.Base(), arch.Write); dec.Allowed {
+	if dec := e.bc.Check(e.eng.Now(), p.ASID(), ppn.Base(), arch.Write); dec.Allowed {
 		t.Error("late writeback after downgrade must be blocked")
 	}
 }
@@ -387,13 +387,18 @@ func TestMultiprocessUnion(t *testing.T) {
 	e.bc.OnTranslation(0, a.ASID(), va.PageOf(), ppnA, arch.PermRW, false)
 	e.bc.OnTranslation(0, b.ASID(), vb.PageOf(), ppnB, arch.PermRead, false)
 	// Both processes' pages are accessible through the one border.
-	if !e.bc.Check(0, ppnA.Base(), arch.Write).Allowed {
+	if !e.bc.Check(0, a.ASID(), ppnA.Base(), arch.Write).Allowed {
 		t.Error("A's page should be writable")
 	}
-	if !e.bc.Check(0, ppnB.Base(), arch.Read).Allowed {
+	if !e.bc.Check(0, b.ASID(), ppnB.Base(), arch.Read).Allowed {
 		t.Error("B's page should be readable")
 	}
-	if e.bc.Check(0, ppnB.Base(), arch.Write).Allowed {
+	// Union semantics: B may write A's page — permission is per-table, not
+	// per-ASID; the ASID only attributes violations (paper §3.3).
+	if !e.bc.Check(0, b.ASID(), ppnA.Base(), arch.Write).Allowed {
+		t.Error("union semantics: B's request to A's page must pass")
+	}
+	if e.bc.Check(0, b.ASID(), ppnB.Base(), arch.Write).Allowed {
 		t.Error("B's read-only page must not be writable")
 	}
 	// A completes: the WHOLE table is zeroed (B re-faults lazily).
@@ -401,11 +406,11 @@ func TestMultiprocessUnion(t *testing.T) {
 	if e.bc.Table() == nil {
 		t.Fatal("table must survive while B is active")
 	}
-	if e.bc.Check(0, ppnB.Base(), arch.Read).Allowed {
+	if e.bc.Check(0, b.ASID(), ppnB.Base(), arch.Read).Allowed {
 		t.Error("completion must revoke even the other process's entries")
 	}
 	e.bc.OnTranslation(0, b.ASID(), vb.PageOf(), ppnB, arch.PermRead, false)
-	if !e.bc.Check(0, ppnB.Base(), arch.Read).Allowed {
+	if !e.bc.Check(0, b.ASID(), ppnB.Base(), arch.Read).Allowed {
 		t.Error("B's re-insertion should restore access")
 	}
 }
@@ -417,7 +422,7 @@ func TestEagerPopulate(t *testing.T) {
 	e.bc.ProcessStart(p.ASID())
 	// No translation ever happened, but eager population pre-filled the
 	// table from the process's mapped pages.
-	if !e.bc.Check(0, ppn.Base(), arch.Write).Allowed {
+	if !e.bc.Check(0, p.ASID(), ppn.Base(), arch.Write).Allowed {
 		t.Error("eager population missed a mapped page")
 	}
 }
@@ -428,15 +433,15 @@ func TestDisableOnViolation(t *testing.T) {
 	v, ppn := mapPage(t, p)
 	e.bc.ProcessStart(p.ASID())
 	e.bc.OnTranslation(0, p.ASID(), v.PageOf(), ppn, arch.PermRW, false)
-	if !e.bc.Check(0, ppn.Base(), arch.Read).Allowed {
+	if !e.bc.Check(0, p.ASID(), ppn.Base(), arch.Read).Allowed {
 		t.Fatal("legitimate access should pass")
 	}
-	e.bc.Check(0, arch.Phys(0xdead000), arch.Read) // violation
+	e.bc.Check(0, p.ASID(), arch.Phys(0xdead000), arch.Read) // violation
 	if !e.bc.Disabled() {
 		t.Fatal("border should disable after violation")
 	}
 	// Even previously-legitimate traffic is now refused.
-	if e.bc.Check(0, ppn.Base(), arch.Read).Allowed {
+	if e.bc.Check(0, p.ASID(), ppn.Base(), arch.Read).Allowed {
 		t.Error("disabled accelerator must be shut out entirely")
 	}
 }
@@ -450,7 +455,7 @@ func TestNoBCCMode(t *testing.T) {
 		t.Fatal("noBCC mode should have no cache")
 	}
 	e.bc.OnTranslation(0, p.ASID(), v.PageOf(), ppn, arch.PermRW, false)
-	if !e.bc.Check(0, ppn.Base(), arch.Write).Allowed {
+	if !e.bc.Check(0, p.ASID(), ppn.Base(), arch.Write).Allowed {
 		t.Error("noBCC check should pass via the table")
 	}
 	if e.bc.TableReads.Value() == 0 {
@@ -468,7 +473,7 @@ func TestCheckTimingParallelism(t *testing.T) {
 	e.bc.ProcessStart(p.ASID())
 	e.bc.OnTranslation(0, p.ASID(), v.PageOf(), ppn, arch.PermRW, false)
 	at := sim.Time(1000000)
-	dec := e.bc.Check(at, ppn.Base(), arch.Read)
+	dec := e.bc.Check(at, p.ASID(), ppn.Base(), arch.Read)
 	if !dec.Allowed {
 		t.Fatal("check should pass")
 	}
@@ -485,7 +490,7 @@ func TestTraceSink(t *testing.T) {
 	var evs []TraceEvent
 	e.bc.TraceSink = func(ev TraceEvent) { evs = append(evs, ev) }
 	e.bc.OnTranslation(0, p.ASID(), v.PageOf(), ppn, arch.PermRW, false)
-	e.bc.Check(0, ppn.Base(), arch.Write)
+	e.bc.Check(0, p.ASID(), ppn.Base(), arch.Write)
 	if len(evs) != 2 || !evs[0].Insert || evs[1].Insert {
 		t.Fatalf("trace = %+v", evs)
 	}
@@ -538,7 +543,7 @@ func TestRandomizedAgainstReference(t *testing.T) {
 				kind = arch.Write
 			}
 			want := ref[ppn].Allows(kind.Need())
-			got := e.bc.Check(e.eng.Now(), ppn.Base(), kind).Allowed
+			got := e.bc.Check(e.eng.Now(), p.ASID(), ppn.Base(), kind).Allowed
 			if got != want {
 				t.Fatalf("step %d: check(%d,%v) = %v, reference says %v", step, ppn, kind, got, want)
 			}

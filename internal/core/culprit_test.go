@@ -1,0 +1,114 @@
+package core
+
+// Regression tests for violation attribution (§3.3). Permissions are the
+// union over active processes — the ASID carried by a request never grants
+// anything — but when the border blocks a request, the OS needs to know
+// WHICH process's accelerator context misbehaved, so it can kill exactly
+// that process. Before the requesting ASID was plumbed through Check, the
+// border could only blame a process when exactly one was active; with two
+// processes co-scheduled, a violation killed nobody.
+
+import (
+	"testing"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/hostos"
+)
+
+func twoProcs(t *testing.T, e *bcEnv) (*hostos.Process, *hostos.Process) {
+	t.Helper()
+	a, err := e.os.NewProcess("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.os.NewProcess("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.bc.ProcessStart(a.ASID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.bc.ProcessStart(b.ASID()); err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestCulpritAttributionMultiprocess(t *testing.T) {
+	// Two processes run on the accelerator. A's page is granted read-only;
+	// a request carrying B's ASID writes it. The union of permissions lacks
+	// write, so the border blocks — and must kill B, the process whose
+	// context issued the request, not A, and not nobody.
+	e := newBCEnv(t, nil)
+	e.os.KeepProcessOnViolation = false
+	a, b := twoProcs(t, e)
+	_, ppnA := mapPage(t, a)
+	e.bc.OnTranslation(0, a.ASID(), 0, ppnA, arch.PermRead, false)
+
+	if e.bc.Check(e.eng.Now(), b.ASID(), ppnA.Base(), arch.Write).Allowed {
+		t.Fatal("write through a read-only union grant must be blocked")
+	}
+	if len(e.os.Violations) != 1 {
+		t.Fatalf("violations logged = %d, want 1", len(e.os.Violations))
+	}
+	if got := e.os.Violations[0].ASID; got != b.ASID() {
+		t.Errorf("violation attributed to asid %d, want requester %d", got, b.ASID())
+	}
+	if !b.Dead() {
+		t.Error("requesting process survived its violation (pre-fix: two active processes meant no culprit)")
+	}
+	if a.Dead() {
+		t.Error("innocent co-scheduled process was killed")
+	}
+}
+
+func TestCulpritAttributionAfterCompletion(t *testing.T) {
+	// B's session completes (Figure 3e zeroes the table), then B's stale
+	// hardware context replays an old physical address. Only A remains
+	// active — the old single-active heuristic would have blamed A. The
+	// requesting ASID names the replayer even though it is no longer active.
+	e := newBCEnv(t, nil)
+	e.os.KeepProcessOnViolation = false
+	a, b := twoProcs(t, e)
+	_, ppnB := mapPage(t, b)
+	e.bc.OnTranslation(0, b.ASID(), 0, ppnB, arch.PermRW, false)
+	e.bc.ProcessComplete(e.eng.Now(), b.ASID())
+
+	if e.bc.Check(e.eng.Now(), b.ASID(), ppnB.Base(), arch.Read).Allowed {
+		t.Fatal("replay after completion must be blocked (table zeroed)")
+	}
+	if got := e.os.Violations[len(e.os.Violations)-1].ASID; got != b.ASID() {
+		t.Errorf("violation attributed to asid %d, want replayer %d", got, b.ASID())
+	}
+	if a.Dead() {
+		t.Error("surviving process blamed for the completed process's replay")
+	}
+	if !b.Dead() {
+		t.Error("replaying process not killed")
+	}
+}
+
+func TestHardwareInitiatedFallsBackToSingleActive(t *testing.T) {
+	// ASID 0 marks hardware-initiated crossings (flush writebacks). With
+	// exactly one active process the border still blames it — the paper's
+	// original heuristic, kept as the fallback.
+	e := newBCEnv(t, nil)
+	e.os.KeepProcessOnViolation = false
+	p, err := e.os.NewProcess("solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.bc.ProcessStart(p.ASID()); err != nil {
+		t.Fatal(err)
+	}
+	_, ppn := mapPage(t, p)
+	if e.bc.Check(e.eng.Now(), 0, ppn.Base(), arch.Write).Allowed {
+		t.Fatal("never-granted page must be blocked")
+	}
+	if got := e.os.Violations[0].ASID; got != p.ASID() {
+		t.Errorf("violation attributed to asid %d, want sole active %d", got, p.ASID())
+	}
+	if !p.Dead() {
+		t.Error("sole active process not killed for hardware-initiated violation")
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+// Ordering tests for Figure 3d/3e: every flush a downgrade or completion
+// orders must run BEFORE the Protection Table (and BCC) change, so the
+// in-flight writebacks the flush produces are checked under the OLD
+// permissions and reach memory. TestDowngradeFlushOrdering covers the
+// selective-flush downgrade; these cover the full-flush variant and
+// process completion.
+
+import (
+	"testing"
+
+	"bordercontrol/internal/arch"
+)
+
+func TestFullFlushDowngradeOrdering(t *testing.T) {
+	// SelectiveFlush=false (§3.2.4's alternative): the downgrade flushes
+	// the WHOLE hierarchy, then zeroes the whole table. A dirty block of an
+	// unrelated page written back mid-flush must still pass — its grant is
+	// zeroed only after the flush returns.
+	for _, useBCC := range []bool{true, false} {
+		e := newBCEnv(t, func(c *Config) {
+			c.SelectiveFlush = false
+			c.UseBCC = useBCC
+		})
+		p := e.newProc(t)
+		v, ppn := mapPage(t, p)
+		v2, ppn2 := mapPage(t, p)
+		e.bc.ProcessStart(p.ASID())
+		e.bc.OnTranslation(0, p.ASID(), v.PageOf(), ppn, arch.PermRW, false)
+		e.bc.OnTranslation(0, p.ASID(), v2.PageOf(), ppn2, arch.PermRW, false)
+
+		downgraded, unrelated := false, false
+		e.accel.onFlush = func(arch.PPN) {
+			// Writebacks crossing mid-flush are hardware-initiated (ASID 0).
+			downgraded = e.bc.Check(e.eng.Now(), 0, ppn.Base(), arch.Write).Allowed
+			unrelated = e.bc.Check(e.eng.Now(), 0, ppn2.Base(), arch.Write).Allowed
+		}
+		if _, err := e.os.Protect(p, v, arch.PageSize, arch.PermRead); err != nil {
+			t.Fatal(err)
+		}
+		if e.accel.fullFlushes != 1 {
+			t.Fatalf("useBCC=%v: full flush not requested", useBCC)
+		}
+		if !downgraded {
+			t.Errorf("useBCC=%v: mid-flush writeback of the downgraded page blocked (table updated before flush)", useBCC)
+		}
+		if !unrelated {
+			t.Errorf("useBCC=%v: mid-flush writeback of an unrelated page blocked (table zeroed before flush)", useBCC)
+		}
+		// After the downgrade, the whole table is zero: both pages blocked.
+		for _, page := range []arch.PPN{ppn, ppn2} {
+			if e.bc.Check(e.eng.Now(), 0, page.Base(), arch.Write).Allowed {
+				t.Errorf("useBCC=%v: write to %#x allowed after full-flush downgrade", useBCC, page)
+			}
+		}
+	}
+}
+
+func TestProcessCompleteFlushUnderOldPerms(t *testing.T) {
+	// Figure 3e: completion orders a full flush FIRST, then zeroes and
+	// frees the table. The flush's in-flight writebacks carry no process
+	// context (ASID 0) and must pass under the still-populated table;
+	// afterwards nothing passes and the table is gone.
+	for _, useBCC := range []bool{true, false} {
+		e := newBCEnv(t, func(c *Config) { c.UseBCC = useBCC })
+		p := e.newProc(t)
+		v, ppn := mapPage(t, p)
+		e.bc.ProcessStart(p.ASID())
+		e.bc.OnTranslation(0, p.ASID(), v.PageOf(), ppn, arch.PermRW, false)
+
+		wbAllowed := false
+		e.accel.onFlush = func(arch.PPN) {
+			wbAllowed = e.bc.Check(e.eng.Now(), 0, ppn.Base(), arch.Write).Allowed
+		}
+		e.bc.ProcessComplete(e.eng.Now(), p.ASID())
+		if e.accel.fullFlushes != 1 || e.accel.tlbAll != 1 {
+			t.Fatalf("useBCC=%v: completion must flush caches and TLB", useBCC)
+		}
+		if !wbAllowed {
+			t.Errorf("useBCC=%v: completion's in-flight writeback blocked (table zeroed before flush)", useBCC)
+		}
+		if e.bc.Table() != nil {
+			t.Errorf("useBCC=%v: table not freed after last process completed", useBCC)
+		}
+		if e.bc.Check(e.eng.Now(), p.ASID(), ppn.Base(), arch.Read).Allowed {
+			t.Errorf("useBCC=%v: read allowed after completion revoked everything", useBCC)
+		}
+	}
+}

@@ -34,7 +34,7 @@ func runBorderOps(t *testing.T, e *bcEnv, asid arch.ASID, data []byte) []bool {
 	var decisions []bool
 	bogus := asid + 1 // never started on this border
 	for i := 0; i+4 <= len(data); i += 4 {
-		op, a, b, c := data[i]%6, data[i+1], data[i+2], data[i+3]
+		op, a, b, c := data[i]%8, data[i+1], data[i+2], data[i+3]
 		ppn := arch.PPN(a) | arch.PPN(b&3)<<8 // 0..fuzzPages-1
 		perm := arch.Perm(c % 4)
 		who := asid
@@ -62,7 +62,7 @@ func runBorderOps(t *testing.T, e *bcEnv, asid arch.ASID, data []byte) []bool {
 				kind = arch.Write
 			}
 			addr := ppn.Base() + arch.Phys(b)
-			d := e.bc.Check(e.eng.Now(), addr, kind)
+			d := e.bc.Check(e.eng.Now(), asid, addr, kind)
 			want := oracle[ppn].Allows(kind.Need())
 			if d.Allowed != want {
 				t.Fatalf("op %d: Check(ppn=%#x, %v) = %v, oracle (perm %v) says %v",
@@ -71,7 +71,7 @@ func runBorderOps(t *testing.T, e *bcEnv, asid arch.ASID, data []byte) []bool {
 			decisions = append(decisions, d.Allowed)
 		case 3: // Check outside the bounds register: always a violation.
 			addr := arch.Phys(e.os.Store().Size()) + ppn.Base()
-			d := e.bc.Check(e.eng.Now(), addr, arch.Read)
+			d := e.bc.Check(e.eng.Now(), asid, addr, arch.Read)
 			if d.Allowed {
 				t.Fatalf("op %d: out-of-bounds check of %#x allowed", i/4, addr)
 			}
@@ -106,6 +106,54 @@ func runBorderOps(t *testing.T, e *bcEnv, asid arch.ASID, data []byte) []bool {
 				t.Fatal(err)
 			}
 			oracle = borderOracle{}
+		case 6: // Downgrade with a mid-flush probe: Figure 3d ordering. The
+			// flush's in-flight writebacks (hardware-initiated, ASID 0) must
+			// pass under the OLD permissions — the table changes only after
+			// the flush returns.
+			old := oracle[ppn]
+			probed, midAllowed := false, false
+			e.accel.onFlush = func(arch.PPN) {
+				probed = true
+				midAllowed = e.bc.Check(e.eng.Now(), 0, ppn.Base(), arch.Write).Allowed
+			}
+			e.bc.OnDowngrade(hostos.Downgrade{ASID: who, VPN: arch.VPN(a), PPN: ppn, New: perm})
+			e.accel.onFlush = nil
+			if who != asid {
+				break
+			}
+			if probed && !midAllowed {
+				t.Fatalf("op %d: mid-flush writeback of ppn %#x blocked (table updated before the flush; old perm %v)",
+					i/4, ppn, old)
+			}
+			if old == arch.PermNone && perm.Border() == arch.PermNone {
+				break
+			}
+			oracle[ppn] = perm.Border()
+		case 7: // Cross-ASID replay: a request carrying a foreign ASID is
+			// judged by the union permissions — the wire ASID grants nothing
+			// — but a denial is blamed on the foreign requester, not on the
+			// active process.
+			kind := arch.Read
+			if c&1 != 0 {
+				kind = arch.Write
+			}
+			addr := ppn.Base() + arch.Phys(b)
+			nv := len(e.os.Violations)
+			d := e.bc.Check(e.eng.Now(), bogus, addr, kind)
+			want := oracle[ppn].Allows(kind.Need())
+			if d.Allowed != want {
+				t.Fatalf("op %d: foreign-ASID Check(ppn=%#x, %v) = %v, union oracle says %v",
+					i/4, ppn, kind, d.Allowed, want)
+			}
+			if !d.Allowed {
+				if len(e.os.Violations) != nv+1 {
+					t.Fatalf("op %d: denial logged %d violations, want 1", i/4, len(e.os.Violations)-nv)
+				}
+				if got := e.os.Violations[nv].ASID; got != bogus {
+					t.Fatalf("op %d: denial blamed asid %d, want foreign requester %d", i/4, got, bogus)
+				}
+			}
+			decisions = append(decisions, d.Allowed)
 		}
 	}
 	// Final state equivalence: the Protection Table must encode exactly the
@@ -150,6 +198,22 @@ func FuzzBorderCheck(f *testing.F) {
 		2, 7, 0, 0,
 		4, 9, 0, 8,
 		2, 9, 0, 0,
+	})
+	// downgrade-during-flush (op 6): grant RW, dirty-downgrade to R with
+	// the mid-flush ordering probe, then a foreign-ASID write replay of the
+	// downgraded page (op 7): denied and blamed on the foreigner.
+	f.Add(true, []byte{
+		0, 5, 0, 3,
+		6, 5, 0, 1,
+		7, 5, 0, 1,
+	})
+	// cross-ASID replay after completion: grant, complete (table zeroed),
+	// then foreign read and write replays — both denied, both attributed.
+	f.Add(false, []byte{
+		0, 9, 0, 3,
+		5, 0, 0, 0,
+		7, 9, 0, 0,
+		7, 9, 0, 1,
 	})
 	f.Fuzz(func(t *testing.T, useBCC bool, data []byte) {
 		if len(data) > 4096 {

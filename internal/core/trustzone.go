@@ -11,8 +11,13 @@ import (
 // border. BorderControl is the paper's checker; TrustZone below implements
 // the coarse-grained alternative of paper §2.3 / Table 1 so the comparison
 // row is executable rather than cited.
+//
+// asid names the process the request was issued on behalf of, for
+// violation ATTRIBUTION only — permission decisions stay union-based over
+// every active process (paper §3.3). Hardware-initiated crossings with no
+// process context (flush writebacks) pass 0, which real ASIDs never use.
 type Checker interface {
-	Check(at sim.Time, addr arch.Phys, kind arch.AccessKind) Decision
+	Check(at sim.Time, asid arch.ASID, addr arch.Phys, kind arch.AccessKind) Decision
 }
 
 // TrustZone models ARM TrustZone's world partitioning as a border checker:
@@ -58,8 +63,10 @@ func (t *TrustZone) IsSecure(a arch.Phys) bool {
 }
 
 // Check implements Checker: refuse Secure-world addresses, allow the rest
-// of physical memory unconditionally.
-func (t *TrustZone) Check(at sim.Time, addr arch.Phys, kind arch.AccessKind) Decision {
+// of physical memory unconditionally. TrustZone has no notion of which
+// process a request belongs to — that blindness is the paper's critique —
+// so the ASID is ignored.
+func (t *TrustZone) Check(at sim.Time, _ arch.ASID, addr arch.Phys, kind arch.AccessKind) Decision {
 	done := at + t.latency
 	if t.IsSecure(addr) {
 		t.Blocked++

@@ -79,7 +79,7 @@ func TestVirtualizedBorderControl(t *testing.T) {
 
 	// Normal operation inside guest A works unchanged.
 	bc.OnTranslation(0, procA.ASID(), vA.PageOf(), ppnA, arch.PermRW, false)
-	if !bc.Check(0, ppnA.Base(), arch.Write).Allowed {
+	if !bc.Check(0, procA.ASID(), ppnA.Base(), arch.Write).Allowed {
 		t.Error("guest A's translated page should pass")
 	}
 
@@ -97,10 +97,10 @@ func TestVirtualizedBorderControl(t *testing.T) {
 		t.Fatal(err)
 	}
 	ppnB, _ := procB.PPNOf(vB.PageOf())
-	if bc.Check(0, ppnB.Base(), arch.Read).Allowed {
+	if bc.Check(0, procA.ASID(), ppnB.Base(), arch.Read).Allowed {
 		t.Error("cross-guest read must be blocked")
 	}
-	if bc.Check(0, tbl.Base(), arch.Write).Allowed {
+	if bc.Check(0, procA.ASID(), tbl.Base(), arch.Write).Allowed {
 		t.Error("write to the Protection Table itself must be blocked")
 	}
 	if err := vmm.AuditIsolation(); err != nil {

@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"bordercontrol/internal/adversary"
+)
+
+// The full campaign sweep must hold (no escapes, no residue) and must be a
+// pure function of its seed: two runs render byte-identically even though
+// the cells execute in parallel.
+func TestAdversaryReportHoldsAndIsDeterministic(t *testing.T) {
+	p := DefaultParams()
+	run := func() adversary.Report {
+		t.Helper()
+		rep, err := AdversaryReport(context.Background(), Exec{}, p, 42, 4, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Failed() {
+		t.Fatalf("sandbox breached:\n%s", adversary.Render(a))
+	}
+	if adversary.Render(a) != adversary.Render(b) {
+		t.Fatal("same seed rendered two different reports")
+	}
+	if got := len(a.Results); got != 4*len(adversary.AttackNames()) {
+		t.Fatalf("got %d results, want %d", got, 4*len(adversary.AttackNames()))
+	}
+	for _, res := range a.Results {
+		if res.Blocked == 0 {
+			t.Errorf("%s (seed %d): no adversarial probe was exercised", res.Attack, res.Seed)
+		}
+		if res.Denied == 0 {
+			t.Errorf("%s (seed %d): the border never denied anything", res.Attack, res.Seed)
+		}
+	}
+}
+
+func TestAdversaryReportRejectsUnknownAttack(t *testing.T) {
+	_, err := AdversaryReport(context.Background(), Exec{}, DefaultParams(), 1, 1, []string{"warp-core-breach"})
+	if err == nil || !strings.Contains(err.Error(), "unknown attack") {
+		t.Fatalf("want unknown-attack error, got %v", err)
+	}
+}

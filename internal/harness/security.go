@@ -196,7 +196,7 @@ func probe(cfg string, atk Attack, p Params) (SecurityResult, error) {
 		}
 		// The stale write arrives at the border as a raw physical request.
 		var evil [arch.BlockSize]byte
-		_, ok := sys.Port.WriteBlock(sys.Eng.Now(), ppn.Base(), &evil)
+		_, ok := sys.Port.WriteBlock(sys.Eng.Now(), user.ASID(), ppn.Base(), &evil)
 		res.Blocked = !ok
 		if ok {
 			res.Detail = "stale-translation write reached memory"
@@ -223,7 +223,7 @@ func probe(cfg string, atk Attack, p Params) (SecurityResult, error) {
 		}
 		var stale [arch.BlockSize]byte
 		copy(stale[:], "tampered")
-		_, ok := sys.Port.WriteBlock(sys.Eng.Now(), ppn.Base(), &stale)
+		_, ok := sys.Port.WriteBlock(sys.Eng.Now(), user.ASID(), ppn.Base(), &stale)
 		var after [8]byte
 		if err := user.Read(buf, after[:]); err != nil {
 			return res, err

@@ -28,12 +28,27 @@ type ShootdownListener interface {
 // Violation reports an accelerator request blocked at the border.
 type Violation struct {
 	Accelerator string
-	Addr        arch.Phys
-	Kind        arch.AccessKind
+	// ASID is the process the blocked request was attributed to; 0 when the
+	// border could not name one (a hardware-initiated crossing with several
+	// processes co-scheduled).
+	ASID arch.ASID
+	Addr arch.Phys
+	Kind arch.AccessKind
 }
 
 func (v Violation) String() string {
+	if v.ASID != 0 {
+		return fmt.Sprintf("border violation: accelerator %q asid %d %s %#x", v.Accelerator, v.ASID, v.Kind, v.Addr)
+	}
 	return fmt.Sprintf("border violation: accelerator %q %s %#x", v.Accelerator, v.Kind, v.Addr)
+}
+
+// CompletionListener is notified when an accelerator border reports a
+// process's session complete (Figure 3e). The shadow-memory oracle
+// registers here: completion zeroes the whole Protection Table, so every
+// shadow grant ends with it.
+type CompletionListener interface {
+	OnProcessComplete(asid arch.ASID)
 }
 
 // OS is the trusted operating system model.
@@ -44,7 +59,17 @@ type OS struct {
 	nextASID  arch.ASID
 	processes map[arch.ASID]*Process
 
-	listeners []ShootdownListener
+	listeners   []ShootdownListener
+	completions []CompletionListener
+
+	// pageEpochs partitions each physical page's lifetime at its downgrades:
+	// epoch N is the window between the page's Nth and N+1th permission
+	// losses. The safety oracle scopes "the most permissive window ever
+	// granted" to the current epoch — a grant from before a revocation must
+	// never justify a crossing after it.
+	pageEpochs map[arch.PPN]uint64
+	// completionEpochs counts, per ASID, completed accelerator sessions.
+	completionEpochs map[arch.ASID]uint64
 
 	// Violations is the log of Border Control exceptions delivered to the
 	// OS. The default policy records the violation and kills the offending
@@ -82,10 +107,12 @@ func NewPartition(store *memory.Store, lo, hi arch.PPN, asidBase arch.ASID) *OS 
 
 func assembleOS(store *memory.Store, frames *FrameAllocator, asidBase arch.ASID) *OS {
 	return &OS{
-		store:     store,
-		frames:    frames,
-		nextASID:  asidBase,
-		processes: make(map[arch.ASID]*Process),
+		store:            store,
+		frames:           frames,
+		nextASID:         asidBase,
+		processes:        make(map[arch.ASID]*Process),
+		pageEpochs:       make(map[arch.PPN]uint64),
+		completionEpochs: make(map[arch.ASID]uint64),
 	}
 }
 
@@ -99,6 +126,31 @@ func (o *OS) Frames() *FrameAllocator { return o.frames }
 func (o *OS) AddShootdownListener(l ShootdownListener) {
 	o.listeners = append(o.listeners, l)
 }
+
+// AddCompletionListener registers a component for session-completion
+// notifications (delivered by NoteCompletion).
+func (o *OS) AddCompletionListener(l CompletionListener) {
+	o.completions = append(o.completions, l)
+}
+
+// NoteCompletion records that an accelerator border finished the Figure 3e
+// completion protocol for asid, bumps its completion epoch, and notifies
+// listeners. Border Control calls this after its flush — so anything
+// observing the completion sees the post-flush, zeroed-table world.
+func (o *OS) NoteCompletion(asid arch.ASID) {
+	o.completionEpochs[asid]++
+	for _, l := range o.completions {
+		l.OnProcessComplete(asid)
+	}
+}
+
+// PageEpoch returns how many permission downgrades have been broadcast for
+// the physical page — the index of its current grant epoch.
+func (o *OS) PageEpoch(ppn arch.PPN) uint64 { return o.pageEpochs[ppn] }
+
+// CompletionEpoch returns how many accelerator sessions the ASID has
+// completed.
+func (o *OS) CompletionEpoch(asid arch.ASID) uint64 { return o.completionEpochs[asid] }
 
 // NewProcess creates a process with an empty address space.
 func (o *OS) NewProcess(name string) (*Process, error) {
@@ -396,6 +448,7 @@ func (o *OS) ReportViolation(v Violation, culprit arch.ASID) {
 
 func (o *OS) broadcast(d Downgrade) {
 	o.Shootdowns++
+	o.pageEpochs[d.PPN]++
 	for _, l := range o.listeners {
 		l.OnDowngrade(d)
 	}
