@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check trace-smoke bench-json bench-check fuzz-smoke adversary-smoke
+.PHONY: all build vet test race bench check trace-smoke profile-smoke bench-json bench-check fuzz-smoke adversary-smoke
 
 all: check
 
@@ -25,12 +25,24 @@ bench:
 	$(GO) test -bench . -benchtime 1x ./...
 
 # Observability smoke: record a Chrome trace and a stats snapshot on a
-# short run, then validate the trace file with bctool's own checker.
+# short run, then validate the trace file and the stats document (including
+# every latency histogram's schema) with bctool's own checkers.
 trace-smoke:
 	$(GO) run ./cmd/bctool run -mode bc-bcc -class moderate -workload pathfinder \
 		-trace trace-smoke.json -stats-json stats-smoke.json >/dev/null
 	$(GO) run ./cmd/bctool tracecheck trace-smoke.json
+	$(GO) run ./cmd/bctool tracecheck -stats stats-smoke.json
 	rm -f trace-smoke.json stats-smoke.json
+
+# Profiler smoke: the simulated-time profile keys on simulated time only,
+# so the folded stacks must be byte-identical across parallelism, and the
+# pprof encoding must be accepted by `go tool pprof`.
+profile-smoke:
+	$(GO) run ./cmd/bctool profile -quiet -jobs 1 -folded profile-smoke-1.txt
+	$(GO) run ./cmd/bctool profile -quiet -jobs 4 -folded profile-smoke-4.txt -pprof profile-smoke.pb.gz
+	cmp profile-smoke-1.txt profile-smoke-4.txt
+	$(GO) tool pprof -top profile-smoke.pb.gz >/dev/null
+	rm -f profile-smoke-1.txt profile-smoke-4.txt profile-smoke.pb.gz
 
 # Refresh the checked-in simulator-throughput snapshot (BENCH.json).
 bench-json:
@@ -60,4 +72,4 @@ fuzz-smoke:
 	$(GO) test -run '^FuzzBorderCheck$$' -fuzz '^FuzzBorderCheck$$' -fuzztime 10s ./internal/core
 	$(GO) test -run '^FuzzEngineSchedule$$' -fuzz '^FuzzEngineSchedule$$' -fuzztime 10s ./internal/sim
 
-check: vet build test race trace-smoke adversary-smoke fuzz-smoke bench-check
+check: vet build test race trace-smoke profile-smoke adversary-smoke fuzz-smoke bench-check

@@ -40,6 +40,7 @@ import (
 	"bordercontrol/internal/harness"
 	"bordercontrol/internal/hostos"
 	"bordercontrol/internal/memory"
+	"bordercontrol/internal/prof"
 	"bordercontrol/internal/sim"
 	"bordercontrol/internal/stats"
 	"bordercontrol/internal/trace"
@@ -159,6 +160,65 @@ func NewTracer(categories ...string) *Tracer { return trace.New(categories...) }
 // NewTraceSet builds a TraceSet whose per-job Tracers record the given
 // categories.
 func NewTraceSet(categories ...string) *TraceSet { return trace.NewMulti(categories...) }
+
+// Histogram is a fixed-bucket log-linear latency histogram recording
+// simulated-time values with zero allocations; HistSnapshot is its
+// immutable capture (exact bucket counts plus p50/p90/p99 computed from
+// them). Every Result's Stats snapshot carries one per instrumented
+// latency path ("border.latency_ps.bcc_hit", "iommu.translate_latency_ps",
+// "engine.queue_depth", ...).
+type (
+	Histogram    = stats.Histogram
+	HistSnapshot = stats.HistSnapshot
+)
+
+// Kind discriminates the samples of a Snapshot.
+type Kind = stats.Kind
+
+// The sample kinds.
+const (
+	KindCounter   = stats.KindCounter
+	KindGauge     = stats.KindGauge
+	KindHistogram = stats.KindHistogram
+)
+
+// ValidateStatsJSON checks a `-stats-json` document: a flat JSON object
+// whose object-valued entries must each be a well-formed histogram encoding
+// (required keys, genuine bucket bounds of the fixed scheme, counts that
+// sum, percentiles that recompute) and whose other entries are numbers. It
+// returns the number of histograms validated; it backs
+// `bctool tracecheck -stats`.
+func ValidateStatsJSON(blob []byte) (int, error) { return stats.ValidateSnapshotJSON(blob) }
+
+// Profiler attributes simulated picoseconds to component paths
+// ("gpu/wavefront;border/bcc", ...) as a run executes; write the result
+// with WriteFolded (flamegraph folded-stacks text) or WritePprof (a pprof
+// protobuf `go tool pprof` opens). Pass one in RunOptions.Profiler. Pure
+// observation: a profiled run is byte-identical to an unprofiled one.
+type Profiler = prof.Profiler
+
+// NewProfiler returns an empty simulated-time profiler.
+func NewProfiler() *Profiler { return prof.New() }
+
+// ProfileConfig is one (mode, GPU class) cell of the profiling matrix.
+type ProfileConfig = harness.ProfileConfig
+
+// ProfileMatrix lists the configurations Profile attributes — the same
+// matrix `bctool bench` measures.
+func ProfileMatrix() []ProfileConfig { return harness.ProfileMatrix() }
+
+// Profile runs the workload across the profiling matrix with per-job
+// profilers attached and returns the merged simulated-time profile. The
+// merge is a commutative per-stack sum, so the output is byte-identical at
+// any Exec.Jobs setting.
+func Profile(ctx context.Context, ex Exec, p Params, workloadName string) (*Profiler, error) {
+	return harness.Profile(ctx, ex.toHarness(), p, workloadName)
+}
+
+// ProfileRun profiles a single (mode, class, workload) simulation.
+func ProfileRun(ctx context.Context, mode Mode, class GPUClass, p Params, workloadName string) (*Profiler, error) {
+	return harness.ProfileRun(ctx, mode, class, p, workloadName)
+}
 
 // The experiment-execution layer (internal/exp): every figure, table and
 // probe sweep decomposes into independent jobs over fresh Systems, runs on

@@ -18,8 +18,13 @@
 //	                                       seeded sandbox-escape campaigns
 //	                                       with the shadow-memory oracle
 //	bctool run -mode bc-bcc -class high -workload bfs [-downgrades N]
+//	bctool profile [-folded FILE] [-pprof FILE]
+//	                                       simulated-time profile of the
+//	                                       bench matrix (folded stacks or a
+//	                                       pprof protobuf for `go tool pprof`)
 //	bctool bench [-json|-compare FILE]     host-side self-measurement
-//	bctool tracecheck FILE                 validate a Chrome trace file
+//	bctool tracecheck [-stats] FILE        validate a Chrome trace file, or
+//	                                       a -stats-json document's schema
 //	bctool list                            list workloads and modes
 //
 // Figure, security and all accept -jobs N (0 = all cores, 1 = serial),
@@ -29,11 +34,22 @@
 // Observability (run, figures and all):
 //
 //	-stats-json FILE   write the sweep's merged metrics snapshot as JSON
+//	-hist              print the latency histograms (count/p50/p90/p99/max
+//	                   in simulated picoseconds) to stderr
 //	-trace FILE        record a Chrome trace (open in Perfetto)
 //	-trace-cats LIST   trace categories (default "engine,gpu,border"; a
 //	                   parent enables its children, so border includes the
 //	                   per-check border.check events)
 //	-metrics           print the metrics snapshot to stderr
+//
+// adversary additionally accepts -stats-json and -metrics to surface the
+// campaign's aggregate counters (attacks run, crossings audited, oracle
+// assertions, breaches); its report text is unchanged by those flags.
+//
+// Everything here is pure observation of a deterministic simulator: with
+// the flags off, every artifact is byte-identical to a run without them,
+// and profiles/histograms themselves are byte-identical across runs and
+// across -jobs settings.
 package main
 
 import (
@@ -78,6 +94,8 @@ func main() {
 		err = all(ctx, args)
 	case "run":
 		err = runOne(ctx, args)
+	case "profile":
+		err = profileCmd(ctx, args)
 	case "bench":
 		err = bench(ctx, args)
 	case "tracecheck":
@@ -97,8 +115,8 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: bctool <table1|table2|table3|fig4|fig5|fig6|fig7|security|adversary|all|run|bench|tracecheck|list> [csv]
-	[-jobs N] [-timeout D] [-quiet] [-stats-json FILE] [-trace FILE] [-trace-cats LIST] [-metrics]`)
+	fmt.Fprintln(os.Stderr, `usage: bctool <table1|table2|table3|fig4|fig5|fig6|fig7|security|adversary|all|run|profile|bench|tracecheck|list> [csv]
+	[-jobs N] [-timeout D] [-quiet] [-stats-json FILE] [-hist] [-trace FILE] [-trace-cats LIST] [-metrics]`)
 }
 
 // obsFlags are the observability knobs shared by run and the sweeps.
@@ -107,6 +125,7 @@ type obsFlags struct {
 	tracePath string
 	traceCats string
 	metrics   bool
+	hist      bool
 }
 
 func (o *obsFlags) register(fs *flag.FlagSet) {
@@ -115,13 +134,17 @@ func (o *obsFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&o.traceCats, "trace-cats", "engine,gpu,border",
 		"comma-separated trace categories; a parent enables its children (border includes border.check)")
 	fs.BoolVar(&o.metrics, "metrics", false, "print the metrics snapshot to stderr")
+	fs.BoolVar(&o.hist, "hist", false, "print the latency histograms (simulated ps) to stderr")
 }
 
-// emitStats writes/prints the snapshot per the -stats-json and -metrics
-// flags.
+// emitStats writes/prints the snapshot per the -stats-json, -metrics and
+// -hist flags.
 func (o *obsFlags) emitStats(snap bc.Snapshot) error {
 	if o.metrics {
 		fmt.Fprint(os.Stderr, snap.String())
+	}
+	if o.hist {
+		printHistograms(snap)
 	}
 	if o.statsJSON == "" {
 		return nil
@@ -136,6 +159,22 @@ func (o *obsFlags) emitStats(snap bc.Snapshot) error {
 		return err
 	}
 	return os.WriteFile(o.statsJSON, blob, 0o644)
+}
+
+// printHistograms renders every histogram sample of the snapshot as a
+// percentile table on stderr. Latencies are simulated picoseconds;
+// engine.queue_depth is an event count.
+func printHistograms(snap bc.Snapshot) {
+	fmt.Fprintf(os.Stderr, "%-36s %10s %10s %10s %10s %10s\n",
+		"histogram", "count", "p50", "p90", "p99", "max")
+	for _, smp := range snap.Samples {
+		if smp.Kind != bc.KindHistogram {
+			continue
+		}
+		h := smp.Hist
+		fmt.Fprintf(os.Stderr, "%-36s %10d %10d %10d %10d %10d\n",
+			smp.Name, h.Count, h.Percentile(50), h.Percentile(90), h.Percentile(99), h.Max)
+	}
 }
 
 // writeTrace writes any recorded trace to -trace.
@@ -316,6 +355,8 @@ func adversaryCmd(ctx context.Context, args []string) error {
 	jobs := fs.Int("jobs", 0, "concurrent attack runs (0 = all cores, 1 = serial)")
 	timeout := fs.Duration("timeout", 0, "per-run timeout (0 = none)")
 	quiet := fs.Bool("quiet", false, "suppress per-run progress lines on stderr")
+	statsJSON := fs.String("stats-json", "", "write the campaign's aggregate counters as JSON to this file (- = stdout)")
+	metrics := fs.Bool("metrics", false, "print the campaign's aggregate counters to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -335,6 +376,10 @@ func adversaryCmd(ctx context.Context, args []string) error {
 		return err
 	}
 	fmt.Print(bc.RenderAdversaryReport(rep))
+	obs := obsFlags{statsJSON: *statsJSON, metrics: *metrics}
+	if err := obs.emitStats(rep.Stats()); err != nil {
+		return err
+	}
 	if rep.Failed() {
 		return fmt.Errorf("sandbox breached — see the reproducing seeds above")
 	}
@@ -469,6 +514,89 @@ func runOne(ctx context.Context, args []string) error {
 	return nil
 }
 
+// profileCmd runs the bench matrix (or one -mode/-class cell) with the
+// simulated-time profiler attached and writes the attribution as folded
+// stacks and/or a pprof protobuf. The profile keys on simulated time, so it
+// is byte-identical across runs and across -jobs settings; with neither
+// -folded nor -pprof given, folded stacks go to stdout.
+func profileCmd(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	workloadName := fs.String("workload", "pathfinder", "workload to profile")
+	mode := fs.String("mode", "", "profile a single safety configuration instead of the matrix (see bctool list)")
+	class := fs.String("class", "high", "GPU class for -mode: high or moderate")
+	folded := fs.String("folded", "", "write folded-stacks text (flamegraph input) to this file (- = stdout)")
+	pprofPath := fs.String("pprof", "", "write a pprof protobuf to this file (open with `go tool pprof`)")
+	jobs := fs.Int("jobs", 0, "concurrent simulations (0 = all cores, 1 = serial)")
+	timeout := fs.Duration("timeout", 0, "per-simulation timeout (0 = none)")
+	quiet := fs.Bool("quiet", false, "suppress per-job progress lines on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var pr *bc.Profiler
+	if *mode != "" {
+		m, err := parseMode(*mode)
+		if err != nil {
+			return err
+		}
+		cl := bc.HighlyThreaded
+		if strings.HasPrefix(*class, "mod") {
+			cl = bc.ModeratelyThreaded
+		}
+		p, err := bc.ProfileRun(ctx, m, cl, bc.DefaultParams(), *workloadName)
+		if err != nil {
+			return err
+		}
+		pr = p
+	} else {
+		var t tracker
+		t.quiet = *quiet
+		ex := bc.Exec{Jobs: *jobs, Timeout: *timeout, Progress: t.done}
+		p, err := bc.Profile(ctx, ex, bc.DefaultParams(), *workloadName)
+		if err != nil {
+			return err
+		}
+		pr = p
+	}
+	if *folded == "" && *pprofPath == "" {
+		*folded = "-"
+	}
+	if *folded != "" {
+		if *folded == "-" {
+			if err := pr.WriteFolded(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			f, err := os.Create(*folded)
+			if err != nil {
+				return err
+			}
+			if err := pr.WriteFolded(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "folded stacks written to %s\n", *folded)
+		}
+	}
+	if *pprofPath != "" {
+		f, err := os.Create(*pprofPath)
+		if err != nil {
+			return err
+		}
+		if err := pr.WritePprof(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "pprof profile written to %s (go tool pprof -top %s)\n", *pprofPath, *pprofPath)
+	}
+	return nil
+}
+
 // benchRun is one row of `bctool bench` output: a (mode, class, workload)
 // simulation and its host-side self-measurement.
 type benchRun struct {
@@ -482,11 +610,16 @@ type benchRun struct {
 // benchReport is the `bctool bench -json` document; checked-in snapshots
 // of it (BENCH.json) record simulator throughput on a reference host.
 type benchReport struct {
-	GOOS      string     `json:"goos"`
-	GOARCH    string     `json:"goarch"`
-	CPUs      int        `json:"cpus"`
-	GoVersion string     `json:"go_version"`
-	Runs      []benchRun `json:"runs"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	GoVersion string `json:"go_version"`
+	// CPUModel and GoMaxProcs identify the measuring host: events/sec
+	// comparisons across different hosts are informational only, and
+	// `bench -compare` warns when they differ from the snapshot's.
+	CPUModel   string     `json:"cpu_model"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	Runs       []benchRun `json:"runs"`
 	// TotalEventsPerSec is the sum of events over the sum of wall time —
 	// the simulator's aggregate serial throughput.
 	TotalEventsPerSec float64 `json:"total_events_per_sec"`
@@ -513,10 +646,12 @@ func bench(ctx context.Context, args []string) error {
 		{bc.BCBCC, bc.ModeratelyThreaded, "bc-bcc/moderate"},
 	}
 	rep := benchReport{
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		GoVersion: runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		CPUModel:   cpuModel(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	var wall time.Duration
 	var events uint64
@@ -558,10 +693,25 @@ func bench(ctx context.Context, args []string) error {
 	return nil
 }
 
+// cpuModel returns the host CPU's model string ("model name" from
+// /proc/cpuinfo on Linux), falling back to GOARCH where unavailable.
+func cpuModel() string {
+	if blob, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(blob), "\n") {
+			if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return runtime.GOARCH
+}
+
 // benchCompare checks a fresh bench matrix against a checked-in snapshot.
 // sim_ps and events are host-independent model outputs, so any drift means
 // the simulation itself changed and is an error. events/sec is host-bound,
-// so its delta is reported but never fails the comparison.
+// so its delta is reported but never fails the comparison — and a host
+// mismatch (different CPU model, core count, GOMAXPROCS or Go version) is
+// a warning that the throughput numbers are not comparable, never an error.
 func benchCompare(rep benchReport, path string) error {
 	blob, err := os.ReadFile(path)
 	if err != nil {
@@ -571,6 +721,23 @@ func benchCompare(rep benchReport, path string) error {
 	if err := json.Unmarshal(blob, &snap); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
+	warn := func(field, got, want string) {
+		if want != "" && got != want {
+			fmt.Printf("warning: host %s differs from snapshot (%q vs %q); events/sec deltas are informational\n",
+				field, got, want)
+		}
+	}
+	warn("os/arch", rep.GOOS+"/"+rep.GOARCH, snap.GOOS+"/"+snap.GOARCH)
+	warn("cpu model", rep.CPUModel, snap.CPUModel)
+	if snap.CPUs != 0 && rep.CPUs != snap.CPUs {
+		fmt.Printf("warning: host cpus differ from snapshot (%d vs %d); events/sec deltas are informational\n",
+			rep.CPUs, snap.CPUs)
+	}
+	if snap.GoMaxProcs != 0 && rep.GoMaxProcs != snap.GoMaxProcs {
+		fmt.Printf("warning: GOMAXPROCS differs from snapshot (%d vs %d); events/sec deltas are informational\n",
+			rep.GoMaxProcs, snap.GoMaxProcs)
+	}
+	warn("go version", rep.GoVersion, snap.GoVersion)
 	byName := make(map[string]benchRun, len(snap.Runs))
 	for _, r := range snap.Runs {
 		byName[r.Name] = r
@@ -604,15 +771,30 @@ func benchCompare(rep benchReport, path string) error {
 }
 
 // traceCheck validates a Chrome trace-event file: well-formed JSON, the
-// fields Perfetto needs, and monotonically sane timestamps. It is the
-// `make trace-smoke` backend.
+// fields Perfetto needs, and monotonically sane timestamps. With -stats it
+// instead validates a -stats-json document: every histogram entry must be
+// schema-correct (genuine bucket bounds, counts that sum, percentiles that
+// recompute). It is the `make trace-smoke` backend.
 func traceCheck(args []string) error {
 	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	statsMode := fs.Bool("stats", false, "validate a -stats-json metrics document instead of a trace")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: bctool tracecheck FILE")
+		return fmt.Errorf("usage: bctool tracecheck [-stats] FILE")
+	}
+	if *statsMode {
+		blob, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		hists, err := bc.ValidateStatsJSON(blob)
+		if err != nil {
+			return fmt.Errorf("%s: %w", fs.Arg(0), err)
+		}
+		fmt.Printf("%s: valid, %d histogram(s)\n", fs.Arg(0), hists)
+		return nil
 	}
 	blob, err := os.ReadFile(fs.Arg(0))
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"bordercontrol/internal/coherence"
 	"bordercontrol/internal/core"
 	"bordercontrol/internal/memory"
+	"bordercontrol/internal/prof"
 	"bordercontrol/internal/sim"
 	"bordercontrol/internal/stats"
 )
@@ -21,11 +22,18 @@ type BorderPort struct {
 	agent      coherence.AgentID
 	dram       *memory.DRAM
 	dirLatency sim.Time
+	pr         *prof.Profiler
 
 	Reads         stats.Counter
 	Writes        stats.Counter
 	BlockedReads  stats.Counter
 	BlockedWrites stats.Counter
+
+	// ReadLatency and WriteLatency distribute the request-to-completion
+	// time of every block crossing (all outcomes, including blocked ones)
+	// in simulated picoseconds.
+	ReadLatency  stats.Histogram
+	WriteLatency stats.Histogram
 }
 
 // NewBorderPort wires a border port. bc may be nil for unchecked paths.
@@ -61,11 +69,16 @@ func (p *BorderPort) SetChecker(c core.Checker) {
 func (p *BorderPort) ReadBlock(at sim.Time, asid arch.ASID, addr arch.Phys, intent arch.AccessKind, buf *[arch.BlockSize]byte) (sim.Time, bool) {
 	addr = addr.BlockOf()
 	p.Reads.Inc()
+	if p.pr != nil {
+		p.pr.Enter("border/port")
+		defer p.pr.Exit()
+	}
 	checkDone := at
 	if p.check != nil {
 		dec := p.check.Check(at, asid, addr, intent)
 		if !dec.Allowed {
 			p.BlockedReads.Inc()
+			p.recordLatency(&p.ReadLatency, at, dec.Done)
 			return dec.Done, false
 		}
 		checkDone = dec.Done
@@ -77,11 +90,14 @@ func (p *BorderPort) ReadBlock(at sim.Time, asid arch.ASID, addr arch.Phys, inte
 		p.dir.RequestShared(p.agent, addr)
 	}
 	memDone := p.dram.AccessDone(at+p.dirLatency, addr, arch.Read)
+	p.profileMemory(memDone, at)
 	p.dram.Store().ReadInto(addr, buf[:])
+	done := memDone
 	if checkDone > memDone {
-		return checkDone, true
+		done = checkDone
 	}
-	return memDone, true
+	p.recordLatency(&p.ReadLatency, at, done)
+	return done, true
 }
 
 // WriteBlock writes a dirty block back to host memory on behalf of asid
@@ -91,11 +107,16 @@ func (p *BorderPort) ReadBlock(at sim.Time, asid arch.ASID, addr arch.Phys, inte
 func (p *BorderPort) WriteBlock(at sim.Time, asid arch.ASID, addr arch.Phys, data *[arch.BlockSize]byte) (sim.Time, bool) {
 	addr = addr.BlockOf()
 	p.Writes.Inc()
+	if p.pr != nil {
+		p.pr.Enter("border/port")
+		defer p.pr.Exit()
+	}
 	checkDone := at
 	if p.check != nil {
 		dec := p.check.Check(at, asid, addr, arch.Write)
 		if !dec.Allowed {
 			p.BlockedWrites.Inc()
+			p.recordLatency(&p.WriteLatency, at, dec.Done)
 			return dec.Done, false
 		}
 		checkDone = dec.Done
@@ -109,10 +130,13 @@ func (p *BorderPort) WriteBlock(at sim.Time, asid arch.ASID, addr arch.Phys, dat
 	// The write buffers at the memory controller on arrival and drains
 	// once the check passes: the channel slot is claimed at arrival, and
 	// completion cannot precede the check.
-	done := p.dram.AccessDone(at+p.dirLatency, addr, arch.Write)
+	memDone := p.dram.AccessDone(at+p.dirLatency, addr, arch.Write)
+	p.profileMemory(memDone, at)
+	done := memDone
 	if checkDone > done {
 		done = checkDone
 	}
+	p.recordLatency(&p.WriteLatency, at, done)
 	return done, true
 }
 
@@ -121,17 +145,27 @@ func (p *BorderPort) WriteBlock(at sim.Time, asid arch.ASID, addr arch.Phys, dat
 // data moves, but the request crosses the border and is checked.
 func (p *BorderPort) Upgrade(at sim.Time, asid arch.ASID, addr arch.Phys) (sim.Time, bool) {
 	addr = addr.BlockOf()
+	if p.pr != nil {
+		p.pr.Enter("border/port")
+		defer p.pr.Exit()
+	}
 	done := at
 	if p.check != nil {
 		dec := p.check.Check(at, asid, addr, arch.Write)
 		if !dec.Allowed {
 			p.BlockedWrites.Inc()
+			p.recordLatency(&p.WriteLatency, at, dec.Done)
 			return dec.Done, false
 		}
 		done = dec.Done
 	}
 	p.dir.RequestModified(p.agent, addr)
-	return done + p.dirLatency, true
+	if p.pr != nil {
+		p.pr.Span("coherence/dir", uint64(p.dirLatency))
+	}
+	done += p.dirLatency
+	p.recordLatency(&p.WriteLatency, at, done)
+	return done, true
 }
 
 // Owned reports whether the accelerator currently owns the block (may hold
@@ -150,4 +184,30 @@ func (p *BorderPort) RegisterMetrics(s stats.Scope) {
 	s.Counter("writes", &p.Writes)
 	s.Counter("blocked_reads", &p.BlockedReads)
 	s.Counter("blocked_writes", &p.BlockedWrites)
+	s.Histogram("read_latency_ps", &p.ReadLatency)
+	s.Histogram("write_latency_ps", &p.WriteLatency)
+}
+
+// SetProfiler attaches (or, with nil, detaches) a simulated-time profiler.
+func (p *BorderPort) SetProfiler(pr *prof.Profiler) { p.pr = pr }
+
+// recordLatency records one crossing's request-to-completion latency.
+func (p *BorderPort) recordLatency(h *stats.Histogram, at, done sim.Time) {
+	var lat uint64
+	if done > at {
+		lat = uint64(done - at)
+	}
+	h.Record(lat)
+}
+
+// profileMemory attributes a crossing's directory hop and DRAM service
+// time (the access completed at memDone for a request arriving at `at`).
+func (p *BorderPort) profileMemory(memDone, at sim.Time) {
+	if p.pr == nil {
+		return
+	}
+	p.pr.Span("coherence/dir", uint64(p.dirLatency))
+	if memDone > at+p.dirLatency {
+		p.pr.Span("host/dram", uint64(memDone-at-p.dirLatency))
+	}
 }

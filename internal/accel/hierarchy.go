@@ -8,6 +8,7 @@ import (
 	"bordercontrol/internal/ats"
 	"bordercontrol/internal/cache"
 	"bordercontrol/internal/hostos"
+	"bordercontrol/internal/prof"
 	"bordercontrol/internal/sim"
 	"bordercontrol/internal/stats"
 	"bordercontrol/internal/tlb"
@@ -100,6 +101,7 @@ type Sandboxed struct {
 	l1tlbs []*tlb.TLB
 	l1s    []*cache.Cache
 	l2     *cache.Cache
+	pr     *prof.Profiler
 
 	stallUntil sim.Time
 
@@ -171,8 +173,21 @@ func (h *Sandboxed) clampStall(at sim.Time) sim.Time {
 	return at
 }
 
+// SetProfiler attaches (or, with nil, detaches) a simulated-time profiler
+// on the hierarchy and its border port.
+func (h *Sandboxed) SetProfiler(p *prof.Profiler) {
+	h.pr = p
+	if h.border != nil {
+		h.border.SetProfiler(p)
+	}
+}
+
 // Access implements Hierarchy.
 func (h *Sandboxed) Access(at sim.Time, cu int, asid arch.ASID, op Op) (sim.Time, error) {
+	if h.pr != nil {
+		h.pr.Enter("gpu/wavefront")
+		defer h.pr.Exit()
+	}
 	at = h.clampStall(at)
 	need := op.Kind.Need()
 	e, ok := h.l1tlbs[cu].Lookup(asid, op.Addr.PageOf())
@@ -197,6 +212,9 @@ func (h *Sandboxed) Access(at sim.Time, cu int, asid arch.ASID, op Op) (sim.Time
 func (h *Sandboxed) load(at sim.Time, cu int, asid arch.ASID, pa arch.Phys) (sim.Time, error) {
 	l1 := h.l1s[cu]
 	at += l1.HitLatency()
+	if h.pr != nil {
+		h.pr.Span("gpu/l1", uint64(l1.HitLatency()))
+	}
 	if l1.Lookup(pa) {
 		return at, nil
 	}
@@ -215,6 +233,9 @@ func (h *Sandboxed) load(at sim.Time, cu int, asid arch.ASID, pa arch.Phys) (sim
 // the directory are exactly as they were before the request.
 func (h *Sandboxed) l2Fill(at sim.Time, asid arch.ASID, pa arch.Phys, intent arch.AccessKind) (sim.Time, error) {
 	at += h.l2.HitLatency()
+	if h.pr != nil {
+		h.pr.Span("gpu/l2", uint64(h.l2.HitLatency()))
+	}
 	if h.l2.Lookup(pa) {
 		return at, nil
 	}
@@ -247,6 +268,9 @@ func (h *Sandboxed) l2Fill(at sim.Time, asid arch.ASID, pa arch.Phys, intent arc
 func (h *Sandboxed) store(at sim.Time, cu int, asid arch.ASID, pa arch.Phys, op Op) (sim.Time, error) {
 	l1 := h.l1s[cu]
 	at += l1.HitLatency()
+	if h.pr != nil {
+		h.pr.Span("gpu/l1", uint64(l1.HitLatency()))
+	}
 	if !h.l2.Lookup(pa) {
 		if _, err := h.l2Fill(at, asid, pa, arch.Write); err != nil {
 			return at, err
@@ -281,6 +305,9 @@ func (h *Sandboxed) FlushAll(at sim.Time) sim.Time {
 	for _, l1 := range h.l1s {
 		l1.FlushAll() // write-through: nothing dirty
 	}
+	if h.pr != nil {
+		h.pr.Span("gpu/flush_scan", uint64(h.cfg.FlushScanLatency))
+	}
 	done := at + h.cfg.FlushScanLatency
 	for _, db := range h.l2.FlushAll() {
 		db := db
@@ -300,6 +327,9 @@ func (h *Sandboxed) FlushPage(at sim.Time, ppn arch.PPN) sim.Time {
 	at = h.clampStall(at)
 	for _, l1 := range h.l1s {
 		l1.FlushPage(ppn)
+	}
+	if h.pr != nil {
+		h.pr.Span("gpu/flush_scan", uint64(h.cfg.FlushScanLatency))
 	}
 	done := at + h.cfg.FlushScanLatency
 	for _, db := range h.l2.FlushPage(ppn) {

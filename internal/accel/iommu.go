@@ -5,6 +5,7 @@ import (
 	"bordercontrol/internal/ats"
 	"bordercontrol/internal/cache"
 	"bordercontrol/internal/hostos"
+	"bordercontrol/internal/prof"
 	"bordercontrol/internal/sim"
 	"bordercontrol/internal/stats"
 )
@@ -29,6 +30,7 @@ type IOMMUHierarchy struct {
 	// the paper's "DRAM is overwhelmed and performance suffers" effect has
 	// this translation/check bottleneck in front of it.
 	port *sim.Resource
+	pr   *prof.Profiler
 
 	Loads  stats.Counter
 	Stores stats.Counter
@@ -53,10 +55,18 @@ func NewIOMMUHierarchy(name string, eng *sim.Engine, atsvc *ats.ATS, border *Bor
 // IOMMU, then access memory directly (no accelerator caches to filter
 // anything).
 func (h *IOMMUHierarchy) Access(at sim.Time, cu int, asid arch.ASID, op Op) (sim.Time, error) {
+	if h.pr != nil {
+		h.pr.Enter("gpu/wavefront")
+		defer h.pr.Exit()
+	}
 	if at < h.stallUntil {
 		at = h.stallUntil
 	}
-	at = h.port.Claim(at) + h.perReqLat
+	claimed := h.port.Claim(at)
+	if h.pr != nil {
+		h.pr.Span("iommu/port", uint64(claimed-at)+uint64(h.perReqLat))
+	}
+	at = claimed + h.perReqLat
 	res, err := h.ats.Translate(h.name, asid, op.Addr, op.Kind, at)
 	if err != nil {
 		return at, err
@@ -148,6 +158,7 @@ type CAPIHierarchy struct {
 	ats    *ats.ATS
 	border *BorderPort
 	l2     *cache.Cache
+	pr     *prof.Profiler
 
 	stallUntil sim.Time
 
@@ -175,11 +186,18 @@ func (h *CAPIHierarchy) L2() *cache.Cache { return h.l2 }
 
 // Access implements Hierarchy.
 func (h *CAPIHierarchy) Access(at sim.Time, cu int, asid arch.ASID, op Op) (sim.Time, error) {
+	if h.pr != nil {
+		h.pr.Enter("gpu/wavefront")
+		defer h.pr.Exit()
+	}
 	if at < h.stallUntil {
 		at = h.stallUntil
 	}
 	// Cross to the trusted unit, translate there (trusted TLB), access the
 	// trusted cache, and return.
+	if h.pr != nil {
+		h.pr.Span("capi/link", uint64(h.cfg.LinkLatency))
+	}
 	at += h.cfg.LinkLatency
 	res, err := h.ats.Translate(h.cfg.Name, asid, op.Addr, op.Kind, at)
 	if err != nil {
@@ -247,6 +265,24 @@ func (h *CAPIHierarchy) Recall(addr arch.Phys) ([]byte, bool) {
 		return nil, false
 	}
 	return data[:], true
+}
+
+// SetProfiler attaches (or, with nil, detaches) a simulated-time profiler
+// on the hierarchy and its border port.
+func (h *IOMMUHierarchy) SetProfiler(p *prof.Profiler) {
+	h.pr = p
+	if h.border != nil {
+		h.border.SetProfiler(p)
+	}
+}
+
+// SetProfiler attaches (or, with nil, detaches) a simulated-time profiler
+// on the hierarchy and its border port.
+func (h *CAPIHierarchy) SetProfiler(p *prof.Profiler) {
+	h.pr = p
+	if h.border != nil {
+		h.border.SetProfiler(p)
+	}
 }
 
 // RegisterMetrics publishes the IOMMU path's counters under s

@@ -23,6 +23,7 @@ import (
 	"bordercontrol/internal/hostos"
 	"bordercontrol/internal/memory"
 	"bordercontrol/internal/sim"
+	"bordercontrol/internal/stats"
 )
 
 // Env is one assembled system under attack, as the adversary needs to see
@@ -138,6 +139,9 @@ type AttackResult struct {
 	OracleFailures []string
 	// Checks/Allowed/Denied are the oracle's crossing counters.
 	Checks, Allowed, Denied uint64
+	// Assertions counts individual oracle invariant evaluations (shadow
+	// window checks on allows, residue checks on audited denials).
+	Assertions uint64
 }
 
 // Failed reports whether the run violated any expectation or invariant.
@@ -228,6 +232,7 @@ func Run(env *Env, name string, seed int64) (AttackResult, error) {
 		Checks:         env.Oracle.Checks,
 		Allowed:        env.Oracle.Allowed,
 		Denied:         env.Oracle.Denied,
+		Assertions:     env.Oracle.Assertions,
 	}
 	return res, nil
 }
@@ -241,6 +246,44 @@ type Report struct {
 	// Configs labels the per-campaign system configuration, parallel to
 	// campaign index.
 	Configs []string
+}
+
+// Stats registers the campaign's aggregate metrics in a stats registry and
+// returns its snapshot, so adversary sweeps surface through the same
+// "-stats-json" machinery as simulation runs. Names live under "adversary.".
+func (r Report) Stats() stats.Snapshot {
+	var (
+		probes, blocked                  uint64
+		checks, allowed, denied, asserts uint64
+		breaches, atkFails, oracleFails  uint64
+	)
+	for _, res := range r.Results {
+		probes += uint64(res.Probes)
+		blocked += uint64(res.Blocked)
+		checks += res.Checks
+		allowed += res.Allowed
+		denied += res.Denied
+		asserts += res.Assertions
+		atkFails += uint64(len(res.Failures))
+		oracleFails += uint64(len(res.OracleFailures))
+		if res.Failed() {
+			breaches++
+		}
+	}
+	reg := stats.NewRegistry()
+	s := reg.Scope("adversary")
+	s.CounterFunc("campaigns", func() uint64 { return uint64(r.Campaigns) })
+	s.CounterFunc("attacks_run", func() uint64 { return uint64(len(r.Results)) })
+	s.CounterFunc("probes", func() uint64 { return probes })
+	s.CounterFunc("probes_blocked", func() uint64 { return blocked })
+	s.CounterFunc("crossings_audited", func() uint64 { return checks })
+	s.CounterFunc("crossings_allowed", func() uint64 { return allowed })
+	s.CounterFunc("crossings_denied", func() uint64 { return denied })
+	s.CounterFunc("oracle_assertions", func() uint64 { return asserts })
+	s.CounterFunc("breaches", func() uint64 { return breaches })
+	s.CounterFunc("attack_failures", func() uint64 { return atkFails })
+	s.CounterFunc("oracle_failures", func() uint64 { return oracleFails })
+	return reg.Snapshot()
 }
 
 // Failed reports whether any run in the report failed.

@@ -53,6 +53,11 @@ type Oracle struct {
 	Checks  uint64
 	Allowed uint64
 	Denied  uint64
+	// Assertions counts individual invariant evaluations: every shadow
+	// window/bounds comparison on an allow and every residue comparison
+	// when a denial is audited. It measures how much scrutiny a campaign
+	// actually applied, not just how many crossings it made.
+	Assertions uint64
 }
 
 // denied is one blocked crossing awaiting its invariant audit: the state
@@ -105,6 +110,7 @@ func (o *Oracle) Check(at sim.Time, asid arch.ASID, addr arch.Phys, kind arch.Ac
 	o.Checks++
 	if dec.Allowed {
 		o.Allowed++
+		o.Assertions += 2 // bounds + shadow-window
 		ppn := addr.PageOf()
 		if addr >= o.bound {
 			o.failf("escape: %v of %#x allowed beyond physical memory (asid %d, t=%d)", kind, addr, asid, at)
@@ -154,6 +160,7 @@ func (o *Oracle) settle() {
 
 func (o *Oracle) audit(d denied) {
 	if d.inBounds && d.kind == arch.Write {
+		o.Assertions++
 		var now [arch.BlockSize]byte
 		o.os.Store().ReadInto(d.addr, now[:])
 		if now != d.was {
@@ -161,6 +168,7 @@ func (o *Oracle) audit(d denied) {
 		}
 	}
 	if o.hier != nil {
+		o.Assertions += 3 // L2 line, L2 dirty bit, L1 population
 		if !d.l2 && o.hier.L2().Contains(d.addr) {
 			o.failf("residue: blocked %v of %#x (asid %d, t=%d) left an L2 line", d.kind, d.addr, d.asid, d.at)
 		}
@@ -178,6 +186,7 @@ func (o *Oracle) audit(d denied) {
 		}
 	}
 	if o.dir != nil {
+		o.Assertions += 2 // ownership, sharer set
 		if !d.owned && o.owned(d.addr) {
 			o.failf("residue: blocked %v of %#x (asid %d, t=%d) left coherence ownership", d.kind, d.addr, d.asid, d.at)
 		}

@@ -19,6 +19,7 @@ import (
 	"bordercontrol/internal/arch"
 	"bordercontrol/internal/memory"
 	"bordercontrol/internal/pagetable"
+	"bordercontrol/internal/prof"
 	"bordercontrol/internal/sim"
 	"bordercontrol/internal/stats"
 	"bordercontrol/internal/tlb"
@@ -85,12 +86,17 @@ type ATS struct {
 	l2tlb     *tlb.TLB
 	observers []Observer
 	active    map[string]map[arch.ASID]bool // accelerator -> active ASIDs
+	pr        *prof.Profiler
 
 	Walks       stats.Counter
 	WalkReads   stats.Counter
 	Faults      stats.Counter
 	Rejected    stats.Counter
 	Translation stats.Counter
+
+	// TranslateLatency distributes request-to-response latency of
+	// successful translations in simulated picoseconds.
+	TranslateLatency stats.Histogram
 }
 
 // New returns an ATS over the given page-table source and DRAM (whose
@@ -161,10 +167,16 @@ func (a *ATS) Translate(accel string, asid arch.ASID, v arch.Virt, kind arch.Acc
 		a.Rejected.Inc()
 		return Result{}, fmt.Errorf("%w: accel=%q asid=%d", ErrBadASID, accel, asid)
 	}
+	if a.pr != nil {
+		a.pr.Enter("iommu/translate")
+		defer a.pr.Exit()
+		a.pr.Span("iommu/l2tlb", uint64(a.cfg.TLBLatency))
+	}
 	done := at + a.cfg.TLBLatency
 	vpn := v.PageOf()
 	if e, ok := a.l2tlb.Lookup(asid, vpn); ok {
 		res := Result{Entry: e, Done: done}
+		a.TranslateLatency.Record(uint64(done - at))
 		a.notify(done, asid, vpn, e.PPN, e.Perm, false)
 		return res, nil
 	}
@@ -182,6 +194,9 @@ func (a *ATS) Translate(accel string, asid arch.ASID, v arch.Virt, kind arch.Acc
 			return Result{}, fmt.Errorf("%w: %v", ErrFault, ferr)
 		}
 		done += a.cfg.FaultPenalty
+		if a.pr != nil {
+			a.pr.Span("host/fault", uint64(a.cfg.FaultPenalty))
+		}
 		tr, err = table.Walk(v)
 		if err != nil {
 			return Result{}, fmt.Errorf("%w: %v", ErrFault, err)
@@ -205,11 +220,15 @@ func (a *ATS) Translate(accel string, asid arch.ASID, v arch.Virt, kind arch.Acc
 	if tr.Reads > 1 {
 		done += sim.Time(tr.Reads-1) * a.dram.Config().RowHitLatency
 	}
+	if a.pr != nil {
+		a.pr.Span("host/ptwalk", uint64(done-walkStart))
+	}
 	if !tr.Perm.Allows(kind.Need()) {
 		return Result{}, fmt.Errorf("%w: %s at %#x has %s", ErrPerm, kind, v, tr.Perm)
 	}
 	e := tlb.Entry{ASID: asid, VPN: vpn, PPN: tr.PPN, Perm: tr.Perm}
 	a.l2tlb.Insert(e)
+	a.TranslateLatency.Record(uint64(done - at))
 	a.notify(done, asid, vpn, tr.PPN, tr.Perm, tr.Huge)
 	return Result{Entry: e, Huge: tr.Huge, Done: done}, nil
 }
@@ -233,5 +252,9 @@ func (a *ATS) RegisterMetrics(s stats.Scope) {
 	s.Counter("walk_reads", &a.WalkReads)
 	s.Counter("faults", &a.Faults)
 	s.Counter("rejected", &a.Rejected)
+	s.Histogram("translate_latency_ps", &a.TranslateLatency)
 	a.l2tlb.RegisterMetrics(s.Scope("l2tlb"))
 }
+
+// SetProfiler attaches (or, with nil, detaches) a simulated-time profiler.
+func (a *ATS) SetProfiler(p *prof.Profiler) { a.pr = p }

@@ -6,6 +6,7 @@ import (
 	"bordercontrol/internal/arch"
 	"bordercontrol/internal/hostos"
 	"bordercontrol/internal/memory"
+	"bordercontrol/internal/prof"
 	"bordercontrol/internal/sim"
 	"bordercontrol/internal/stats"
 	"bordercontrol/internal/trace"
@@ -121,6 +122,10 @@ type BorderControl struct {
 	tr       *trace.Tracer
 	trChecks bool
 
+	// pr, when attached, receives simulated-time attribution for every
+	// crossing (border/check → border/bcc / host/ptwalk frames).
+	pr *prof.Profiler
+
 	// Stats.
 	Checks        stats.Counter
 	ReadChecks    stats.Counter
@@ -132,6 +137,21 @@ type BorderControl struct {
 	Downgrades    stats.Counter
 	CacheFlushes  stats.Counter
 	FlushStallsPs stats.Counter
+
+	// Latency distributions in simulated picoseconds, split by outcome
+	// class: the request-to-verdict time for BCC hits, BCC misses (and
+	// noBCC lookups) that walked the Protection Table, and denials.
+	// Always-on: Record is zero-alloc and feeds nothing back into timing.
+	HitLatency    stats.Histogram
+	WalkLatency   stats.Histogram
+	DeniedLatency stats.Histogram
+	// FlushDuration distributes per-downgrade flush stall times, the
+	// per-event view of the FlushStallsPs total.
+	FlushDuration stats.Histogram
+	// asidLatency splits crossing latency by requester in multi-process
+	// runs (ASIDs 1..4; a fixed array keeps the record path alloc-free).
+	// Only populated while more than one process shares the border.
+	asidLatency [4]stats.Histogram
 }
 
 // New returns a Border Control instance for the named accelerator. The
@@ -185,6 +205,9 @@ func (bc *BorderControl) SetTracer(t *trace.Tracer) {
 	bc.trChecks = t.Enabled("border.check")
 }
 
+// SetProfiler attaches (or, with nil, detaches) a simulated-time profiler.
+func (bc *BorderControl) SetProfiler(p *prof.Profiler) { bc.pr = p }
+
 // RegisterMetrics publishes the border's counters under s
 // ("border.checks", "border.violations", "border.bcc.miss_ratio", ...).
 func (bc *BorderControl) RegisterMetrics(s stats.Scope) {
@@ -198,6 +221,14 @@ func (bc *BorderControl) RegisterMetrics(s stats.Scope) {
 	s.Counter("downgrades", &bc.Downgrades)
 	s.Counter("cache_flushes", &bc.CacheFlushes)
 	s.Counter("flush_stall_ps", &bc.FlushStallsPs)
+	lat := s.Scope("latency_ps")
+	lat.Histogram("bcc_hit", &bc.HitLatency)
+	lat.Histogram("pt_walk", &bc.WalkLatency)
+	lat.Histogram("denied", &bc.DeniedLatency)
+	lat.Histogram("downgrade_flush", &bc.FlushDuration)
+	for i := range bc.asidLatency {
+		lat.Histogram(fmt.Sprintf("asid%d", i+1), &bc.asidLatency[i])
+	}
 	if bc.bcc != nil {
 		bc.bcc.RegisterMetrics(s.Scope("bcc"))
 	}
@@ -353,8 +384,14 @@ func (bc *BorderControl) Check(at sim.Time, asid arch.ASID, addr arch.Phys, kind
 	} else {
 		bc.ReadChecks.Inc()
 	}
+	if bc.pr != nil {
+		bc.pr.Enter("border/check")
+		defer bc.pr.Exit()
+	}
 	if bc.disabled || bc.table == nil {
-		return bc.deny(at, asid, addr, kind)
+		d := bc.deny(at, asid, addr, kind)
+		bc.recordLatency(&bc.DeniedLatency, at, d.Done, asid)
+		return d
 	}
 	ppn := addr.PageOf()
 	if bc.TraceSink != nil {
@@ -362,28 +399,49 @@ func (bc *BorderControl) Check(at sim.Time, asid arch.ASID, addr arch.Phys, kind
 	}
 	// The bounds register is checked before the table is indexed.
 	if !bc.table.InBounds(ppn) {
-		return bc.deny(at, asid, addr, kind)
+		d := bc.deny(at, asid, addr, kind)
+		bc.recordLatency(&bc.DeniedLatency, at, d.Done, asid)
+		return d
 	}
 	var perm arch.Perm
+	walked := false
 	done := at
 	if bc.bcc != nil {
 		done += bc.cfg.BCCLatency
+		if bc.pr != nil {
+			bc.pr.Span("border/bcc", uint64(bc.cfg.BCCLatency))
+		}
 		p, hit := bc.bcc.Probe(ppn)
 		if hit {
 			perm = p
 		} else {
 			perm = bc.bcc.Fill(ppn, bc.table)
 			bc.TableReads.Inc()
+			walked = true
+			walkStart := done
 			done = bc.tableAccess(done, ppn)
+			if bc.pr != nil {
+				bc.pr.Span("host/ptwalk", uint64(done-walkStart))
+			}
 		}
 	} else {
 		bc.TableReads.Inc()
 		perm = bc.table.Lookup(ppn)
+		walked = true
 		done = bc.tableAccess(at, ppn)
+		if bc.pr != nil {
+			bc.pr.Span("host/ptwalk", uint64(done-at))
+		}
 	}
 	if !perm.Allows(kind.Need()) {
 		d := bc.deny(done, asid, addr, kind)
+		bc.recordLatency(&bc.DeniedLatency, at, d.Done, asid)
 		return d
+	}
+	if walked {
+		bc.recordLatency(&bc.WalkLatency, at, done, asid)
+	} else {
+		bc.recordLatency(&bc.HitLatency, at, done, asid)
 	}
 	if bc.trChecks {
 		name := "check read"
@@ -393,6 +451,20 @@ func (bc *BorderControl) Check(at sim.Time, asid arch.ASID, addr arch.Phys, kind
 		bc.tr.Complete("border.check", name, uint64(at), uint64(done-at))
 	}
 	return Decision{Allowed: true, Done: done}
+}
+
+// recordLatency records one crossing's request-to-verdict latency into the
+// outcome-class histogram, and into the per-ASID split while more than one
+// process shares the border.
+func (bc *BorderControl) recordLatency(h *stats.Histogram, at, done sim.Time, asid arch.ASID) {
+	var lat uint64
+	if done > at {
+		lat = uint64(done - at)
+	}
+	h.Record(lat)
+	if bc.useCount > 1 && asid >= 1 && int(asid) <= len(bc.asidLatency) {
+		bc.asidLatency[asid-1].Record(lat)
+	}
 }
 
 // tableAccess charges one Protection Table read: a narrow DRAM access (a
@@ -457,6 +529,9 @@ func (bc *BorderControl) OnDowngrade(d hostos.Downgrade) {
 	if old.CanWrite() {
 		bc.CacheFlushes.Inc()
 		start := now
+		if bc.pr != nil {
+			bc.pr.Enter("border/downgrade")
+		}
 		var done sim.Time
 		if bc.cfg.SelectiveFlush {
 			done = bc.flushPage(start, d.PPN)
@@ -477,6 +552,11 @@ func (bc *BorderControl) OnDowngrade(d hostos.Downgrade) {
 			}
 		}
 		bc.FlushStallsPs.Add(uint64(done - start))
+		bc.FlushDuration.Record(uint64(done - start))
+		if bc.pr != nil {
+			bc.pr.Attribute(uint64(done - start))
+			bc.pr.Exit()
+		}
 		if bc.tr != nil {
 			bc.tr.Complete("border", "downgrade flush", uint64(start), uint64(done-start))
 		}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"bordercontrol/internal/arch"
+)
+
+// TestCheckLatencyHistogramClasses drives one crossing down each outcome
+// path — BCC hit, BCC miss + table walk, denied — and requires each to land
+// in exactly its own histogram.
+func TestCheckLatencyHistogramClasses(t *testing.T) {
+	e := newBCEnv(t, nil)
+	p := e.newProc(t)
+	v, ppn := mapPage(t, p)
+	if err := e.bc.ProcessStart(p.ASID()); err != nil {
+		t.Fatal(err)
+	}
+	e.bc.OnTranslation(0, p.ASID(), v.PageOf(), ppn, arch.PermRW, false)
+
+	// First check: the BCC was just populated by the insertion, so this is
+	// a hit; a denied probe of a never-translated page walks nothing.
+	if dec := e.bc.Check(0, p.ASID(), ppn.Base(), arch.Read); !dec.Allowed {
+		t.Fatal("translated page blocked")
+	}
+	if got := e.bc.HitLatency.Count(); got != 1 {
+		t.Errorf("bcc_hit count = %d, want 1", got)
+	}
+	if got := e.bc.WalkLatency.Count(); got != 0 {
+		t.Errorf("pt_walk count = %d, want 0", got)
+	}
+
+	// Invalidate the BCC so the next allowed check must walk the table.
+	e.bc.Cache().InvalidateAll()
+	if dec := e.bc.Check(0, p.ASID(), ppn.Base(), arch.Read); !dec.Allowed {
+		t.Fatal("translated page blocked after BCC reset")
+	}
+	if got := e.bc.WalkLatency.Count(); got != 1 {
+		t.Errorf("pt_walk count = %d, want 1", got)
+	}
+
+	// Denied: a physical page the ATS never produced.
+	other := e.newProc(t)
+	_, foreign := mapPage(t, other)
+	if dec := e.bc.Check(0, p.ASID(), foreign.Base(), arch.Write); dec.Allowed {
+		t.Fatal("never-translated page allowed")
+	}
+	if got := e.bc.DeniedLatency.Count(); got != 1 {
+		t.Errorf("denied count = %d, want 1", got)
+	}
+	if got := e.bc.HitLatency.Count(); got != 1 {
+		t.Errorf("bcc_hit count moved to %d", got)
+	}
+
+	// A walk pays the table access on top of the BCC probe, so its recorded
+	// latency must exceed the hit's.
+	if e.bc.WalkLatency.Min() <= e.bc.HitLatency.Max() {
+		t.Errorf("walk latency %d not above hit latency %d",
+			e.bc.WalkLatency.Min(), e.bc.HitLatency.Max())
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"testing"
 
+	"bordercontrol/internal/prof"
+	"bordercontrol/internal/stats"
 	"bordercontrol/internal/trace"
 	"bordercontrol/internal/workload"
 )
@@ -141,6 +143,147 @@ func indexByte(s string, b byte) int {
 		}
 	}
 	return -1
+}
+
+// TestLatencyHistogramsDistinguishClasses shrinks the BCC so checks split
+// between BCC hits and Protection Table walks, then requires the per-class
+// histograms to partition the border.checks counter exactly.
+func TestLatencyHistogramsDistinguishClasses(t *testing.T) {
+	spec := mustSpec(t, "bfs")
+	p := DefaultParams()
+	p.BCC.Entries = 16
+	p.BCC.PagesPerEntry = 1 // page-granular entries: capacity-bound, so misses happen
+	res, err := Run(BCBCC, ModeratelyThreaded, spec, p, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := res.Stats.Hist("border.latency_ps.bcc_hit")
+	walk := res.Stats.Hist("border.latency_ps.pt_walk")
+	denied := res.Stats.Hist("border.latency_ps.denied")
+	if hit.Count == 0 {
+		t.Error("no BCC-hit latency samples")
+	}
+	if walk.Count == 0 {
+		t.Error("no PT-walk latency samples despite a thrashing BCC")
+	}
+	if denied.Count != 0 {
+		t.Errorf("%d denied crossings in a legitimate run", denied.Count)
+	}
+	if total := hit.Count + walk.Count + denied.Count; total != res.BCChecks {
+		t.Errorf("latency classes sum to %d, border made %d checks", total, res.BCChecks)
+	}
+	// A walk includes the table access, so its latency distribution must sit
+	// strictly above the pure BCC-hit path.
+	if walk.Min <= hit.Min {
+		t.Errorf("walk min %d not above hit min %d", walk.Min, hit.Min)
+	}
+	if qd := res.Stats.Hist("engine.queue_depth"); qd.Count == 0 {
+		t.Error("no engine queue-depth samples")
+	}
+	if tr := res.Stats.Hist("iommu.translate_latency_ps"); tr.Count != res.Translations {
+		t.Errorf("translate latency samples %d, translations %d", tr.Count, res.Translations)
+	}
+}
+
+// TestStatsJSONHistogramSchema validates a real run's -stats-json document
+// against the histogram schema checker.
+func TestStatsJSONHistogramSchema(t *testing.T) {
+	spec := mustSpec(t, "pathfinder")
+	res, err := Run(BCBCC, ModeratelyThreaded, spec, DefaultParams(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(res.Stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hists, err := stats.ValidateSnapshotJSON(blob)
+	if err != nil {
+		t.Fatalf("run stats fail the schema check: %v", err)
+	}
+	if hists == 0 {
+		t.Error("run stats contain no histograms")
+	}
+}
+
+// TestSnapshotMergeHistogramsOrderIndependent merges two different runs'
+// snapshots in both orders — the exp layer's aggregation must not depend on
+// job completion order.
+func TestSnapshotMergeHistogramsOrderIndependent(t *testing.T) {
+	spec := mustSpec(t, "pathfinder")
+	a, err := Run(BCBCC, ModeratelyThreaded, spec, DefaultParams(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(BCNoBCC, ModeratelyThreaded, spec, DefaultParams(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := json.Marshal(stats.Merge(a.Stats, b.Stats))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := json.Marshal(stats.Merge(b.Stats, a.Stats))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, ba) {
+		t.Errorf("snapshot merge is order-dependent:\n%s\n%s", ab, ba)
+	}
+}
+
+// TestProfilerIsPureObservation runs with and without a profiler and
+// requires identical simulation results; two profiled runs must produce
+// byte-identical folded stacks.
+func TestProfilerIsPureObservation(t *testing.T) {
+	spec := mustSpec(t, "pathfinder")
+	p := DefaultParams()
+	plain, err := Run(BCBCC, ModeratelyThreaded, spec, p, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr1 := prof.New()
+	profiled, err := Run(BCBCC, ModeratelyThreaded, spec, p, RunOptions{Profiler: pr1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.Host, profiled.Host = HostStats{}, HostStats{}
+	pj, _ := json.Marshal(plain)
+	fj, _ := json.Marshal(profiled)
+	if !bytes.Equal(pj, fj) {
+		t.Errorf("profiler changed the simulation:\nplain:    %s\nprofiled: %s", pj, fj)
+	}
+	if pr1.Total() == 0 {
+		t.Fatal("profiler attributed nothing")
+	}
+
+	pr2 := prof.New()
+	if _, err := Run(BCBCC, ModeratelyThreaded, spec, p, RunOptions{Profiler: pr2}); err != nil {
+		t.Fatal(err)
+	}
+	if pr1.Folded() != pr2.Folded() {
+		t.Errorf("folded stacks differ between identical runs:\n%s\n%s", pr1.Folded(), pr2.Folded())
+	}
+}
+
+// TestProfileByteIdenticalAcrossJobs runs the profiling matrix serially and
+// in parallel; the merged folded output must be byte-identical.
+func TestProfileByteIdenticalAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the 4-cell profile matrix twice")
+	}
+	p := DefaultParams()
+	serial, err := Profile(context.Background(), Exec{Jobs: 1}, p, "pathfinder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Profile(context.Background(), Exec{Jobs: 4}, p, "pathfinder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Folded() != par.Folded() {
+		t.Error("profile differs between -jobs 1 and -jobs 4")
+	}
 }
 
 // TestSweepTraceMerges checks Exec.Trace collects one Perfetto process per

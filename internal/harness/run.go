@@ -9,6 +9,7 @@ import (
 	"bordercontrol/internal/accel"
 	"bordercontrol/internal/arch"
 	"bordercontrol/internal/hostos"
+	"bordercontrol/internal/prof"
 	"bordercontrol/internal/sim"
 	"bordercontrol/internal/stats"
 	"bordercontrol/internal/trace"
@@ -56,6 +57,10 @@ type RunOptions struct {
 	// and GPU events) in Chrome trace-event form. Pure observation: a run
 	// with a tracer attached produces identical results to one without.
 	Tracer *trace.Tracer
+	// Profiler, when non-nil, accumulates simulated-time attribution for
+	// the run (component-stack samples for folded/pprof output). Pure
+	// observation, like Tracer.
+	Profiler *prof.Profiler
 }
 
 // HostStats is the host-side self-measurement of one run: how long the
@@ -185,6 +190,9 @@ func RunCtx(ctx context.Context, mode Mode, class GPUClass, spec workload.Spec, 
 	}
 	if opts.Tracer != nil {
 		sys.AttachTracer(opts.Tracer)
+	}
+	if opts.Profiler != nil {
+		sys.AttachProfiler(opts.Profiler)
 	}
 	wallStart := time.Now()
 	sys.Eng.Run()

@@ -13,6 +13,7 @@ import (
 	"bordercontrol/internal/core"
 	"bordercontrol/internal/hostos"
 	"bordercontrol/internal/memory"
+	"bordercontrol/internal/prof"
 	"bordercontrol/internal/sim"
 	"bordercontrol/internal/stats"
 	"bordercontrol/internal/trace"
@@ -200,6 +201,22 @@ func (sys *System) AttachTracer(t *trace.Tracer) {
 		sys.BC.SetTracer(t)
 	}
 	sys.GPU.SetTracer(t)
+}
+
+// AttachProfiler threads a simulated-time profiler through the border, the
+// IOMMU/ATS, and the accelerator hierarchy. Like tracing it is pure
+// observation — components only report latencies they already computed —
+// and a nil profiler detaches cleanly.
+func (sys *System) AttachProfiler(p *prof.Profiler) {
+	if sys.BC != nil {
+		sys.BC.SetProfiler(p)
+	}
+	sys.ATS.SetProfiler(p)
+	if sp, ok := sys.Hier.(interface{ SetProfiler(*prof.Profiler) }); ok {
+		sp.SetProfiler(p)
+	} else if sys.Port != nil {
+		sys.Port.SetProfiler(p)
+	}
 }
 
 // atsShootdown forwards OS downgrades to the trusted L2 TLB.

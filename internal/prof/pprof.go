@@ -1,0 +1,164 @@
+package prof
+
+import (
+	"compress/gzip"
+	"io"
+	"strings"
+)
+
+// This file emits the profile in pprof's profile.proto format without
+// depending on a protobuf library: the message is small and flat enough
+// that hand-rolled varint/length-delimited encoding is simpler than a
+// generated binding, and it keeps the module dependency-free. The output
+// is deterministic — string-table order follows the sorted stack order,
+// time_nanos is zero, and the gzip header carries no mod time — so a
+// fixed-seed run produces a byte-identical profile.
+//
+// Field numbers below are from
+// https://github.com/google/pprof/blob/main/proto/profile.proto:
+//
+//	Profile:   sample_type=1 sample=2 location=4 function=5
+//	           string_table=6 time_nanos=9 duration_nanos=10
+//	ValueType: type=1 unit=2
+//	Sample:    location_id=1 value=2
+//	Location:  id=1 line=4
+//	Line:      function_id=1 line=2
+//	Function:  id=1 name=2 system_name=3 filename=4
+type protoBuf struct {
+	data []byte
+}
+
+func (b *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		b.data = append(b.data, byte(v)|0x80)
+		v >>= 7
+	}
+	b.data = append(b.data, byte(v))
+}
+
+// tag writes a field key. Wire types: 0 = varint, 2 = length-delimited.
+func (b *protoBuf) tag(field int, wire int) {
+	b.varint(uint64(field)<<3 | uint64(wire))
+}
+
+func (b *protoBuf) uint64Field(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	b.tag(field, 0)
+	b.varint(v)
+}
+
+func (b *protoBuf) int64Field(field int, v int64) {
+	b.uint64Field(field, uint64(v))
+}
+
+func (b *protoBuf) bytesField(field int, raw []byte) {
+	b.tag(field, 2)
+	b.varint(uint64(len(raw)))
+	b.data = append(b.data, raw...)
+}
+
+// packedField writes a packed repeated varint field (proto3 default for
+// repeated scalars, which pprof expects for Sample.location_id/value).
+func (b *protoBuf) packedField(field int, vs []uint64) {
+	var inner protoBuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	b.bytesField(field, inner.data)
+}
+
+// WritePprof writes the profile as gzipped pprof protobuf. The sample
+// type is {"sim", "nanoseconds"}: every stack's simulated picoseconds are
+// rounded to nanoseconds (minimum 1ns for non-empty stacks, so no sample
+// vanishes), which is the granularity pprof's UI expects for time
+// profiles.
+func (p *Profiler) WritePprof(w io.Writer) error {
+	strTab := []string{""} // string table index 0 must be ""
+	strIndex := map[string]int64{"": 0}
+	intern := func(s string) int64 {
+		if i, ok := strIndex[s]; ok {
+			return i
+		}
+		i := int64(len(strTab))
+		strTab = append(strTab, s)
+		strIndex[s] = i
+		return i
+	}
+
+	// Sample type first so its strings lead the table deterministically.
+	var sampleType protoBuf
+	sampleType.int64Field(1, intern("sim"))
+	sampleType.int64Field(2, intern("nanoseconds"))
+
+	// One Function+Location per distinct frame name, ids assigned in
+	// first-appearance order over the sorted stack list.
+	locID := map[string]uint64{}
+	var locOrder []string
+	var samples []protoBuf
+	var total uint64
+	for _, s := range p.stacks() {
+		frames := strings.Split(s.stack, ";")
+		// pprof wants leaf-first location lists.
+		locs := make([]uint64, 0, len(frames))
+		for i := len(frames) - 1; i >= 0; i-- {
+			f := frames[i]
+			id, ok := locID[f]
+			if !ok {
+				id = uint64(len(locOrder) + 1)
+				locID[f] = id
+				locOrder = append(locOrder, f)
+				intern(f)
+			}
+			locs = append(locs, id)
+		}
+		ns := (s.ps + 500) / 1000
+		if ns == 0 {
+			ns = 1
+		}
+		total += ns
+		var smp protoBuf
+		smp.packedField(1, locs)
+		smp.packedField(2, []uint64{ns})
+		samples = append(samples, smp)
+	}
+
+	var prof protoBuf
+	prof.bytesField(1, sampleType.data)
+	for _, smp := range samples {
+		prof.bytesField(2, smp.data)
+	}
+	for _, f := range locOrder {
+		id := locID[f]
+		var line protoBuf
+		line.uint64Field(1, id) // function_id (same id space as location)
+		var loc protoBuf
+		loc.uint64Field(1, id)
+		loc.bytesField(4, line.data)
+		prof.bytesField(4, loc.data)
+	}
+	for _, f := range locOrder {
+		var fn protoBuf
+		fn.uint64Field(1, locID[f])
+		fn.int64Field(2, strIndex[f])
+		fn.int64Field(3, strIndex[f])
+		fn.int64Field(4, intern("sim"))
+		prof.bytesField(5, fn.data)
+	}
+	for _, s := range strTab {
+		prof.bytesField(6, []byte(s))
+	}
+	// time_nanos (field 9) stays zero for determinism.
+	prof.int64Field(10, int64(total)) // duration_nanos
+
+	// gzip with a zeroed header so the compressed bytes are reproducible.
+	gz, err := gzip.NewWriterLevel(w, gzip.BestCompression)
+	if err != nil {
+		return err
+	}
+	if _, err := gz.Write(prof.data); err != nil {
+		return err
+	}
+	return gz.Close()
+}

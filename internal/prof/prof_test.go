@@ -1,0 +1,133 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFoldedAttribution(t *testing.T) {
+	p := New()
+	p.Enter("gpu/wavefront")
+	p.Attribute(10)
+	p.Enter("border/check")
+	p.Attribute(5)
+	p.Exit()
+	p.Span("gpu/l1", 7)
+	p.Exit()
+	p.Span("border/downgrade", 3)
+
+	want := "border/downgrade 3\n" +
+		"gpu/wavefront 10\n" +
+		"gpu/wavefront;border/check 5\n" +
+		"gpu/wavefront;gpu/l1 7\n"
+	if got := p.Folded(); got != want {
+		t.Errorf("folded output:\n%s\nwant:\n%s", got, want)
+	}
+	if p.Total() != 25 {
+		t.Errorf("total = %d, want 25", p.Total())
+	}
+	if p.Depth() != 0 {
+		t.Errorf("depth = %d after balanced enters/exits", p.Depth())
+	}
+}
+
+func TestAttributeZeroAndEmptyStack(t *testing.T) {
+	p := New()
+	p.Enter("x")
+	p.Attribute(0) // dropped: zero-width spans never appear
+	p.Exit()
+	if p.Folded() != "" {
+		t.Errorf("zero attribution produced output: %q", p.Folded())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("Exit on an empty stack did not panic")
+		}
+	}()
+	p.Exit()
+}
+
+func TestAttributeEmptyStackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Attribute on an empty stack did not panic")
+		}
+	}()
+	New().Attribute(1)
+}
+
+// TestMergeCommutes checks the merge used by parallel sweeps: the same
+// per-stack sums in any order, so folded output is byte-identical at any
+// jobs count.
+func TestMergeCommutes(t *testing.T) {
+	mk := func(stacks map[string]uint64) *Profiler {
+		p := New()
+		for s, ps := range stacks {
+			for _, frame := range strings.Split(s, ";") {
+				p.Enter(frame)
+			}
+			p.Attribute(ps)
+			for range strings.Split(s, ";") {
+				p.Exit()
+			}
+		}
+		return p
+	}
+	a := mk(map[string]uint64{"g;b": 5, "g": 2})
+	b := mk(map[string]uint64{"g;b": 7, "h": 1})
+
+	ab, ba := New(), New()
+	ab.Merge(a)
+	ab.Merge(b)
+	ba.Merge(b)
+	ba.Merge(a)
+	if ab.Folded() != ba.Folded() {
+		t.Errorf("merge is order-dependent:\n%s\n%s", ab.Folded(), ba.Folded())
+	}
+	want := "g 2\ng;b 12\nh 1\n"
+	if got := ab.Folded(); got != want {
+		t.Errorf("merged folded:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWritePprofDeterministic writes the same profile twice and requires
+// identical bytes, and checks the output is a gzip stream with content.
+func TestWritePprofDeterministic(t *testing.T) {
+	p := New()
+	p.Enter("gpu/wavefront")
+	p.Span("border/bcc", 14000)
+	p.Attribute(2_000_000)
+	p.Exit()
+
+	var b1, b2 bytes.Buffer
+	if err := p.WritePprof(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WritePprof(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("pprof output differs between identical writes")
+	}
+	zr, err := gzip.NewReader(&b1)
+	if err != nil {
+		t.Fatalf("output is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("empty pprof payload")
+	}
+	// The string table must carry the sample type and the frame names.
+	for _, want := range []string{"sim", "nanoseconds", "gpu/wavefront", "border/bcc"} {
+		if !bytes.Contains(raw, []byte(want)) {
+			t.Errorf("pprof payload missing %q", want)
+		}
+	}
+}

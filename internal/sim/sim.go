@@ -118,11 +118,22 @@ type Engine struct {
 	// interruptStride events under the "engine" category. It is pure
 	// observation: attaching a tracer never changes scheduling.
 	Tracer *trace.Tracer
+
+	// depthHist distributes the pending-queue depth, sampled on a fixed
+	// simulated-time cadence (depthCadence). The sample is taken inside
+	// Step — no sampler event is ever scheduled, so the event count, the
+	// sequence numbering, and every artifact derived from them are
+	// identical with or without anyone reading the histogram.
+	depthHist stats.Histogram
+	nextDepth Time
 }
 
 // interruptStride is how many events Run executes between Interrupt polls;
 // a power of two so the check compiles to a mask.
 const interruptStride = 4096
+
+// depthCadence is the simulated-time interval between queue-depth samples.
+const depthCadence = Microsecond
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
@@ -265,6 +276,13 @@ func (e *Engine) Step() bool {
 	s := &e.slots[idx]
 	e.now = s.at
 	e.fired++
+	if e.now >= e.nextDepth {
+		// One sample per elapsed cadence window, stamped at the first event
+		// that crosses the boundary. Depth here still includes this event's
+		// successors only — it was already popped above.
+		e.depthHist.Record(uint64(len(e.heap)))
+		e.nextDepth = e.now + depthCadence
+	}
 	fn, cb, arg := s.fn, s.cb, s.arg
 	// Clear the callback references before firing: the slot is recycled (a
 	// callback may immediately schedule into it) and must not pin closures
@@ -299,11 +317,12 @@ func (e *Engine) Run() Time {
 }
 
 // RegisterMetrics publishes the engine's progress counters under s
-// ("engine.events", "engine.pending", "engine.now_ps").
+// ("engine.events", "engine.pending", "engine.now_ps", "engine.queue_depth").
 func (e *Engine) RegisterMetrics(s stats.Scope) {
 	s.CounterFunc("events", e.Fired)
 	s.CounterFunc("pending", func() uint64 { return uint64(e.Pending()) })
 	s.CounterFunc("now_ps", func() uint64 { return uint64(e.now) })
+	s.Histogram("queue_depth", &e.depthHist)
 }
 
 // RunUntil executes events with timestamps <= deadline, then advances the

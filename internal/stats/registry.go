@@ -25,12 +25,17 @@ const (
 	KindCounter Kind = iota
 	// KindGauge is a point-in-time float (ratios, utilizations).
 	KindGauge
+	// KindHistogram is a fixed-bucket latency/size distribution.
+	KindHistogram
 )
 
-// String returns "counter" or "gauge".
+// String returns "counter", "gauge", or "histogram".
 func (k Kind) String() string {
-	if k == KindGauge {
+	switch k {
+	case KindGauge:
 		return "gauge"
+	case KindHistogram:
+		return "histogram"
 	}
 	return "counter"
 }
@@ -41,6 +46,7 @@ type metric struct {
 	kind Kind
 	u64  func() uint64
 	f64  func() float64
+	hist func() HistSnapshot
 }
 
 // Registry is a run-scoped collection of metric accessors. It is built
@@ -87,6 +93,8 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Count = m.u64()
 		case KindGauge:
 			s.Value = m.f64()
+		case KindHistogram:
+			s.Hist = m.hist()
 		}
 		samples = append(samples, s)
 	}
@@ -134,6 +142,18 @@ func (s Scope) Gauge(name string, f func() float64) {
 	s.r.register(metric{name: s.join(name), kind: KindGauge, f64: f})
 }
 
+// Histogram registers an existing Histogram under name; it is snapshotted
+// when the registry is read.
+func (s Scope) Histogram(name string, h *Histogram) {
+	s.HistogramFunc(name, h.Snapshot)
+}
+
+// HistogramFunc registers a histogram whose snapshot is produced by f at
+// snapshot time — used to aggregate per-structure histograms into one.
+func (s Scope) HistogramFunc(name string, f func() HistSnapshot) {
+	s.r.register(metric{name: s.join(name), kind: KindHistogram, hist: f})
+}
+
 // HitMiss registers the standard trio for a cache-like structure: under
 // base (empty means directly in the scope) it adds "hits", "misses", and
 // a "miss_ratio" gauge.
@@ -151,8 +171,9 @@ func (s Scope) HitMiss(base string, hm *HitMiss) {
 type Sample struct {
 	Name  string
 	Kind  Kind
-	Count uint64  // valid when Kind == KindCounter
-	Value float64 // valid when Kind == KindGauge
+	Count uint64       // valid when Kind == KindCounter
+	Value float64      // valid when Kind == KindGauge
+	Hist  HistSnapshot // valid when Kind == KindHistogram
 }
 
 // Snapshot is an ordered, immutable capture of a registry. Samples are
@@ -182,6 +203,13 @@ func (s Snapshot) Gauge(name string) float64 {
 	return smp.Value
 }
 
+// Hist returns the named histogram's snapshot, or an empty snapshot when
+// absent.
+func (s Snapshot) Hist(name string) HistSnapshot {
+	smp, _ := s.Get(name)
+	return smp.Hist
+}
+
 // String renders the snapshot one "name value" line per sample, in name
 // order.
 func (s Snapshot) String() string {
@@ -189,9 +217,13 @@ func (s Snapshot) String() string {
 	for _, smp := range s.Samples {
 		b.WriteString(smp.Name)
 		b.WriteByte(' ')
-		if smp.Kind == KindGauge {
+		switch smp.Kind {
+		case KindGauge:
 			b.WriteString(formatGauge(smp.Value))
-		} else {
+		case KindHistogram:
+			fmt.Fprintf(&b, "count=%d p50=%d p99=%d max=%d",
+				smp.Hist.Count, smp.Hist.Percentile(50), smp.Hist.Percentile(99), smp.Hist.Max)
+		default:
 			b.WriteString(strconv.FormatUint(smp.Count, 10))
 		}
 		b.WriteByte('\n')
@@ -225,9 +257,12 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 		}
 		b.Write(key)
 		b.WriteByte(':')
-		if smp.Kind == KindGauge {
+		switch smp.Kind {
+		case KindGauge:
 			b.WriteString(formatGauge(smp.Value))
-		} else {
+		case KindHistogram:
+			smp.Hist.appendJSON(&b)
+		default:
 			b.WriteString(strconv.FormatUint(smp.Count, 10))
 		}
 	}
@@ -237,23 +272,32 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 
 // UnmarshalJSON restores a snapshot from the flat-object form produced by
 // MarshalJSON. Sample order follows name order regardless of input order;
-// numbers with a fractional part or exponent load as gauges, the rest as
-// counters.
+// JSON objects load as histograms, numbers with a fractional part or
+// exponent load as gauges, the rest as counters.
 func (s *Snapshot) UnmarshalJSON(data []byte) error {
-	var raw map[string]json.Number
+	var raw map[string]json.RawMessage
 	if err := json.Unmarshal(data, &raw); err != nil {
 		return err
 	}
 	samples := make([]Sample, 0, len(raw))
-	for name, num := range raw {
-		text := num.String()
+	for name, msg := range raw {
+		trimmed := bytes.TrimSpace(msg)
+		if len(trimmed) > 0 && trimmed[0] == '{' {
+			var h HistSnapshot
+			if err := json.Unmarshal(trimmed, &h); err != nil {
+				return fmt.Errorf("stats: sample %q: %w", name, err)
+			}
+			samples = append(samples, Sample{Name: name, Kind: KindHistogram, Hist: h})
+			continue
+		}
+		text := string(trimmed)
 		if !strings.ContainsAny(text, ".eE") {
 			if u, err := strconv.ParseUint(text, 10, 64); err == nil {
 				samples = append(samples, Sample{Name: name, Kind: KindCounter, Count: u})
 				continue
 			}
 		}
-		f, err := num.Float64()
+		f, err := strconv.ParseFloat(text, 64)
 		if err != nil {
 			return fmt.Errorf("stats: sample %q: %w", name, err)
 		}
@@ -265,15 +309,19 @@ func (s *Snapshot) UnmarshalJSON(data []byte) error {
 }
 
 // Merge combines snapshots from several runs into one aggregate view:
-// counters sum, gauges average over the snapshots that contain them. The
+// counters sum, gauges average over the snapshots that contain them, and
+// histograms merge bucket-wise (bucket counts sum, min/max extend). The
 // gauge mean is advisory (a mean of ratios, not a ratio of sums) — exact
 // re-derivation is always possible from the summed hit/miss counters.
+// Counter and histogram merging are commutative and associative, so the
+// merged snapshot does not depend on snapshot order.
 func Merge(snaps ...Snapshot) Snapshot {
 	type acc struct {
 		kind  Kind
 		count uint64
 		sum   float64
 		n     int
+		hist  HistSnapshot
 	}
 	byName := make(map[string]*acc)
 	var names []string
@@ -287,6 +335,7 @@ func Merge(snaps ...Snapshot) Snapshot {
 			}
 			a.count += smp.Count
 			a.sum += smp.Value
+			a.hist = a.hist.Merge(smp.Hist)
 			a.n++
 		}
 	}
@@ -294,7 +343,7 @@ func Merge(snaps ...Snapshot) Snapshot {
 	samples := make([]Sample, 0, len(names))
 	for _, name := range names {
 		a := byName[name]
-		smp := Sample{Name: name, Kind: a.kind, Count: a.count}
+		smp := Sample{Name: name, Kind: a.kind, Count: a.count, Hist: a.hist}
 		if a.kind == KindGauge && a.n > 0 {
 			smp.Value = a.sum / float64(a.n)
 		}
