@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check trace-smoke profile-smoke bench-json bench-check fuzz-smoke adversary-smoke
+.PHONY: all build vet test race race-sim bench check trace-smoke profile-smoke bench-json bench-check fuzz-smoke adversary-smoke fleet-smoke
 
 all: check
 
@@ -18,6 +18,20 @@ test:
 # exercises the concurrent runner (smoke sweeps run at Jobs=8).
 race:
 	$(GO) test -race -short ./...
+
+# Race-enabled, non-short runs of the two packages whose goroutines share
+# work: the sharded conservative-parallel engine and the experiment runner.
+race-sim:
+	$(GO) test -race ./internal/sim ./internal/exp
+
+# Fleet smoke: the same fleet executed serially and on 4 worker goroutines
+# must render byte-identically — the conservative-PDES determinism
+# guarantee, checked end to end through bctool.
+fleet-smoke:
+	$(GO) run ./cmd/bctool fleet -tenants 8 -shards 1 > fleet-smoke-1.txt
+	$(GO) run ./cmd/bctool fleet -tenants 8 -shards 4 > fleet-smoke-4.txt
+	cmp fleet-smoke-1.txt fleet-smoke-4.txt
+	rm -f fleet-smoke-1.txt fleet-smoke-4.txt
 
 # One iteration of every benchmark prints each paper artifact once;
 # BenchmarkExecFigure4 compares serial vs parallel sweep wall-clock.
@@ -72,4 +86,4 @@ fuzz-smoke:
 	$(GO) test -run '^FuzzBorderCheck$$' -fuzz '^FuzzBorderCheck$$' -fuzztime 10s ./internal/core
 	$(GO) test -run '^FuzzEngineSchedule$$' -fuzz '^FuzzEngineSchedule$$' -fuzztime 10s ./internal/sim
 
-check: vet build test race trace-smoke profile-smoke adversary-smoke fuzz-smoke bench-check
+check: vet build test race race-sim fleet-smoke trace-smoke profile-smoke adversary-smoke fuzz-smoke bench-check

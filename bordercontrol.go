@@ -127,6 +127,38 @@ func RunCtx(ctx context.Context, mode Mode, class GPUClass, workloadName string,
 // border-violation detail).
 type RunError = harness.RunError
 
+// Fleet-scale evaluation: many tenant accelerator sandboxes — each a full
+// System with its own OS, ASID, IOMMU/ATS, border and caches — execute on
+// one sharded conservative-parallel simulation, coordinated by a host
+// shard. Host<->accelerator border crossings (launch doorbells, completion
+// interrupts, downgrade commands) are the cross-shard messages; results
+// are bit-identical at any worker count.
+
+// FleetParams configures a fleet run (tenant count, mode, class, crossing
+// lookahead, launch spread, churn cadence, seed, worker goroutines).
+type FleetParams = harness.FleetParams
+
+// FleetResult reports a fleet run; its Render output is deterministic.
+type FleetResult = harness.FleetResult
+
+// DefaultFleetParams returns a small fleet exercising every protocol path.
+func DefaultFleetParams() FleetParams { return harness.DefaultFleetParams() }
+
+// RunFleet executes the named workload on every tenant of a fleet.
+func RunFleet(p Params, fp FleetParams, workloadName string) (FleetResult, error) {
+	return RunFleetCtx(context.Background(), p, fp, workloadName)
+}
+
+// RunFleetCtx is RunFleet with cooperative cancellation: every shard of
+// the fleet polls ctx and stops promptly.
+func RunFleetCtx(ctx context.Context, p Params, fp FleetParams, workloadName string) (FleetResult, error) {
+	spec, ok := workload.ByName(workloadName)
+	if !ok {
+		return FleetResult{}, fmt.Errorf("bordercontrol: unknown workload %q (have %v)", workloadName, workload.Names())
+	}
+	return harness.RunFleetCtx(ctx, p, fp, spec)
+}
+
 // Observability: every Result (and sweep artifact) carries a hierarchical
 // metrics Snapshot, and runs can record Chrome trace-event timelines.
 
@@ -252,11 +284,16 @@ type Exec struct {
 	// the sweep (open the written file in Perfetto). Pure observation:
 	// rendered artifacts are byte-identical with it on.
 	Trace *TraceSet
+	// Shards, when positive, executes every simulation of the sweep on
+	// the sharded conservative-parallel engine with that many worker
+	// goroutines (see RunOptions.Shards). Execution machinery only:
+	// artifacts are byte-identical at any setting.
+	Shards int
 }
 
 // toHarness converts the facade Exec to the internal execution config.
 func (e Exec) toHarness() harness.Exec {
-	hx := harness.Exec{Jobs: e.Jobs, Timeout: e.Timeout, Trace: e.Trace}
+	hx := harness.Exec{Jobs: e.Jobs, Timeout: e.Timeout, Trace: e.Trace, Shards: e.Shards}
 	if e.Progress != nil {
 		progress := e.Progress
 		hx.Progress = func(r exp.Result) {

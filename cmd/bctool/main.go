@@ -18,6 +18,11 @@
 //	                                       seeded sandbox-escape campaigns
 //	                                       with the shadow-memory oracle
 //	bctool run -mode bc-bcc -class high -workload bfs [-downgrades N]
+//	bctool fleet [-tenants N] [-shards N] [-workload W] [-churn-ps N]
+//	                                       many tenant sandboxes on one
+//	                                       sharded conservative-parallel
+//	                                       simulation (host shard + one
+//	                                       shard per tenant)
 //	bctool profile [-folded FILE] [-pprof FILE]
 //	                                       simulated-time profile of the
 //	                                       bench matrix (folded stacks or a
@@ -30,6 +35,14 @@
 // Figure, security and all accept -jobs N (0 = all cores, 1 = serial),
 // -timeout D (per simulation) and -quiet (suppress progress lines). Any
 // failed job makes bctool exit non-zero.
+//
+// Figures, run, adversary and fleet also accept -shards N, which executes
+// each simulation on the sharded conservative-parallel engine with N
+// worker goroutines. Sharding is execution machinery, not model input:
+// every artifact is byte-identical between -shards=1 and -shards=4 (and
+// the direct engine). Fleets are where extra workers buy wall-clock time;
+// single-accelerator runs are one determinism domain and use it as a
+// residue-freedom proof.
 //
 // Observability (run, figures and all):
 //
@@ -94,6 +107,8 @@ func main() {
 		err = all(ctx, args)
 	case "run":
 		err = runOne(ctx, args)
+	case "fleet":
+		err = fleetCmd(ctx, args)
 	case "profile":
 		err = profileCmd(ctx, args)
 	case "bench":
@@ -115,8 +130,8 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: bctool <table1|table2|table3|fig4|fig5|fig6|fig7|security|adversary|all|run|profile|bench|tracecheck|list> [csv]
-	[-jobs N] [-timeout D] [-quiet] [-stats-json FILE] [-hist] [-trace FILE] [-trace-cats LIST] [-metrics]`)
+	fmt.Fprintln(os.Stderr, `usage: bctool <table1|table2|table3|fig4|fig5|fig6|fig7|security|adversary|all|run|fleet|profile|bench|tracecheck|list> [csv]
+	[-jobs N] [-shards N] [-timeout D] [-quiet] [-stats-json FILE] [-hist] [-trace FILE] [-trace-cats LIST] [-metrics]`)
 }
 
 // obsFlags are the observability knobs shared by run and the sweeps.
@@ -197,6 +212,7 @@ func writeTrace(path string, w interface{ WriteJSON(io.Writer) error }) error {
 // execFlags are the execution-layer knobs shared by every sweep command.
 type execFlags struct {
 	jobs    int
+	shards  int
 	timeout time.Duration
 	quiet   bool
 	csv     bool
@@ -213,6 +229,7 @@ func parseExec(name string, args []string) (execFlags, error) {
 	}
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	fs.IntVar(&f.jobs, "jobs", 0, "concurrent simulations (0 = all cores, 1 = serial)")
+	fs.IntVar(&f.shards, "shards", 0, "run each simulation on the sharded engine with this many workers (0 = direct engine); artifacts are byte-identical at any setting")
 	fs.DurationVar(&f.timeout, "timeout", 0, "per-simulation timeout (0 = none)")
 	fs.BoolVar(&f.quiet, "quiet", false, "suppress per-job progress lines on stderr")
 	fs.BoolVar(&f.csv, "csv", f.csv, "emit CSV instead of a text table")
@@ -252,7 +269,7 @@ func (t *tracker) done(r bc.JobResult) {
 
 func (f execFlags) exec(t *tracker) bc.Exec {
 	t.quiet = f.quiet
-	ex := bc.Exec{Jobs: f.jobs, Timeout: f.timeout, Progress: t.done}
+	ex := bc.Exec{Jobs: f.jobs, Timeout: f.timeout, Progress: t.done, Shards: f.shards}
 	if f.obs.tracePath != "" {
 		ex.Trace = bc.NewTraceSet(f.obs.traceCats)
 	}
@@ -353,6 +370,7 @@ func adversaryCmd(ctx context.Context, args []string) error {
 	campaigns := fs.Int("campaigns", 4, "number of campaigns (each rotates the protocol variant)")
 	attacks := fs.String("attacks", "", "comma-separated attack names (empty = all: "+strings.Join(bc.AdversaryAttacks(), ",")+")")
 	jobs := fs.Int("jobs", 0, "concurrent attack runs (0 = all cores, 1 = serial)")
+	shards := fs.Int("shards", 0, "assemble each campaign system on the sharded engine (0 = direct engine); reports are byte-identical either way")
 	timeout := fs.Duration("timeout", 0, "per-run timeout (0 = none)")
 	quiet := fs.Bool("quiet", false, "suppress per-run progress lines on stderr")
 	statsJSON := fs.String("stats-json", "", "write the campaign's aggregate counters as JSON to this file (- = stdout)")
@@ -370,7 +388,7 @@ func adversaryCmd(ctx context.Context, args []string) error {
 	}
 	var t tracker
 	t.quiet = *quiet
-	ex := bc.Exec{Jobs: *jobs, Timeout: *timeout, Progress: t.done}
+	ex := bc.Exec{Jobs: *jobs, Timeout: *timeout, Progress: t.done, Shards: *shards}
 	rep, err := bc.RunAdversary(ctx, ex, bc.DefaultParams(), *seed, *campaigns, names)
 	if err != nil {
 		return err
@@ -446,6 +464,7 @@ func runOne(ctx context.Context, args []string) error {
 	name := fs.String("workload", "bfs", "workload name")
 	downgrades := fs.Float64("downgrades", 0, "permission downgrades per second to inject")
 	scale := fs.Int("scale", 1, "workload problem-size multiplier")
+	shards := fs.Int("shards", 0, "run on the sharded engine with this many workers (0 = direct engine); results are bit-identical either way")
 	timeout := fs.Duration("timeout", 0, "abort the simulation after this long (0 = none)")
 	var obs obsFlags
 	obs.register(fs)
@@ -467,7 +486,7 @@ func runOne(ctx context.Context, args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opts := bc.RunOptions{DowngradesPerSec: *downgrades}
+	opts := bc.RunOptions{DowngradesPerSec: *downgrades, Shards: *shards}
 	var tr *bc.Tracer
 	if obs.tracePath != "" {
 		tr = bc.NewTracer(obs.traceCats)
@@ -511,6 +530,71 @@ func runOne(ctx context.Context, args []string) error {
 		return fmt.Errorf("results INCORRECT: %w", res.VerifyErr)
 	}
 	fmt.Println("results       verified correct")
+	return nil
+}
+
+// fleetCmd runs a fleet: many tenant accelerator sandboxes on one sharded
+// conservative-parallel simulation, coordinated by a host shard whose
+// launch doorbells, completion interrupts and downgrade commands are the
+// cross-shard border messages. The printed report is byte-identical at any
+// -shards setting; the host line on stderr is the only wall-clock output.
+func fleetCmd(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
+	def := bc.DefaultFleetParams()
+	tenants := fs.Int("tenants", def.Tenants, "tenant accelerator sandboxes (one shard each, plus the host shard)")
+	mode := fs.String("mode", "bc-bcc", "safety configuration every tenant runs under (see bctool list)")
+	class := fs.String("class", "moderate", "GPU class: high or moderate")
+	name := fs.String("workload", "pathfinder", "workload every tenant runs")
+	shards := fs.Int("shards", 0, "worker goroutines executing shards (0 = all cores, 1 = serial); the report is byte-identical at any setting")
+	lookahead := fs.Int64("lookahead-ps", int64(def.Lookahead), "host<->accelerator crossing latency in simulated ps (the conservative window)")
+	spread := fs.Int64("spread-ps", int64(def.LaunchSpread), "stagger tenant launches over this much simulated ps (seeded)")
+	churn := fs.Int64("churn-ps", int64(def.DowngradeEvery), "host downgrade-command cadence in simulated ps (0 = no churn)")
+	seed := fs.Int64("seed", def.Seed, "seed for launch jitter and churn targeting")
+	scale := fs.Int("scale", 1, "workload problem-size multiplier")
+	timeout := fs.Duration("timeout", 0, "abort the fleet after this long (0 = none)")
+	var obs obsFlags
+	obs.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := parseMode(*mode)
+	if err != nil {
+		return err
+	}
+	cl := bc.HighlyThreaded
+	if strings.HasPrefix(*class, "mod") {
+		cl = bc.ModeratelyThreaded
+	}
+	p := bc.DefaultParams()
+	p.Scale = *scale
+	fp := bc.FleetParams{
+		Tenants:        *tenants,
+		Mode:           m,
+		Class:          cl,
+		Lookahead:      bc.Time(*lookahead),
+		LaunchSpread:   bc.Time(*spread),
+		DowngradeEvery: bc.Time(*churn),
+		Seed:           *seed,
+		Workers:        *shards,
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := bc.RunFleetCtx(ctx, p, fp, *name)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	fmt.Fprintf(os.Stderr, "host: %s wall, %d events, %.0f events/sec\n",
+		fmtDur(res.Host.Wall), res.Host.Events, res.Host.EventsPerSec)
+	if err := obs.emitStats(res.Stats); err != nil {
+		return err
+	}
+	if res.Verified != res.Tenants {
+		return fmt.Errorf("%d of %d tenants produced INCORRECT results", res.Tenants-res.Verified, res.Tenants)
+	}
 	return nil
 }
 
@@ -669,6 +753,26 @@ func bench(ctx context.Context, args []string) error {
 		})
 		wall += res.Host.Wall
 		events += res.Host.Events
+	}
+	// Fleet rows: the same fleet serial and on 4 workers. sim_ps and
+	// events must be identical between the two — `bench -compare` against
+	// the snapshot doubles as a determinism check of the sharded engine.
+	for _, workers := range []int{1, 4} {
+		fp := bc.DefaultFleetParams()
+		fp.Workers = workers
+		fres, err := bc.RunFleetCtx(ctx, bc.DefaultParams(), fp, *workloadName)
+		if err != nil {
+			return fmt.Errorf("bench fleet w%d: %w", workers, err)
+		}
+		rep.Runs = append(rep.Runs, benchRun{
+			Name:         fmt.Sprintf("fleet%d/bc-bcc/w%d/%s", fp.Tenants, workers, *workloadName),
+			SimPs:        uint64(fres.SimTime),
+			WallMs:       float64(fres.Host.Wall) / float64(time.Millisecond),
+			Events:       fres.Events,
+			EventsPerSec: fres.Host.EventsPerSec,
+		})
+		wall += fres.Host.Wall
+		events += fres.Events
 	}
 	if s := wall.Seconds(); s > 0 {
 		rep.TotalEventsPerSec = float64(events) / s

@@ -56,6 +56,13 @@ type GPU struct {
 	finish   sim.Time
 	err      error
 
+	// OnFinish, when non-nil, fires once per launched program as it
+	// completes (or aborts), with the completion time — after the final
+	// cache drain. In a sharded fleet it is the hook that raises the
+	// completion interrupt back to the host coordinator shard. Set it
+	// before Launch; it runs inside the simulation, so it may schedule.
+	OnFinish func(at sim.Time)
+
 	// tr receives per-phase and per-kernel spans under the "gpu" category.
 	tr         *trace.Tracer
 	phaseStart sim.Time
@@ -150,6 +157,9 @@ func (g *GPU) nextPhase(at sim.Time) {
 		g.finish = done
 		if g.tr != nil {
 			g.tr.Complete("gpu", "kernel "+g.prog.Name, uint64(g.start), uint64(done-g.start))
+		}
+		if g.OnFinish != nil {
+			g.OnFinish(done)
 		}
 		return
 	}

@@ -8,6 +8,7 @@ import (
 	"bordercontrol/internal/accel"
 	"bordercontrol/internal/adversary"
 	"bordercontrol/internal/exp"
+	"bordercontrol/internal/sim"
 )
 
 // AdversaryReport runs seeded sandbox-escape campaigns: every requested
@@ -50,7 +51,7 @@ func AdversaryReport(ctx context.Context, ex Exec, p Params, seed int64, campaig
 	results, err := exp.Map(ctx, ex.runner(), cells,
 		func(_ int, c cell) string { return fmt.Sprintf("adversary/c%d/%s", c.campaign, c.attack) },
 		func(_ context.Context, c cell) (adversary.AttackResult, error) {
-			env, selective, err := newAdversaryEnv(c.campaign, p)
+			env, selective, err := newAdversaryEnv(c.campaign, p, ex.Shards)
 			if err != nil {
 				return adversary.AttackResult{}, fmt.Errorf("harness: adversary/c%d/%s: %w", c.campaign, c.attack, err)
 			}
@@ -78,11 +79,19 @@ func campaignConfig(i int, p Params) (Mode, bool) {
 }
 
 // newAdversaryEnv assembles a fresh guarded system for campaign i and
-// exposes it as an adversary environment.
-func newAdversaryEnv(i int, p Params) (*adversary.Env, bool, error) {
+// exposes it as an adversary environment. shards > 0 assembles the system
+// on a shard of the sharded engine (see RunOptions.Shards): the attack
+// drives the same engine either way, so reports are byte-identical.
+func newAdversaryEnv(i int, p Params, shards int) (*adversary.Env, bool, error) {
 	mode, selective := campaignConfig(i, p)
 	p.SelectiveFlush = selective
-	sys, err := NewSystem(mode, HighlyThreaded, p)
+	eng := &sim.Engine{}
+	if shards > 0 {
+		se := sim.NewShardedEngine(1, sim.Microsecond)
+		se.Workers = shards
+		eng = se.Shard(0)
+	}
+	sys, err := NewSystemWithEngine(eng, mode, HighlyThreaded, p)
 	if err != nil {
 		return nil, false, err
 	}

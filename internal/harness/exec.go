@@ -28,6 +28,10 @@ type Exec struct {
 	// process per job, labelled by the job name). Tracing is pure
 	// observation: rendered artifacts are byte-identical with it on.
 	Trace *trace.Multi
+	// Shards, when positive, executes every simulation of the sweep on
+	// the sharded engine with that many workers (see RunOptions.Shards).
+	// Artifacts are byte-identical at any setting.
+	Shards int
 }
 
 func (e Exec) runner() *exp.Runner {
@@ -56,6 +60,9 @@ func runAll(ctx context.Context, ex Exec, p Params, specs []runSpec) ([]RunResul
 			opts := s.Opts
 			if ex.Trace != nil {
 				opts.Tracer = ex.Trace.New(s.Label)
+			}
+			if opts.Shards == 0 {
+				opts.Shards = ex.Shards
 			}
 			return RunCtx(ctx, s.Mode, s.Class, s.Spec, p, opts)
 		})

@@ -102,24 +102,54 @@ func TestSecurityMatrixParallel(t *testing.T) {
 }
 
 // TestRunCtxCancelled checks a cancelled context aborts the simulation
-// mid-run with a typed RunError naming the job.
+// mid-run with a typed RunError naming the job — on the direct engine and
+// on the sharded engine at several worker counts.
 func TestRunCtxCancelled(t *testing.T) {
 	spec, ok := workload.ByName("bfs")
 	if !ok {
 		t.Fatal("bfs not registered")
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel() // already cancelled: the engine stops at its first poll
-	_, err := RunCtx(ctx, BCBCC, HighlyThreaded, spec, DefaultParams(), RunOptions{})
-	var re *RunError
-	if !errors.As(err, &re) {
-		t.Fatalf("error = %T %v, want *RunError", err, err)
+	for _, shards := range []int{0, 1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // already cancelled: the engine stops at its first poll
+		_, err := RunCtx(ctx, BCBCC, HighlyThreaded, spec, DefaultParams(), RunOptions{Shards: shards})
+		var re *RunError
+		if !errors.As(err, &re) {
+			t.Fatalf("shards=%d: error = %T %v, want *RunError", shards, err, err)
+		}
+		if re.Workload != "bfs" || re.Mode != BCBCC || re.Class != HighlyThreaded || re.Stage != "interrupted" {
+			t.Errorf("shards=%d: RunError fields lost: %+v", shards, re)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("shards=%d: error %v does not unwrap to context.Canceled", shards, err)
+		}
 	}
-	if re.Workload != "bfs" || re.Mode != BCBCC || re.Class != HighlyThreaded || re.Stage != "interrupted" {
-		t.Errorf("RunError fields lost: %+v", re)
+}
+
+// TestRunCtxShardsEquivalent checks RunOptions.Shards is pure execution
+// machinery: a single-accelerator run on the sharded engine must report
+// exactly what the direct engine reports — every simulated time, counter
+// and metrics sample — with only the host self-measurement free to move.
+func TestRunCtxShardsEquivalent(t *testing.T) {
+	spec, ok := workload.ByName("pathfinder")
+	if !ok {
+		t.Fatal("pathfinder not registered")
 	}
-	if !errors.Is(err, context.Canceled) {
-		t.Errorf("error %v does not unwrap to context.Canceled", err)
+	p := DefaultParams()
+	base, err := RunCtx(context.Background(), BCBCC, ModeratelyThreaded, spec, p, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Host = HostStats{}
+	for _, shards := range []int{1, 4} {
+		res, err := RunCtx(context.Background(), BCBCC, ModeratelyThreaded, spec, p, RunOptions{Shards: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		res.Host = HostStats{}
+		if !reflect.DeepEqual(base, res) {
+			t.Errorf("shards=%d differs from direct engine:\ndirect:  %+v\nsharded: %+v", shards, base, res)
+		}
 	}
 }
 

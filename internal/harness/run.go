@@ -61,6 +61,15 @@ type RunOptions struct {
 	// the run (component-stack samples for folded/pprof output). Pure
 	// observation, like Tracer.
 	Profiler *prof.Profiler
+	// Shards, when positive, executes the run on the sharded
+	// conservative-parallel engine with that many worker goroutines
+	// available. A single-accelerator run is one determinism domain (one
+	// logical shard), so this changes execution machinery only: results —
+	// every simulated time, count and snapshot — are bit-identical to the
+	// default direct engine at any setting. It is the figure-level proof
+	// that sharded execution is residue-free; fleets (RunFleetCtx) are
+	// where extra workers buy wall-clock time.
+	Shards int
 }
 
 // HostStats is the host-side self-measurement of one run: how long the
@@ -144,7 +153,17 @@ func RunCtx(ctx context.Context, mode Mode, class GPUClass, spec workload.Spec, 
 	fail := func(stage string, err error) (RunResult, error) {
 		return RunResult{}, &RunError{Workload: spec.Name, Mode: mode, Class: class, Stage: stage, Err: err}
 	}
-	sys, err := NewSystem(mode, class, p)
+	// With opts.Shards the system is assembled on (the only) shard of a
+	// sharded engine; the window width is irrelevant with no cross-shard
+	// traffic, any positive lookahead does.
+	var se *sim.ShardedEngine
+	eng := &sim.Engine{}
+	if opts.Shards > 0 {
+		se = sim.NewShardedEngine(1, sim.Microsecond)
+		se.Workers = opts.Shards
+		eng = se.Shard(0)
+	}
+	sys, err := NewSystemWithEngine(eng, mode, class, p)
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -179,13 +198,18 @@ func RunCtx(ctx context.Context, mode Mode, class GPUClass, spec workload.Spec, 
 		injected = injectDowngradesEvery(sys, proc, interval, 0)
 	}
 	if done := ctx.Done(); done != nil {
-		sys.Eng.Interrupt = func() bool {
+		poll := func() bool {
 			select {
 			case <-done:
 				return true
 			default:
 				return false
 			}
+		}
+		if se != nil {
+			se.Interrupt = poll
+		} else {
+			sys.Eng.Interrupt = poll
 		}
 	}
 	if opts.Tracer != nil {
@@ -195,7 +219,11 @@ func RunCtx(ctx context.Context, mode Mode, class GPUClass, spec workload.Spec, 
 		sys.AttachProfiler(opts.Profiler)
 	}
 	wallStart := time.Now()
-	sys.Eng.Run()
+	if se != nil {
+		se.Run()
+	} else {
+		sys.Eng.Run()
+	}
 	wall := time.Since(wallStart)
 
 	if !sys.GPU.Finished() {

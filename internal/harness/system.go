@@ -230,6 +230,22 @@ func (a atsShootdown) OnDowngrade(d hostos.Downgrade) {
 // must be complete: NewSystem validates them and rejects partially-filled
 // values with a descriptive error (see Params.Validate / Normalize).
 func NewSystem(mode Mode, class GPUClass, p Params) (*System, error) {
+	return NewSystemWithEngine(&sim.Engine{}, mode, class, p)
+}
+
+// NewSystemWithEngine is NewSystem on a caller-provided event engine —
+// typically one shard of a sim.ShardedEngine, so the whole machine (GPU,
+// hierarchy, border, OS, DRAM) is bound to that shard and a fleet of such
+// machines can execute concurrently. The engine must be fresh: no events
+// fired, clock at zero.
+func NewSystemWithEngine(eng *sim.Engine, mode Mode, class GPUClass, p Params) (*System, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("harness: NewSystemWithEngine needs an engine")
+	}
+	if eng.Now() != 0 || eng.Fired() != 0 {
+		return nil, fmt.Errorf("harness: NewSystemWithEngine needs a fresh engine (now=%d, fired=%d)",
+			eng.Now(), eng.Fired())
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -245,7 +261,6 @@ func NewSystem(mode Mode, class GPUClass, p Params) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := &sim.Engine{}
 	osmodel := hostos.New(store)
 	atsvc, err := ats.New(ats.DefaultConfig(gpuClock), osmodel, dram)
 	if err != nil {

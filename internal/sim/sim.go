@@ -126,6 +126,16 @@ type Engine struct {
 	// identical with or without anyone reading the histogram.
 	depthHist stats.Histogram
 	nextDepth Time
+
+	// Sharded execution (see shard.go): which shard of a ShardedEngine
+	// this engine is, the coordinator, the shard-local outbox of pending
+	// cross-shard messages, and the sender-side message sequence counter
+	// used for the canonical barrier merge. All zero for a standalone
+	// engine, which behaves exactly as before.
+	shard   ShardID
+	owner   *ShardedEngine
+	outbox  []xmsg
+	sendSeq uint64
 }
 
 // interruptStride is how many events Run executes between Interrupt polls;
@@ -298,11 +308,13 @@ func (e *Engine) Step() bool {
 }
 
 // Run executes events until the queue is empty (or Interrupt reports true)
-// and returns the final time.
+// and returns the final time. On a shard of a ShardedEngine the poll also
+// covers the coordinator's stop flag, so a run driven directly through a
+// shard still honors fleet-wide cancellation.
 func (e *Engine) Run() Time {
 	for {
 		if e.fired%interruptStride == 0 {
-			if e.Interrupt != nil && e.Interrupt() {
+			if e.interrupted() {
 				break
 			}
 			if e.Tracer != nil {
@@ -327,10 +339,15 @@ func (e *Engine) RegisterMetrics(s stats.Scope) {
 
 // RunUntil executes events with timestamps <= deadline, then advances the
 // simulated clock to the deadline. Events scheduled beyond the deadline stay
-// queued. It reports how many events fired.
+// queued. It reports how many events fired. Like Run it polls Interrupt
+// every interruptStride events, so a cancelled caller is not stuck behind a
+// long bounded run.
 func (e *Engine) RunUntil(deadline Time) uint64 {
 	var n uint64
 	for len(e.heap) > 0 && e.slots[e.heap[0]].at <= deadline {
+		if e.fired%interruptStride == 0 && e.interrupted() {
+			break
+		}
 		e.Step()
 		n++
 	}
