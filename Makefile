@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-sim bench check trace-smoke profile-smoke bench-json bench-check fuzz-smoke adversary-smoke fleet-smoke
+.PHONY: all build vet test race race-sim bench check trace-smoke profile-smoke bench-json bench-check fuzz-smoke adversary-smoke fleet-smoke border-matrix-smoke
 
 all: check
 
@@ -79,6 +79,23 @@ adversary-smoke:
 	cmp adversary-smoke.txt adversary-smoke2.txt
 	rm -f adversary-smoke.txt adversary-smoke2.txt
 
+# Border-design matrix smoke: one Figure-4 cell per registered protection
+# architecture. The flat design's output must be byte-identical to the
+# golden captured before the ProtectionArchitecture refactor (the paper's
+# design is timing-frozen); the alternate designs must run to a verified
+# result under the same cell. Also enforces that no deprecated API
+# lingers in the tree (the Figure*Ctx wrappers were removed).
+border-matrix-smoke:
+	$(GO) run ./cmd/bctool run -mode bc-bcc -class moderate -workload pathfinder \
+		-border flat 2>/dev/null > border-smoke-flat.txt
+	cmp border-smoke-flat.txt internal/harness/testdata/border-flat-cell.golden
+	$(GO) run ./cmd/bctool run -mode bc-bcc -class moderate -workload pathfinder \
+		-border sparta >/dev/null
+	$(GO) run ./cmd/bctool run -mode bc-bcc -class moderate -workload pathfinder \
+		-border range >/dev/null
+	rm -f border-smoke-flat.txt
+	! grep -rn "Deprecated:" --include='*.go' .
+
 # Short coverage-guided runs of both fuzz targets: the border-protocol
 # differential fuzzer and the event-engine ordering fuzzer. Anything they
 # minimize lands in the package testdata/fuzz corpora — commit it.
@@ -86,4 +103,4 @@ fuzz-smoke:
 	$(GO) test -run '^FuzzBorderCheck$$' -fuzz '^FuzzBorderCheck$$' -fuzztime 10s ./internal/core
 	$(GO) test -run '^FuzzEngineSchedule$$' -fuzz '^FuzzEngineSchedule$$' -fuzztime 10s ./internal/sim
 
-check: vet build test race race-sim fleet-smoke trace-smoke profile-smoke adversary-smoke fuzz-smoke bench-check
+check: vet build test race race-sim fleet-smoke trace-smoke profile-smoke adversary-smoke border-matrix-smoke fuzz-smoke bench-check

@@ -330,25 +330,12 @@ func Figure7(ctx context.Context, ex Exec, p Params) (harness.Figure7Result, err
 	return harness.Figure7(ctx, ex.toHarness(), p)
 }
 
-// Deprecated: the figure generators are now ctx-first; Figure4Ctx is
-// Figure4. These wrappers will be removed in a future release.
-func Figure4Ctx(ctx context.Context, ex Exec, class GPUClass, p Params) (harness.Figure4Result, error) {
-	return Figure4(ctx, ex, class, p)
-}
-
-// Deprecated: use Figure5.
-func Figure5Ctx(ctx context.Context, ex Exec, p Params) (harness.Figure5Result, error) {
-	return Figure5(ctx, ex, p)
-}
-
-// Deprecated: use Figure6.
-func Figure6Ctx(ctx context.Context, ex Exec, p Params) (harness.Figure6Result, error) {
-	return Figure6(ctx, ex, p)
-}
-
-// Deprecated: use Figure7.
-func Figure7Ctx(ctx context.Context, ex Exec, p Params) (harness.Figure7Result, error) {
-	return Figure7(ctx, ex, p)
+// FigureBorders compares the registered border designs: the Figure 4
+// BC-BCC sweep repeated once per design (flat, range, sparta) for one GPU
+// class, with the ATS-only baseline. Every design enforces identical
+// decisions (DESIGN.md §14); the figure isolates what each costs.
+func FigureBorders(ctx context.Context, ex Exec, class GPUClass, p Params) (harness.FigureBordersResult, error) {
+	return harness.FigureBorders(ctx, ex.toHarness(), class, p)
 }
 
 // RenderTable1, RenderTable2 and RenderTable3 regenerate the paper's
@@ -364,12 +351,6 @@ var (
 // RenderSecurityMatrix prints the BLOCKED/VULNERABLE table.
 func SecurityMatrix(ctx context.Context, ex Exec, p Params) ([]harness.SecurityResult, error) {
 	return harness.SecurityMatrix(ctx, ex.toHarness(), p)
-}
-
-// Deprecated: SecurityMatrix is now ctx-first; SecurityMatrixCtx is
-// SecurityMatrix. This wrapper will be removed in a future release.
-func SecurityMatrixCtx(ctx context.Context, ex Exec, p Params) ([]harness.SecurityResult, error) {
-	return SecurityMatrix(ctx, ex, p)
 }
 
 // RenderSecurityMatrix prints the BLOCKED/VULNERABLE table.
@@ -507,11 +488,42 @@ type BCC = core.BCC
 type BCCConfig = core.BCCConfig
 
 // BorderControl implements the Figure 3 event protocol for one
-// accelerator.
+// accelerator — the paper's flat-table design.
 type BorderControl = core.BorderControl
 
 // BorderConfig sets Border Control structures and policies.
 type BorderConfig = core.Config
+
+// ProtectionArchitecture is the pluggable border-design contract: the
+// Figure 3 lifecycle (process start/complete, lazy translation insertion,
+// downgrade handling) plus the per-crossing check. Registered designs —
+// selected by Params.Border or `bctool -border` — must enforce identical
+// decisions for the same event stream and may differ only in when
+// permission state moves and what it costs (DESIGN.md §14).
+type ProtectionArchitecture = core.ProtectionArchitecture
+
+// BorderDesigns lists the registered border designs in sorted order
+// ("flat" is the paper's Protection Table + BCC design).
+func BorderDesigns() []string { return core.Designs() }
+
+// DefaultBorderDesign is the design an empty Params.Border selects.
+const DefaultBorderDesign = core.DefaultDesign
+
+// BorderPolicy is a declarative per-ASID admission policy for the "range"
+// design: a default action plus ordered first-match-wins rules, compiled
+// once at installation (see core.Policy). The zero value admits
+// everything, which keeps the design decision-equivalent to flat.
+type BorderPolicy = core.Policy
+
+// BorderPolicyRule is one ordered rule of a BorderPolicy.
+type BorderPolicyRule = core.PolicyRule
+
+// Policy actions for BorderPolicy rules.
+const (
+	PolicyAllow    = core.PolicyAllow
+	PolicyReadOnly = core.PolicyReadOnly
+	PolicyDeny     = core.PolicyDeny
+)
 
 // Store is the functional physical-memory backing store.
 type Store = memory.Store

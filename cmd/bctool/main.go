@@ -12,6 +12,9 @@
 //
 //	bctool table1|table2|table3            print a paper table
 //	bctool fig4|fig5|fig6|fig7 [csv]       regenerate a paper figure
+//	bctool borders [csv]                   compare the registered border
+//	                                       designs (flat, range, sparta) on
+//	                                       the Figure-4 sweep, both classes
 //	bctool all                             everything above + security matrix
 //	bctool security                        run the threat-model probe matrix
 //	bctool adversary [-seed N] [-campaigns N] [-attacks a,b]
@@ -35,6 +38,11 @@
 // Figure, security and all accept -jobs N (0 = all cores, 1 = serial),
 // -timeout D (per simulation) and -quiet (suppress progress lines). Any
 // failed job makes bctool exit non-zero.
+//
+// run, figures, adversary and bench accept -border NAME, selecting the
+// protection architecture the BC modes use (`bctool list` names them; the
+// default is the paper's flat Protection Table). `bctool borders` sweeps
+// every registered design regardless.
 //
 // Figures, run, adversary and fleet also accept -shards N, which executes
 // each simulation on the sharded conservative-parallel engine with N
@@ -99,7 +107,7 @@ func main() {
 		fmt.Print(bc.RenderTable2())
 	case "table3":
 		fmt.Print(bc.RenderTable3(bc.DefaultParams()))
-	case "fig4", "fig5", "fig6", "fig7", "security":
+	case "fig4", "fig5", "fig6", "fig7", "borders", "security":
 		err = sweep(ctx, cmd, args)
 	case "adversary":
 		err = adversaryCmd(ctx, args)
@@ -119,6 +127,7 @@ func main() {
 		fmt.Println("workloads:", strings.Join(bc.Workloads(), " "))
 		fmt.Println("modes:     ats-only full-iommu capi bc-nobcc bc-bcc")
 		fmt.Println("classes:   high moderate")
+		fmt.Println("borders:  ", strings.Join(bc.BorderDesigns(), " "))
 	default:
 		usage()
 		os.Exit(2)
@@ -130,8 +139,8 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: bctool <table1|table2|table3|fig4|fig5|fig6|fig7|security|adversary|all|run|fleet|profile|bench|tracecheck|list> [csv]
-	[-jobs N] [-shards N] [-timeout D] [-quiet] [-stats-json FILE] [-hist] [-trace FILE] [-trace-cats LIST] [-metrics]`)
+	fmt.Fprintln(os.Stderr, `usage: bctool <table1|table2|table3|fig4|fig5|fig6|fig7|borders|security|adversary|all|run|fleet|profile|bench|tracecheck|list> [csv]
+	[-border NAME] [-jobs N] [-shards N] [-timeout D] [-quiet] [-stats-json FILE] [-hist] [-trace FILE] [-trace-cats LIST] [-metrics]`)
 }
 
 // obsFlags are the observability knobs shared by run and the sweeps.
@@ -216,6 +225,7 @@ type execFlags struct {
 	timeout time.Duration
 	quiet   bool
 	csv     bool
+	border  string
 	obs     obsFlags
 }
 
@@ -233,6 +243,7 @@ func parseExec(name string, args []string) (execFlags, error) {
 	fs.DurationVar(&f.timeout, "timeout", 0, "per-simulation timeout (0 = none)")
 	fs.BoolVar(&f.quiet, "quiet", false, "suppress per-job progress lines on stderr")
 	fs.BoolVar(&f.csv, "csv", f.csv, "emit CSV instead of a text table")
+	fs.StringVar(&f.border, "border", "", "border design for the BC modes (see bctool list; default "+bc.DefaultBorderDesign+"); borders sweeps every design regardless")
 	f.obs.register(fs)
 	err := fs.Parse(args)
 	return f, err
@@ -300,6 +311,9 @@ func sweep(ctx context.Context, cmd string, args []string) error {
 	var t tracker
 	ex := f.exec(&t)
 	p := bc.DefaultParams()
+	if f.border != "" {
+		p.Border = f.border
+	}
 	var snap bc.Snapshot
 	switch cmd {
 	case "fig4":
@@ -350,6 +364,21 @@ func sweep(ctx context.Context, cmd string, args []string) error {
 		} else {
 			fmt.Println(res.Render())
 		}
+	case "borders":
+		var snaps []bc.Snapshot
+		for _, class := range []bc.GPUClass{bc.HighlyThreaded, bc.ModeratelyThreaded} {
+			res, err := bc.FigureBorders(ctx, ex, class, p)
+			if err != nil {
+				return err
+			}
+			snaps = append(snaps, res.Stats)
+			if f.csv {
+				fmt.Print(res.CSV())
+			} else {
+				fmt.Println(res.Render())
+			}
+		}
+		snap = bc.MergeSnapshots(snaps...)
 	case "security":
 		results, err := bc.SecurityMatrix(ctx, ex, p)
 		if err != nil {
@@ -369,6 +398,7 @@ func adversaryCmd(ctx context.Context, args []string) error {
 	seed := fs.Int64("seed", 1, "base campaign seed (campaign i uses seed+i)")
 	campaigns := fs.Int("campaigns", 4, "number of campaigns (each rotates the protocol variant)")
 	attacks := fs.String("attacks", "", "comma-separated attack names (empty = all: "+strings.Join(bc.AdversaryAttacks(), ",")+")")
+	border := fs.String("border", "", "border design under attack (see bctool list; default "+bc.DefaultBorderDesign+")")
 	jobs := fs.Int("jobs", 0, "concurrent attack runs (0 = all cores, 1 = serial)")
 	shards := fs.Int("shards", 0, "assemble each campaign system on the sharded engine (0 = direct engine); reports are byte-identical either way")
 	timeout := fs.Duration("timeout", 0, "per-run timeout (0 = none)")
@@ -389,7 +419,11 @@ func adversaryCmd(ctx context.Context, args []string) error {
 	var t tracker
 	t.quiet = *quiet
 	ex := bc.Exec{Jobs: *jobs, Timeout: *timeout, Progress: t.done, Shards: *shards}
-	rep, err := bc.RunAdversary(ctx, ex, bc.DefaultParams(), *seed, *campaigns, names)
+	p := bc.DefaultParams()
+	if *border != "" {
+		p.Border = *border
+	}
+	rep, err := bc.RunAdversary(ctx, ex, p, *seed, *campaigns, names)
 	if err != nil {
 		return err
 	}
@@ -462,6 +496,7 @@ func runOne(ctx context.Context, args []string) error {
 	mode := fs.String("mode", "bc-bcc", "safety configuration (see bctool list)")
 	class := fs.String("class", "high", "GPU class: high or moderate")
 	name := fs.String("workload", "bfs", "workload name")
+	border := fs.String("border", "", "border design for the BC modes (see bctool list; default "+bc.DefaultBorderDesign+")")
 	downgrades := fs.Float64("downgrades", 0, "permission downgrades per second to inject")
 	scale := fs.Int("scale", 1, "workload problem-size multiplier")
 	shards := fs.Int("shards", 0, "run on the sharded engine with this many workers (0 = direct engine); results are bit-identical either way")
@@ -481,6 +516,9 @@ func runOne(ctx context.Context, args []string) error {
 	}
 	p := bc.DefaultParams()
 	p.Scale = *scale
+	if *border != "" {
+		p.Border = *border
+	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -716,8 +754,13 @@ func bench(ctx context.Context, args []string) error {
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
 	compare := fs.String("compare", "", "compare against a BENCH.json snapshot: error on any sim_ps/events drift, report the events/sec delta")
 	workloadName := fs.String("workload", "pathfinder", "workload to measure")
+	border := fs.String("border", "", "border design for the base matrix rows (see bctool list; default "+bc.DefaultBorderDesign+"); the per-design rows always sweep every design")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	basep := bc.DefaultParams()
+	if *border != "" {
+		basep.Border = *border
 	}
 	matrix := []struct {
 		mode  bc.Mode
@@ -740,12 +783,33 @@ func bench(ctx context.Context, args []string) error {
 	var wall time.Duration
 	var events uint64
 	for _, m := range matrix {
-		res, err := bc.RunCtx(ctx, m.mode, m.class, *workloadName, bc.DefaultParams(), bc.RunOptions{})
+		res, err := bc.RunCtx(ctx, m.mode, m.class, *workloadName, basep, bc.RunOptions{})
 		if err != nil {
 			return fmt.Errorf("bench %s: %w", m.label, err)
 		}
 		rep.Runs = append(rep.Runs, benchRun{
 			Name:         m.label + "/" + *workloadName,
+			SimPs:        uint64(res.Runtime),
+			WallMs:       float64(res.Host.Wall) / float64(time.Millisecond),
+			Events:       res.Host.Events,
+			EventsPerSec: res.Host.EventsPerSec,
+		})
+		wall += res.Host.Wall
+		events += res.Host.Events
+	}
+	// Per-design rows: the bc-bcc/moderate cell once per registered border
+	// design. sim_ps and events are deterministic model outputs per design,
+	// so `bench -compare` doubles as a cross-design determinism check (the
+	// flat row must reproduce the bc-bcc/moderate row above exactly).
+	for _, design := range bc.BorderDesigns() {
+		dp := bc.DefaultParams()
+		dp.Border = design
+		res, err := bc.RunCtx(ctx, bc.BCBCC, bc.ModeratelyThreaded, *workloadName, dp, bc.RunOptions{})
+		if err != nil {
+			return fmt.Errorf("bench bc-bcc/moderate/%s: %w", design, err)
+		}
+		rep.Runs = append(rep.Runs, benchRun{
+			Name:         "bc-bcc/moderate/" + design + "/" + *workloadName,
 			SimPs:        uint64(res.Runtime),
 			WallMs:       float64(res.Host.Wall) / float64(time.Millisecond),
 			Events:       res.Host.Events,

@@ -54,16 +54,21 @@ func newRig(t testing.TB, safe bool) *rig {
 	dir := coherence.NewDirectory(store)
 	osm.AddShootdownListener(atsInvalidate{atsvc})
 
+	// bc stays a concrete *core.BorderControl for the rig's counter
+	// assertions; port wiring takes the interface, which must be nil (not
+	// a typed-nil pointer) in the unchecked configuration.
 	var bc *core.BorderControl
+	var guard core.ProtectionArchitecture
 	if safe {
 		bc, err = core.New("gpu0", core.DefaultConfig(clock), osm, dram, eng)
 		if err != nil {
 			t.Fatal(err)
 		}
 		atsvc.AddObserver(bc)
+		guard = bc
 	}
 	agent := dir.ReserveAgent()
-	port := NewBorderPort(bc, dir, agent, dram, clock.Cycles(4))
+	port := NewBorderPort(guard, dir, agent, dram, clock.Cycles(4))
 	hier, err := NewSandboxed(DefaultSandboxConfig("gpu0", clock, 2, 64<<10), eng, atsvc, port)
 	if err != nil {
 		t.Fatal(err)

@@ -16,8 +16,8 @@ import (
 // ATS-only baseline or the inherently-trusted CAPI path), then goes through
 // the coherence directory to DRAM.
 type BorderPort struct {
-	bc         *core.BorderControl // nil unless Border Control guards this port
-	check      core.Checker        // nil: no border checking
+	bc         core.ProtectionArchitecture // nil unless a border design guards this port
+	check      core.Checker                // nil: no border checking
 	dir        *coherence.Directory
 	agent      coherence.AgentID
 	dram       *memory.DRAM
@@ -36,9 +36,10 @@ type BorderPort struct {
 	WriteLatency stats.Histogram
 }
 
-// NewBorderPort wires a border port. bc may be nil for unchecked paths.
-// agent is the accelerator's directory agent ID.
-func NewBorderPort(bc *core.BorderControl, dir *coherence.Directory, agent coherence.AgentID, dram *memory.DRAM, dirLatency sim.Time) *BorderPort {
+// NewBorderPort wires a border port. bc may be nil for unchecked paths
+// (pass a nil interface, not a typed-nil design pointer). agent is the
+// accelerator's directory agent ID.
+func NewBorderPort(bc core.ProtectionArchitecture, dir *coherence.Directory, agent coherence.AgentID, dram *memory.DRAM, dirLatency sim.Time) *BorderPort {
 	p := &BorderPort{bc: bc, dir: dir, agent: agent, dram: dram, dirLatency: dirLatency}
 	if bc != nil {
 		p.check = bc
@@ -46,14 +47,15 @@ func NewBorderPort(bc *core.BorderControl, dir *coherence.Directory, agent coher
 	return p
 }
 
-// BC returns the attached Border Control, or nil.
-func (p *BorderPort) BC() *core.BorderControl { return p.bc }
+// BC returns the attached border design, or nil.
+func (p *BorderPort) BC() core.ProtectionArchitecture { return p.bc }
 
-// SetChecker installs an arbitrary border checker (e.g. core.TrustZone) in
-// place of Border Control. Pass nil to remove checking entirely.
+// SetChecker installs an arbitrary border checker (e.g. core.TrustZone, or
+// the adversary harness's auditing oracle) in place of the design. Pass
+// nil to remove checking entirely.
 func (p *BorderPort) SetChecker(c core.Checker) {
 	p.check = c
-	p.bc, _ = c.(*core.BorderControl)
+	p.bc, _ = c.(core.ProtectionArchitecture)
 }
 
 // ReadBlock requests the 128-byte block at addr from host memory on behalf

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"bordercontrol/internal/arch"
+	"bordercontrol/internal/core"
 )
 
 // streamRig wires a Streamer into the rig's memory system, guarded by the
@@ -13,12 +14,11 @@ func streamRig(t testing.TB, safe bool) (*rig, *Streamer) {
 	t.Helper()
 	r := newRig(t, safe)
 	agent := r.dir.ReserveAgent()
-	var port *BorderPort
+	var guard core.ProtectionArchitecture
 	if safe {
-		port = NewBorderPort(r.bc, r.dir, agent, r.dram, r.clock.Cycles(4))
-	} else {
-		port = NewBorderPort(nil, r.dir, agent, r.dram, r.clock.Cycles(4))
+		guard = r.bc
 	}
+	port := NewBorderPort(guard, r.dir, agent, r.dram, r.clock.Cycles(4))
 	st, err := NewStreamer(StreamerConfig{Name: "gpu0", Clock: r.clock, Channels: 2}, r.eng, r.ats, port)
 	if err != nil {
 		t.Fatal(err)

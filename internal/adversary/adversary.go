@@ -34,7 +34,7 @@ type Env struct {
 	Eng   *sim.Engine
 	OS    *hostos.OS
 	ATS   *ats.ATS
-	BC    *core.BorderControl
+	BC    core.ProtectionArchitecture
 	Hier  *accel.Sandboxed
 	Port  *accel.BorderPort
 	Dir   *coherence.Directory

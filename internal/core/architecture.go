@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/hostos"
+	"bordercontrol/internal/memory"
+	"bordercontrol/internal/prof"
+	"bordercontrol/internal/sim"
+	"bordercontrol/internal/stats"
+	"bordercontrol/internal/trace"
+)
+
+// ProtectionArchitecture is the border-design seam: everything the rest of
+// the system (harness assembly, the ATS observer path, the OS shootdown
+// path, the adversary harness, the figures) needs from a protection
+// architecture guarding one accelerator. The flat Protection-Table + BCC
+// design of the paper is one implementation; competing designs register
+// under their own names (see RegisterDesign) and race in the figures.
+//
+// The contract every implementation must honor — what keeps the PR-3
+// differential fuzz oracle and the PR-4 shadow-memory oracle sound — is
+// spelled out in DESIGN.md §14. In short: given the same OnTranslation /
+// OnDowngrade / ProcessComplete event stream, Check must decide exactly as
+// the paper's Figure 3 protocol (translations widen the union window,
+// downgrades narrow it only after the dirty flush, completion revokes
+// everything, never-granted pages fail closed, denials are attributed to
+// the wire ASID). Designs are free to differ in WHEN state moves and WHAT
+// it costs — that is the racing surface — never in what gets decided.
+type ProtectionArchitecture interface {
+	// Checker is the hot path: Figure 3c, one decision per crossing.
+	Checker
+
+	// Name returns the guarded accelerator's name.
+	Name() string
+	// Design returns the registered design name ("flat", "sparta", ...).
+	Design() string
+
+	// ProcessStart implements Figure 3a; ProcessComplete Figure 3e (flush
+	// under the old permissions, then revoke everything, returning when the
+	// completion protocol finishes).
+	ProcessStart(asid arch.ASID) error
+	ProcessComplete(at sim.Time, asid arch.ASID) sim.Time
+	// OnTranslation implements ats.Observer (Figure 3b, widen-only).
+	OnTranslation(at sim.Time, asid arch.ASID, vpn arch.VPN, ppn arch.PPN, perm arch.Perm, huge bool)
+	// OnDowngrade implements hostos.ShootdownListener (Figure 3d,
+	// flush-before-narrow).
+	OnDowngrade(d hostos.Downgrade)
+
+	// PermAt returns the effective border permission for one physical page
+	// — the union window a Check would be judged against right now. It is
+	// an audit-only accessor for oracles and tests; implementations must
+	// not charge simulated time for it.
+	PermAt(ppn arch.PPN) arch.Perm
+
+	// ActiveProcesses and Disabled expose protocol state the harness and
+	// examples read.
+	ActiveProcesses() int
+	Disabled() bool
+	// Cache returns the design's BCC, or nil when it has none (designs
+	// reusing the sub-blocked BCC as their lookaside return it so Figure 4
+	// style sweeps can report its miss ratio).
+	Cache() *BCC
+	// CrossingChecks returns how many requests the border has checked.
+	CrossingChecks() uint64
+
+	// Wiring, observation and metrics hooks (all pure observation except
+	// SetAccelerator/SetTableAllocator, which are assembly-time wiring).
+	SetAccelerator(a Sandboxed)
+	SetTableAllocator(f *hostos.FrameAllocator)
+	SetTraceSink(fn func(TraceEvent))
+	SetTracer(t *trace.Tracer)
+	SetProfiler(p *prof.Profiler)
+	RegisterMetrics(s stats.Scope)
+}
+
+// DefaultDesign is the paper's flat Protection-Table + BCC architecture.
+const DefaultDesign = "flat"
+
+// NewArchFunc constructs one protection architecture for an accelerator.
+type NewArchFunc func(name string, cfg Config, os *hostos.OS, dram *memory.DRAM, eng *sim.Engine) (ProtectionArchitecture, error)
+
+// designs is the registry of border designs; the three in-tree designs are
+// registered statically so Designs() is stable without init-order games.
+var designs = map[string]NewArchFunc{
+	"flat": func(name string, cfg Config, os *hostos.OS, dram *memory.DRAM, eng *sim.Engine) (ProtectionArchitecture, error) {
+		return New(name, cfg, os, dram, eng)
+	},
+	"sparta": func(name string, cfg Config, os *hostos.OS, dram *memory.DRAM, eng *sim.Engine) (ProtectionArchitecture, error) {
+		return NewSparta(name, cfg, os, dram, eng)
+	},
+	"range": func(name string, cfg Config, os *hostos.OS, dram *memory.DRAM, eng *sim.Engine) (ProtectionArchitecture, error) {
+		return NewRangeBorder(name, cfg, os, dram, eng)
+	},
+}
+
+// RegisterDesign adds (or replaces) a named border design. Registering at
+// init time makes the design selectable through harness.Params.Border and
+// `bctool -border`.
+func RegisterDesign(name string, fn NewArchFunc) {
+	if name == "" || fn == nil {
+		panic("core: RegisterDesign needs a name and a constructor")
+	}
+	designs[name] = fn
+}
+
+// Designs lists the registered design names, sorted.
+func Designs() []string {
+	names := make([]string, 0, len(designs))
+	for n := range designs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// KnownDesign reports whether name is a registered border design.
+func KnownDesign(name string) bool {
+	_, ok := designs[name]
+	return ok
+}
+
+// NewArchitecture constructs the named design. The Config is validated
+// first, so an impossible configuration (UseBCC with a zero BCC geometry)
+// fails here, at construction, for every design alike.
+func NewArchitecture(design, name string, cfg Config, os *hostos.OS, dram *memory.DRAM, eng *sim.Engine) (ProtectionArchitecture, error) {
+	fn, ok := designs[design]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown border design %q (have %s)", design, strings.Join(Designs(), ", "))
+	}
+	return fn(name, cfg, os, dram, eng)
+}
+
+// Validate rejects impossible Config combinations at construction time.
+// The headline rule: enabling the BCC requires a real cache geometry — a
+// zero-value BCCConfig is a forgotten field, not a tiny cache.
+func (c Config) Validate() error {
+	if c.UseBCC {
+		if c.BCC == (BCCConfig{}) {
+			return fmt.Errorf("core: Config.UseBCC is set but Config.BCC is the zero BCCConfig; fill in a geometry (see DefaultBCCConfig)")
+		}
+		if err := c.BCC.Validate(); err != nil {
+			return fmt.Errorf("core: Config.BCC: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bordercontrol/internal/sim"
+)
+
+func TestDesignRegistry(t *testing.T) {
+	got := Designs()
+	want := []string{"flat", "range", "sparta"}
+	if len(got) != len(want) {
+		t.Fatalf("Designs() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Designs() = %v, want %v (sorted)", got, want)
+		}
+	}
+	if !KnownDesign(DefaultDesign) {
+		t.Errorf("DefaultDesign %q not registered", DefaultDesign)
+	}
+	if KnownDesign("no-such-design") {
+		t.Error("KnownDesign accepted an unregistered name")
+	}
+}
+
+func TestNewArchitectureUnknownDesign(t *testing.T) {
+	_, err := NewArchitecture("no-such-design", "gpu0", Config{}, nil, nil, nil)
+	if err == nil {
+		t.Fatal("unknown design accepted")
+	}
+	if !strings.Contains(err.Error(), "no-such-design") || !strings.Contains(err.Error(), "flat") {
+		t.Errorf("error should name the bad design and list the registry, got: %v", err)
+	}
+}
+
+// TestNewArchitectureDesigns checks every registered design constructs and
+// reports its own name.
+func TestNewArchitectureDesigns(t *testing.T) {
+	for _, design := range Designs() {
+		e := newDesignEnv(t, design, nil)
+		if got := e.arch.Design(); got != design {
+			t.Errorf("design %q reports Design() = %q", design, got)
+		}
+		if got := e.arch.Name(); got != "gpu0" {
+			t.Errorf("design %q reports Name() = %q", design, got)
+		}
+	}
+}
+
+// TestConfigValidate is the construction-time companion of the
+// BCCConfig.Validate table tests: impossible Config combinations must be
+// rejected by Config.Validate and by every design's constructor.
+func TestConfigValidate(t *testing.T) {
+	clock := sim.MustClock(700e6)
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr string
+	}{
+		{
+			name: "default config valid",
+			cfg:  DefaultConfig(clock),
+		},
+		{
+			name: "no BCC needs no geometry",
+			cfg:  Config{UseBCC: false},
+		},
+		{
+			name:    "UseBCC with zero BCCConfig",
+			cfg:     Config{UseBCC: true},
+			wantErr: "zero BCCConfig",
+		},
+		{
+			name:    "UseBCC with no entries",
+			cfg:     Config{UseBCC: true, BCC: BCCConfig{PagesPerEntry: 512, TagBits: 36}},
+			wantErr: "entry",
+		},
+		{
+			name:    "UseBCC with non-power-of-two sub-blocking",
+			cfg:     Config{UseBCC: true, BCC: BCCConfig{Entries: 64, PagesPerEntry: 300, TagBits: 36}},
+			wantErr: "not a power of two",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() accepted an invalid config, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("Validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+			// Every design's constructor must reject it too.
+			for _, design := range Designs() {
+				if _, cerr := NewArchitecture(design, "gpu0", tc.cfg, nil, nil, nil); cerr == nil {
+					t.Errorf("design %q constructed with invalid config", design)
+				}
+			}
+		})
+	}
+}

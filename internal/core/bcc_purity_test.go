@@ -13,15 +13,19 @@ import (
 	"testing/quick"
 )
 
-// purityLogs runs one op sequence on both configurations and returns the
-// two decision logs.
+// purityLogs runs one op sequence on both configurations of one design and
+// returns the two decision logs.
 func purityLogs(t *testing.T, data []byte) (withBCC, noBCC []bool) {
+	return purityLogsDesign(t, DefaultDesign, data)
+}
+
+func purityLogsDesign(t *testing.T, design string, data []byte) (withBCC, noBCC []bool) {
 	t.Helper()
 	var logs [2][]bool
 	for i, use := range []bool{true, false} {
-		e := newBCEnv(t, func(c *Config) { c.UseBCC = use })
+		e := newDesignEnv(t, design, func(c *Config) { c.UseBCC = use })
 		p := e.newProc(t)
-		if err := e.bc.ProcessStart(p.ASID()); err != nil {
+		if err := e.arch.ProcessStart(p.ASID()); err != nil {
 			t.Fatal(err)
 		}
 		logs[i] = runBorderOps(t, e, p.ASID(), data)
@@ -41,32 +45,44 @@ func sameDecisions(a, b []bool) bool {
 	return true
 }
 
-// TestBCCIsPureCache is the quick-check form: arbitrary op bytes.
+// TestBCCIsPureCache is the quick-check form: arbitrary op bytes, run for
+// every registered border design (each design's lookaside must be a pure
+// cache over its own authoritative state).
 func TestBCCIsPureCache(t *testing.T) {
-	f := func(data []byte) bool {
-		a, b := purityLogs(t, data)
-		return sameDecisions(a, b)
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
-		t.Errorf("BCC changed a security decision: %v", err)
+	for _, design := range Designs() {
+		design := design
+		t.Run(design, func(t *testing.T) {
+			f := func(data []byte) bool {
+				a, b := purityLogsDesign(t, design, data)
+				return sameDecisions(a, b)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+				t.Errorf("design %q: BCC changed a security decision: %v", design, err)
+			}
+		})
 	}
 }
 
 // TestBCCIsPureCacheLongSequences stresses longer seeded sequences than
 // quick generates, with enough ops to force BCC evictions (the op domain
 // spans two 512-page entries, the default BCC holds 64, but downgrade /
-// complete churn exercises invalidation paths).
+// complete churn exercises invalidation paths), across every design.
 func TestBCCIsPureCacheLongSequences(t *testing.T) {
-	for seed := int64(0); seed < 12; seed++ {
-		rng := rand.New(rand.NewSource(seed))
-		data := make([]byte, 2048)
-		rng.Read(data)
-		a, b := purityLogs(t, data)
-		if len(a) == 0 {
-			t.Fatalf("seed %d: sequence made no checks", seed)
-		}
-		if !sameDecisions(a, b) {
-			t.Errorf("seed %d: BCC-enabled and table-direct decisions diverge", seed)
-		}
+	for _, design := range Designs() {
+		design := design
+		t.Run(design, func(t *testing.T) {
+			for seed := int64(0); seed < 12; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				data := make([]byte, 2048)
+				rng.Read(data)
+				a, b := purityLogsDesign(t, design, data)
+				if len(a) == 0 {
+					t.Fatalf("seed %d: sequence made no checks", seed)
+				}
+				if !sameDecisions(a, b) {
+					t.Errorf("seed %d: BCC-enabled and table-direct decisions diverge", seed)
+				}
+			}
+		})
 	}
 }

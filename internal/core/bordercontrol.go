@@ -154,10 +154,17 @@ type BorderControl struct {
 	asidLatency [4]stats.Histogram
 }
 
+// BorderControl is the flat-table design in the ProtectionArchitecture
+// registry (DefaultDesign).
+var _ ProtectionArchitecture = (*BorderControl)(nil)
+
 // New returns a Border Control instance for the named accelerator. The
 // Protection Table is allocated lazily at the first ProcessStart (Figure
 // 3a).
 func New(name string, cfg Config, os *hostos.OS, dram *memory.DRAM, eng *sim.Engine) (*BorderControl, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	bc := &BorderControl{
 		name:   name,
 		cfg:    cfg,
@@ -178,6 +185,25 @@ func New(name string, cfg Config, os *hostos.OS, dram *memory.DRAM, eng *sim.Eng
 
 // Name returns the accelerator name this border guards.
 func (bc *BorderControl) Name() string { return bc.name }
+
+// Design identifies this implementation in the design registry.
+func (bc *BorderControl) Design() string { return "flat" }
+
+// PermAt returns the effective border permission for ppn — the flat table
+// entry. Audit-only; charges no simulated time.
+func (bc *BorderControl) PermAt(ppn arch.PPN) arch.Perm {
+	if bc.table == nil || !bc.table.InBounds(ppn) {
+		return arch.PermNone
+	}
+	return bc.table.Lookup(ppn)
+}
+
+// CrossingChecks returns how many border checks have been performed.
+func (bc *BorderControl) CrossingChecks() uint64 { return bc.Checks.Value() }
+
+// SetTraceSink installs (or, with nil, removes) the per-event sink used by
+// trace-driven BCC studies (Figure 6).
+func (bc *BorderControl) SetTraceSink(fn func(TraceEvent)) { bc.TraceSink = fn }
 
 // Table returns the live Protection Table, or nil when no process is
 // active.

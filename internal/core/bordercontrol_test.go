@@ -42,15 +42,27 @@ func (f *fakeAccel) InvalidateTLBPage(asid arch.ASID, vpn arch.VPN) { f.tlbPage+
 func (f *fakeAccel) InvalidateTLBAll()                              { f.tlbAll++ }
 
 type bcEnv struct {
-	os    *hostos.OS
-	dram  *memory.DRAM
-	eng   *sim.Engine
-	bc    *BorderControl
+	os   *hostos.OS
+	dram *memory.DRAM
+	eng  *sim.Engine
+	// bc is the flat BorderControl core: for envs built by newBCEnv it IS
+	// the design under test; for newDesignEnv it is the embedded core,
+	// kept for counter inspection only — protocol calls must go through
+	// arch so design overrides apply.
+	bc *BorderControl
+	// arch is the design under test (equals bc for the flat design).
+	arch  ProtectionArchitecture
 	accel *fakeAccel
 	clock sim.Clock
 }
 
 func newBCEnv(t testing.TB, mut func(*Config)) *bcEnv {
+	return newDesignEnv(t, DefaultDesign, mut)
+}
+
+// newDesignEnv builds the protocol-test environment around any registered
+// border design.
+func newDesignEnv(t testing.TB, design string, mut func(*Config)) *bcEnv {
 	t.Helper()
 	store, err := memory.NewStore(256 << 20)
 	if err != nil {
@@ -67,19 +79,28 @@ func newBCEnv(t testing.TB, mut func(*Config)) *bcEnv {
 	if mut != nil {
 		mut(&cfg)
 	}
-	bc, err := New("gpu0", cfg, osm, dram, eng)
+	ar, err := NewArchitecture(design, "gpu0", cfg, osm, dram, eng)
 	if err != nil {
 		t.Fatal(err)
 	}
+	var bc *BorderControl
+	switch d := ar.(type) {
+	case *BorderControl:
+		bc = d
+	case *Sparta:
+		bc = d.BorderControl
+	case *RangeBorder:
+		bc = d.BorderControl
+	}
 	accel := &fakeAccel{}
-	bc.SetAccelerator(accel)
-	osm.AddShootdownListener(bc)
+	ar.SetAccelerator(accel)
+	osm.AddShootdownListener(ar)
 	// Most protocol tests deliberately probe the border with violating
 	// requests and then continue; keep processes alive so one violation
 	// does not cascade into unrelated assertions. The kill policy itself
 	// is covered by TestFailClosedKillsProcess.
 	osm.KeepProcessOnViolation = true
-	return &bcEnv{os: osm, dram: dram, eng: eng, bc: bc, accel: accel, clock: clock}
+	return &bcEnv{os: osm, dram: dram, eng: eng, bc: bc, arch: ar, accel: accel, clock: clock}
 }
 
 func (e *bcEnv) newProc(t testing.TB) *hostos.Process {

@@ -44,7 +44,7 @@ func runBorderOps(t *testing.T, e *bcEnv, asid arch.ASID, data []byte) []bool {
 		switch op {
 		case 0, 1: // OnTranslation (Figure 3b): permissions only widen.
 			huge := c&0xf0 == 0x10
-			e.bc.OnTranslation(e.eng.Now(), who, arch.VPN(a), ppn, perm, huge)
+			e.arch.OnTranslation(e.eng.Now(), who, arch.VPN(a), ppn, perm, huge)
 			if who != asid {
 				break // inactive process: the border must ignore it
 			}
@@ -62,7 +62,7 @@ func runBorderOps(t *testing.T, e *bcEnv, asid arch.ASID, data []byte) []bool {
 				kind = arch.Write
 			}
 			addr := ppn.Base() + arch.Phys(b)
-			d := e.bc.Check(e.eng.Now(), asid, addr, kind)
+			d := e.arch.Check(e.eng.Now(), asid, addr, kind)
 			want := oracle[ppn].Allows(kind.Need())
 			if d.Allowed != want {
 				t.Fatalf("op %d: Check(ppn=%#x, %v) = %v, oracle (perm %v) says %v",
@@ -71,14 +71,14 @@ func runBorderOps(t *testing.T, e *bcEnv, asid arch.ASID, data []byte) []bool {
 			decisions = append(decisions, d.Allowed)
 		case 3: // Check outside the bounds register: always a violation.
 			addr := arch.Phys(e.os.Store().Size()) + ppn.Base()
-			d := e.bc.Check(e.eng.Now(), asid, addr, arch.Read)
+			d := e.arch.Check(e.eng.Now(), asid, addr, arch.Read)
 			if d.Allowed {
 				t.Fatalf("op %d: out-of-bounds check of %#x allowed", i/4, addr)
 			}
 			decisions = append(decisions, d.Allowed)
 		case 4: // OnDowngrade (Figure 3d): overwrite, flushing dirty pages first.
 			flushes := len(e.accel.pageFlushes)
-			e.bc.OnDowngrade(hostos.Downgrade{ASID: who, VPN: arch.VPN(a), PPN: ppn, New: perm})
+			e.arch.OnDowngrade(hostos.Downgrade{ASID: who, VPN: arch.VPN(a), PPN: ppn, New: perm})
 			if who != asid {
 				break
 			}
@@ -98,11 +98,11 @@ func runBorderOps(t *testing.T, e *bcEnv, asid arch.ASID, data []byte) []bool {
 			oracle[ppn] = perm.Border()
 		case 5: // ProcessComplete + restart (Figure 3e/3a): zero everything.
 			full := e.accel.fullFlushes
-			e.bc.ProcessComplete(e.eng.Now(), asid)
+			e.arch.ProcessComplete(e.eng.Now(), asid)
 			if e.accel.fullFlushes != full+1 {
 				t.Fatalf("op %d: process completion did not flush the accelerator", i/4)
 			}
-			if err := e.bc.ProcessStart(asid); err != nil {
+			if err := e.arch.ProcessStart(asid); err != nil {
 				t.Fatal(err)
 			}
 			oracle = borderOracle{}
@@ -114,9 +114,9 @@ func runBorderOps(t *testing.T, e *bcEnv, asid arch.ASID, data []byte) []bool {
 			probed, midAllowed := false, false
 			e.accel.onFlush = func(arch.PPN) {
 				probed = true
-				midAllowed = e.bc.Check(e.eng.Now(), 0, ppn.Base(), arch.Write).Allowed
+				midAllowed = e.arch.Check(e.eng.Now(), 0, ppn.Base(), arch.Write).Allowed
 			}
-			e.bc.OnDowngrade(hostos.Downgrade{ASID: who, VPN: arch.VPN(a), PPN: ppn, New: perm})
+			e.arch.OnDowngrade(hostos.Downgrade{ASID: who, VPN: arch.VPN(a), PPN: ppn, New: perm})
 			e.accel.onFlush = nil
 			if who != asid {
 				break
@@ -139,7 +139,7 @@ func runBorderOps(t *testing.T, e *bcEnv, asid arch.ASID, data []byte) []bool {
 			}
 			addr := ppn.Base() + arch.Phys(b)
 			nv := len(e.os.Violations)
-			d := e.bc.Check(e.eng.Now(), bogus, addr, kind)
+			d := e.arch.Check(e.eng.Now(), bogus, addr, kind)
 			want := oracle[ppn].Allows(kind.Need())
 			if d.Allowed != want {
 				t.Fatalf("op %d: foreign-ASID Check(ppn=%#x, %v) = %v, union oracle says %v",
@@ -156,11 +156,13 @@ func runBorderOps(t *testing.T, e *bcEnv, asid arch.ASID, data []byte) []bool {
 			decisions = append(decisions, d.Allowed)
 		}
 	}
-	// Final state equivalence: the Protection Table must encode exactly the
-	// oracle, bit for bit, across the whole fuzzed domain.
+	// Final state equivalence: the design's effective permissions must
+	// encode exactly the oracle across the whole fuzzed domain. PermAt is
+	// the design-independent view (the flat table for "flat", table ∪
+	// deferred ranges for "sparta", ...).
 	for p := arch.PPN(0); p < fuzzPages; p++ {
-		if got, want := e.bc.Table().Lookup(p), oracle[p]; got != want {
-			t.Fatalf("final table state diverges at ppn %#x: table %v, oracle %v", p, got, want)
+		if got, want := e.arch.PermAt(p), oracle[p]; got != want {
+			t.Fatalf("final border state diverges at ppn %#x: design %v, oracle %v", p, got, want)
 		}
 	}
 	return decisions
@@ -215,15 +217,61 @@ func FuzzBorderCheck(f *testing.F) {
 		7, 9, 0, 0,
 		7, 9, 0, 1,
 	})
+	// Range-grant boundaries, low edge: a huge grant covering pages
+	// [0,512), then checks at page 0, at the last covered page (511 =
+	// 255|1<<8), at the first uncovered page (512 = 0|2<<8, denied), and a
+	// downgrade of the head page (deferred/range designs must split the
+	// grant, not drop it).
+	f.Add(true, []byte{
+		0, 0, 0, 0x13,
+		2, 0, 0, 0,
+		2, 255, 1, 1,
+		2, 0, 2, 0,
+		4, 0, 0, 1,
+		2, 255, 1, 1,
+	})
+	// Range-grant boundaries, high edge: a huge grant whose head folds to
+	// page 512 (the top half of the fuzz domain), a single-page grant
+	// abutting it from below at 511, checks straddling the 511|512 seam
+	// and at the domain's last page (1023), then a downgrade to PermNone
+	// at the seam.
+	f.Add(false, []byte{
+		0, 0, 2, 0x13,
+		0, 255, 1, 1,
+		2, 255, 1, 0,
+		2, 0, 2, 1,
+		2, 255, 3, 0,
+		4, 0, 2, 0,
+		2, 0, 2, 0,
+	})
 	f.Fuzz(func(t *testing.T, useBCC bool, data []byte) {
 		if len(data) > 4096 {
 			return
 		}
-		e := newBCEnv(t, func(c *Config) { c.UseBCC = useBCC })
-		p := e.newProc(t)
-		if err := e.bc.ProcessStart(p.ASID()); err != nil {
-			t.Fatal(err)
+		// Every registered design must pass the same op stream against the
+		// same flat-map oracle — the API contract of DESIGN.md §14 — and
+		// produce the identical decision log.
+		var ref []bool
+		refDesign := ""
+		for _, design := range Designs() {
+			e := newDesignEnv(t, design, func(c *Config) { c.UseBCC = useBCC })
+			p := e.newProc(t)
+			if err := e.arch.ProcessStart(p.ASID()); err != nil {
+				t.Fatal(err)
+			}
+			log := runBorderOps(t, e, p.ASID(), data)
+			if refDesign == "" {
+				ref, refDesign = log, design
+				continue
+			}
+			if len(log) != len(ref) {
+				t.Fatalf("design %q made %d decisions, %q made %d", design, len(log), refDesign, len(ref))
+			}
+			for i := range log {
+				if log[i] != ref[i] {
+					t.Fatalf("design %q decision %d = %v, %q decided %v", design, i, log[i], refDesign, ref[i])
+				}
+			}
 		}
-		runBorderOps(t, e, p.ASID(), data)
 	})
 }

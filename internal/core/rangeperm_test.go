@@ -1,0 +1,190 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/hostos"
+)
+
+func rangeEnv(t *testing.T, mut func(*Config)) (*bcEnv, *RangeBorder) {
+	t.Helper()
+	e := newDesignEnv(t, "range", mut)
+	rb, ok := e.arch.(*RangeBorder)
+	if !ok {
+		t.Fatalf("design %q is %T, want *RangeBorder", "range", e.arch)
+	}
+	return e, rb
+}
+
+func TestPolicyCompileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		pol  Policy
+		want string
+	}{
+		{
+			name: "zero-page rule",
+			pol:  Policy{Rules: []PolicyRule{{Base: 4, Pages: 0, Action: PolicyDeny}}},
+			want: "zero pages",
+		},
+		{
+			name: "invalid rule action",
+			pol:  Policy{Rules: []PolicyRule{{Base: 4, Pages: 1, Action: PolicyAction(9)}}},
+			want: "invalid action",
+		},
+		{
+			name: "invalid default",
+			pol:  Policy{Default: PolicyAction(7)},
+			want: "not a valid action",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.pol.Compile()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Compile() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestPolicyFirstMatchWins: overlapping ordered rules resolve like sbx's
+// egress rule list — the first rule covering a page decides.
+func TestPolicyFirstMatchWins(t *testing.T) {
+	pol := Policy{
+		Default: PolicyDeny,
+		Rules: []PolicyRule{
+			{Base: 10, Pages: 2, Action: PolicyReadOnly},
+			{Base: 8, Pages: 8, Action: PolicyAllow}, // overlaps [10,12): loses there
+		},
+	}
+	cp, err := pol.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		ppn  arch.PPN
+		want arch.Perm
+	}{
+		{7, arch.PermNone},   // default deny
+		{8, arch.PermRW},     // second rule
+		{10, arch.PermRead},  // first rule wins the overlap
+		{11, arch.PermRead},  // first rule wins the overlap
+		{12, arch.PermRW},    // second rule resumes
+		{15, arch.PermRW},    // second rule's last page
+		{16, arch.PermNone},  // default deny again
+		{500, arch.PermNone}, // far outside every rule
+	}
+	for _, tc := range cases {
+		if got := cp.Clamp(tc.ppn, arch.PermRW); got != tc.want {
+			t.Errorf("Clamp(%d, RW) = %v, want %v", tc.ppn, got, tc.want)
+		}
+	}
+	// Clamp never widens: a read-only grant through an allow rule stays R.
+	if got := cp.Clamp(8, arch.PermRead); got != arch.PermRead {
+		t.Errorf("Clamp(8, R) = %v, want R", got)
+	}
+}
+
+// TestNilPolicyAdmitsEverything: the zero/default state is allow-all, the
+// oracle-equivalence configuration.
+func TestNilPolicyAdmitsEverything(t *testing.T) {
+	var cp *CompiledPolicy
+	if got := cp.Clamp(42, arch.PermRW); got != arch.PermRW {
+		t.Fatalf("nil policy Clamp = %v, want RW", got)
+	}
+}
+
+// TestRangeBorderPolicyAdmission: an installed policy clamps grants at
+// translation time; the check fast path then enforces the clamped window.
+func TestRangeBorderPolicyAdmission(t *testing.T) {
+	e, rb := rangeEnv(t, nil)
+	p := e.newProc(t)
+	if err := rb.ProcessStart(p.ASID()); err != nil {
+		t.Fatal(err)
+	}
+	err := rb.SetPolicy(p.ASID(), Policy{
+		Default: PolicyAllow,
+		Rules: []PolicyRule{
+			{Base: 100, Pages: 4, Action: PolicyDeny},
+			{Base: 104, Pages: 4, Action: PolicyReadOnly},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := e.eng.Now()
+	for ppn := arch.PPN(98); ppn < 110; ppn++ {
+		rb.OnTranslation(now, p.ASID(), arch.VPN(ppn), ppn, arch.PermRW, false)
+	}
+	// Denied window: the grant never entered the union window.
+	if d := rb.Check(now, p.ASID(), arch.PPN(101).Base(), arch.Read); d.Allowed {
+		t.Error("policy-denied page allowed")
+	}
+	if rb.PolicyDrops.Value() != 4 {
+		t.Errorf("PolicyDrops = %d, want 4", rb.PolicyDrops.Value())
+	}
+	// Read-only window: reads pass, writes blocked.
+	if d := rb.Check(now, p.ASID(), arch.PPN(105).Base(), arch.Read); !d.Allowed {
+		t.Error("read of read-only-clamped page denied")
+	}
+	if d := rb.Check(now, p.ASID(), arch.PPN(105).Base(), arch.Write); d.Allowed {
+		t.Error("write to read-only-clamped page allowed")
+	}
+	// Default-allow window: untouched.
+	if d := rb.Check(now, p.ASID(), arch.PPN(98).Base(), arch.Write); !d.Allowed {
+		t.Error("policy-admitted page denied")
+	}
+}
+
+// TestRangeBorderCoalescing: contiguous same-permission grants collapse
+// into one range node; a downgrade splits it.
+func TestRangeBorderCoalescing(t *testing.T) {
+	e, rb := rangeEnv(t, nil)
+	p := e.newProc(t)
+	if err := rb.ProcessStart(p.ASID()); err != nil {
+		t.Fatal(err)
+	}
+	now := e.eng.Now()
+	for ppn := arch.PPN(10); ppn < 20; ppn++ {
+		rb.OnTranslation(now, p.ASID(), arch.VPN(ppn), ppn, arch.PermRW, false)
+	}
+	if got := rb.RangeCount(); got != 1 {
+		t.Fatalf("10 contiguous RW grants encode as %d ranges, want 1", got)
+	}
+	rb.OnDowngrade(hostos.Downgrade{ASID: p.ASID(), VPN: 15, PPN: 15, Old: arch.PermRW, New: arch.PermNone})
+	if got := rb.RangeCount(); got != 2 {
+		t.Fatalf("after carving one page, %d ranges, want 2", got)
+	}
+	if got := rb.PermAt(15); got != arch.PermNone {
+		t.Fatalf("PermAt(15) = %v after downgrade, want None", got)
+	}
+	if got := rb.PermAt(14); got != arch.PermRW {
+		t.Fatalf("PermAt(14) = %v, want RW", got)
+	}
+	// A huge grant is one more node.
+	rb.OnTranslation(now, p.ASID(), 0, 1024, arch.PermRW, true)
+	if got := rb.RangeCount(); got != 3 {
+		t.Fatalf("after a huge grant, %d ranges, want 3", got)
+	}
+	if got := rb.PermAt(1024 + 511); got != arch.PermRW {
+		t.Fatalf("PermAt(huge tail) = %v, want RW", got)
+	}
+}
+
+// TestRangeBorderCompleteClearsRanges: Figure 3e revokes the range mirror
+// together with the table.
+func TestRangeBorderCompleteClearsRanges(t *testing.T) {
+	e, rb := rangeEnv(t, nil)
+	p := e.newProc(t)
+	if err := rb.ProcessStart(p.ASID()); err != nil {
+		t.Fatal(err)
+	}
+	rb.OnTranslation(e.eng.Now(), p.ASID(), 7, 7, arch.PermRW, false)
+	rb.ProcessComplete(e.eng.Now(), p.ASID())
+	if got := rb.RangeCount(); got != 0 {
+		t.Fatalf("RangeCount after completion = %d, want 0", got)
+	}
+}

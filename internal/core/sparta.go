@@ -1,0 +1,194 @@
+package core
+
+import (
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/hostos"
+	"bordercontrol/internal/memory"
+	"bordercontrol/internal/sim"
+	"bordercontrol/internal/stats"
+	"bordercontrol/internal/trace"
+)
+
+// spartaGrain is the divide-and-conquer materialization unit in pages. It
+// must divide arch.PagesPerHugePage so a huge grant splits into whole
+// grains; 64 pages is 16 bytes of Protection Table (2 bits per page).
+const spartaGrain = 64
+
+// Sparta is a SPARTA-inspired protection architecture: instead of fanning
+// a huge-page translation out into 512 eager Protection Table insertions
+// (the flat design's Figure 3b), the grant is recorded as one deferred
+// range and split divide-and-conquer style on first touch — only the
+// grain-sized chunk around the touched page is materialized into the
+// table, the remainder stays deferred. Sparse accelerators touch a few
+// grains of each 2 MB grant and never pay the full fan-out's DRAM
+// write-through; dense ones converge to the flat design plus a little
+// bookkeeping.
+//
+// Decisions are identical to the flat design by construction: every Check
+// and OnDowngrade first materializes the grain covering the page it is
+// about to judge, then delegates to the embedded BorderControl, so the
+// table the verdict reads always agrees with the union window of the
+// grant stream (DESIGN.md §14). Only the timing and the DRAM traffic
+// differ — that is the racing surface.
+type Sparta struct {
+	*BorderControl
+
+	// pending holds granted-but-unmaterialized page ranges. Grants only
+	// widen, so overlapping entries union at materialization time.
+	pending []spartaRange
+
+	// Deferred counts huge grants recorded as ranges instead of fan-outs;
+	// Materializations counts grain splits forced by checks/downgrades.
+	Deferred         stats.Counter
+	Materializations stats.Counter
+}
+
+// spartaRange is one deferred grant covering [lo, hi).
+type spartaRange struct {
+	lo, hi arch.PPN
+	perm   arch.Perm
+}
+
+var _ ProtectionArchitecture = (*Sparta)(nil)
+
+// NewSparta returns the SPARTA-style design for the named accelerator.
+func NewSparta(name string, cfg Config, os *hostos.OS, dram *memory.DRAM, eng *sim.Engine) (*Sparta, error) {
+	bc, err := New(name, cfg, os, dram, eng)
+	if err != nil {
+		return nil, err
+	}
+	return &Sparta{BorderControl: bc}, nil
+}
+
+// Design identifies this implementation in the design registry.
+func (s *Sparta) Design() string { return "sparta" }
+
+// OnTranslation defers huge grants into the pending-range set; base-page
+// grants insert exactly as in the flat design.
+func (s *Sparta) OnTranslation(at sim.Time, asid arch.ASID, vpn arch.VPN, ppn arch.PPN, perm arch.Perm, huge bool) {
+	if !huge {
+		s.BorderControl.OnTranslation(at, asid, vpn, ppn, perm, huge)
+		return
+	}
+	if !s.active[asid] || s.table == nil {
+		return
+	}
+	head := ppn - ppn%arch.PagesPerHugePage
+	s.Insertions.Inc()
+	s.Deferred.Inc()
+	s.pending = append(s.pending, spartaRange{lo: head, hi: head + arch.PagesPerHugePage, perm: perm.Border()})
+	// Recording the deferred range is one narrow posted write to the range
+	// store, not the flat design's 128-byte table-block write-through.
+	s.TableWrites.Inc()
+	s.dram.AccessDoneBytes(s.eng.Now(), s.table.BlockAddr(head), arch.Write, 8)
+}
+
+// materialize splits every pending range overlapping the grain around ppn,
+// merging the overlap into the Protection Table (and BCC) and keeping the
+// remainders deferred. One grain costs one narrow posted table write.
+func (s *Sparta) materialize(ppn arch.PPN) {
+	if len(s.pending) == 0 {
+		return
+	}
+	g0 := ppn - ppn%spartaGrain
+	g1 := g0 + spartaGrain
+	overlap := false
+	for _, r := range s.pending {
+		if r.lo < g1 && r.hi > g0 {
+			overlap = true
+			break
+		}
+	}
+	if !overlap {
+		return
+	}
+	next := make([]spartaRange, 0, len(s.pending)+1)
+	for _, r := range s.pending {
+		if r.hi <= g0 || r.lo >= g1 {
+			next = append(next, r)
+			continue
+		}
+		lo, hi := max(r.lo, g0), min(r.hi, g1)
+		for p := lo; p < hi; p++ {
+			s.table.Merge(p, r.perm)
+			if s.bcc != nil {
+				s.bcc.Update(p, r.perm, s.table)
+			}
+		}
+		if r.lo < g0 {
+			next = append(next, spartaRange{lo: r.lo, hi: g0, perm: r.perm})
+		}
+		if r.hi > g1 {
+			next = append(next, spartaRange{lo: g1, hi: r.hi, perm: r.perm})
+		}
+	}
+	s.pending = next
+	s.Materializations.Inc()
+	// One grain is 16 bytes of table (spartaGrain pages at 2 bits each).
+	s.TableWrites.Inc()
+	s.dram.AccessDoneBytes(s.eng.Now(), s.table.BlockAddr(g0), arch.Write, spartaGrain/4)
+}
+
+// Check materializes the grain covering the checked page, then decides
+// exactly as the flat design does.
+func (s *Sparta) Check(at sim.Time, asid arch.ASID, addr arch.Phys, kind arch.AccessKind) Decision {
+	if len(s.pending) > 0 && s.table != nil && !s.disabled {
+		if ppn := addr.PageOf(); s.table.InBounds(ppn) {
+			s.materialize(ppn)
+		}
+	}
+	return s.BorderControl.Check(at, asid, addr, kind)
+}
+
+// OnDowngrade materializes the downgraded page's grain first — so the
+// delegate sees the true old permission and runs the Figure 3d
+// flush-before-narrow protocol against it — then delegates. The full-flush
+// variant zeroes the whole table, so every deferred range must die with it
+// or a later materialization would resurrect revoked permissions.
+func (s *Sparta) OnDowngrade(d hostos.Downgrade) {
+	clearAll := false
+	if s.active[d.ASID] && s.table != nil && s.table.InBounds(d.PPN) {
+		s.materialize(d.PPN)
+		clearAll = !s.cfg.SelectiveFlush && s.table.Lookup(d.PPN).CanWrite()
+	}
+	s.BorderControl.OnDowngrade(d)
+	if clearAll {
+		s.pending = s.pending[:0]
+	}
+}
+
+// ProcessComplete keeps deferred ranges live through the completion flush
+// — mid-flush writebacks materialize on demand and pass under the old
+// permissions, exactly as the flat design's still-populated table lets
+// them — and revokes them only once the epoch is over.
+func (s *Sparta) ProcessComplete(at sim.Time, asid arch.ASID) sim.Time {
+	if !s.active[asid] {
+		return at
+	}
+	done := s.BorderControl.ProcessComplete(at, asid)
+	s.pending = s.pending[:0]
+	return done
+}
+
+// PermAt unions the table entry with every deferred range covering ppn.
+func (s *Sparta) PermAt(ppn arch.PPN) arch.Perm {
+	p := s.BorderControl.PermAt(ppn)
+	for _, r := range s.pending {
+		if ppn >= r.lo && ppn < r.hi {
+			p |= r.perm
+		}
+	}
+	return p
+}
+
+// SetTracer forwards to the embedded design (kept explicit so the method
+// set stays obvious at the seam).
+func (s *Sparta) SetTracer(t *trace.Tracer) { s.BorderControl.SetTracer(t) }
+
+// RegisterMetrics publishes the flat counters plus the deferral stats.
+func (s *Sparta) RegisterMetrics(st stats.Scope) {
+	s.BorderControl.RegisterMetrics(st)
+	sp := st.Scope("sparta")
+	sp.Counter("deferred_grants", &s.Deferred)
+	sp.Counter("materializations", &s.Materializations)
+}

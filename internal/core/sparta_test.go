@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/hostos"
+)
+
+func spartaEnv(t *testing.T, mut func(*Config)) (*bcEnv, *Sparta) {
+	t.Helper()
+	e := newDesignEnv(t, "sparta", mut)
+	s, ok := e.arch.(*Sparta)
+	if !ok {
+		t.Fatalf("design %q is %T, want *Sparta", "sparta", e.arch)
+	}
+	return e, s
+}
+
+// TestSpartaDefersHugeGrant: a huge grant must not fan out into the
+// Protection Table until a check touches it, and then only the touched
+// grain materializes.
+func TestSpartaDefersHugeGrant(t *testing.T) {
+	e, s := spartaEnv(t, nil)
+	p := e.newProc(t)
+	if err := s.ProcessStart(p.ASID()); err != nil {
+		t.Fatal(err)
+	}
+	const head = arch.PPN(0)
+	s.OnTranslation(e.eng.Now(), p.ASID(), 0, head, arch.PermRW, true)
+	if got := s.BorderControl.Table().Lookup(head); got != arch.PermNone {
+		t.Fatalf("table eagerly populated at head: %v", got)
+	}
+	if got := s.PermAt(head + arch.PagesPerHugePage - 1); got != arch.PermRW {
+		t.Fatalf("PermAt(last covered page) = %v, want RW (deferred grant)", got)
+	}
+	if s.Deferred.Value() != 1 {
+		t.Fatalf("Deferred = %d, want 1", s.Deferred.Value())
+	}
+
+	// A check inside the grant materializes exactly its grain.
+	probe := head + spartaGrain + 3
+	if d := s.Check(e.eng.Now(), p.ASID(), probe.Base(), arch.Write); !d.Allowed {
+		t.Fatal("check inside deferred grant denied")
+	}
+	if got := s.BorderControl.Table().Lookup(probe); got != arch.PermRW {
+		t.Fatalf("touched page not materialized: %v", got)
+	}
+	grainLo := probe - probe%spartaGrain
+	if got := s.BorderControl.Table().Lookup(grainLo); got != arch.PermRW {
+		t.Fatalf("grain head not materialized: %v", got)
+	}
+	if got := s.BorderControl.Table().Lookup(grainLo - 1); got != arch.PermNone {
+		t.Fatalf("page below the grain materialized eagerly: %v", got)
+	}
+	if got := s.BorderControl.Table().Lookup(grainLo + spartaGrain); got != arch.PermNone {
+		t.Fatalf("page above the grain materialized eagerly: %v", got)
+	}
+	// The untouched remainder is still granted (deferred).
+	if got := s.PermAt(grainLo + spartaGrain); got != arch.PermRW {
+		t.Fatalf("PermAt above the grain = %v, want RW", got)
+	}
+	if s.Materializations.Value() != 1 {
+		t.Fatalf("Materializations = %d, want 1", s.Materializations.Value())
+	}
+}
+
+// TestSpartaDowngradeMaterializes: downgrading a page inside a deferred
+// range must first surface the true old permission (so the Figure 3d dirty
+// flush happens), then narrow only that page; the rest of the grant stays
+// granted.
+func TestSpartaDowngradeMaterializes(t *testing.T) {
+	e, s := spartaEnv(t, nil)
+	p := e.newProc(t)
+	if err := s.ProcessStart(p.ASID()); err != nil {
+		t.Fatal(err)
+	}
+	s.OnTranslation(e.eng.Now(), p.ASID(), 0, 0, arch.PermRW, true)
+	victim := arch.PPN(100)
+	s.OnDowngrade(hostos.Downgrade{ASID: p.ASID(), VPN: 100, PPN: victim, Old: arch.PermRW, New: arch.PermRead})
+	if len(e.accel.pageFlushes) != 1 || e.accel.pageFlushes[0] != victim {
+		t.Fatalf("downgrade of a deferred-but-writable page must flush it, flush log %v", e.accel.pageFlushes)
+	}
+	if got := s.PermAt(victim); got != arch.PermRead {
+		t.Fatalf("PermAt(victim) = %v, want R after downgrade", got)
+	}
+	if got := s.PermAt(victim + 1); got != arch.PermRW {
+		t.Fatalf("PermAt(victim+1) = %v, want RW (grain neighbour keeps the grant)", got)
+	}
+	if got := s.PermAt(511); got != arch.PermRW {
+		t.Fatalf("PermAt(511) = %v, want RW (still deferred)", got)
+	}
+}
+
+// TestSpartaFullFlushDowngradeClearsPending: under the full-flush variant
+// a writable downgrade zeroes the whole table; deferred ranges must die
+// with it, or a later touch would resurrect revoked permissions.
+func TestSpartaFullFlushDowngradeClearsPending(t *testing.T) {
+	e, s := spartaEnv(t, func(c *Config) { c.SelectiveFlush = false })
+	p := e.newProc(t)
+	if err := s.ProcessStart(p.ASID()); err != nil {
+		t.Fatal(err)
+	}
+	s.OnTranslation(e.eng.Now(), p.ASID(), 0, 0, arch.PermRW, true)
+	s.OnDowngrade(hostos.Downgrade{ASID: p.ASID(), VPN: 5, PPN: 5, Old: arch.PermRW, New: arch.PermNone})
+	if e.accel.fullFlushes != 1 {
+		t.Fatalf("full-flush variant flushed %d times, want 1", e.accel.fullFlushes)
+	}
+	for _, ppn := range []arch.PPN{0, 5, 100, 511} {
+		if got := s.PermAt(ppn); got != arch.PermNone {
+			t.Fatalf("PermAt(%d) = %v after full-flush downgrade, want None", ppn, got)
+		}
+	}
+	if d := s.Check(e.eng.Now(), p.ASID(), arch.PPN(200).Base(), arch.Read); d.Allowed {
+		t.Fatal("check after full-flush downgrade re-materialized a revoked grant")
+	}
+}
+
+// TestSpartaCompleteClearsPending: process completion revokes deferred
+// grants along with the table.
+func TestSpartaCompleteClearsPending(t *testing.T) {
+	e, s := spartaEnv(t, nil)
+	p := e.newProc(t)
+	if err := s.ProcessStart(p.ASID()); err != nil {
+		t.Fatal(err)
+	}
+	s.OnTranslation(e.eng.Now(), p.ASID(), 0, 0, arch.PermRW, true)
+	s.ProcessComplete(e.eng.Now(), p.ASID())
+	if got := s.PermAt(7); got != arch.PermNone {
+		t.Fatalf("PermAt after completion = %v, want None", got)
+	}
+	// A fresh epoch must not inherit the old grant.
+	if err := s.ProcessStart(p.ASID()); err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Check(e.eng.Now(), p.ASID(), arch.PPN(7).Base(), arch.Read); d.Allowed {
+		t.Fatal("stale deferred grant survived ProcessComplete")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"bordercontrol/internal/adversary"
+	"bordercontrol/internal/core"
 )
 
 // The full campaign sweep must hold (no escapes, no residue) and must be a
@@ -45,5 +46,39 @@ func TestAdversaryReportRejectsUnknownAttack(t *testing.T) {
 	_, err := AdversaryReport(context.Background(), Exec{}, DefaultParams(), 1, 1, []string{"warp-core-breach"})
 	if err == nil || !strings.Contains(err.Error(), "unknown attack") {
 		t.Fatalf("want unknown-attack error, got %v", err)
+	}
+}
+
+// TestAdversaryAllDesigns runs the full attack vocabulary against every
+// registered border design. The designs differ in when permission state
+// moves (deferred huge grants, range mirrors), which is exactly where an
+// escape would hide; the shadow-memory oracle must stay silent for all of
+// them, across all four protocol variants (the campaign rotation).
+func TestAdversaryAllDesigns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign sweep per design")
+	}
+	for _, design := range core.Designs() {
+		design := design
+		t.Run(design, func(t *testing.T) {
+			t.Parallel()
+			p := DefaultParams()
+			p.Border = design
+			rep, err := AdversaryReport(context.Background(), Exec{}, p, 42, 4, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Failed() {
+				t.Fatalf("design %q breached:\n%s", design, adversary.Render(rep))
+			}
+			if got := len(rep.Results); got != 4*len(adversary.AttackNames()) {
+				t.Fatalf("got %d results, want %d", got, 4*len(adversary.AttackNames()))
+			}
+			for _, res := range rep.Results {
+				if res.Blocked == 0 {
+					t.Errorf("%s (seed %d): no adversarial probe was exercised", res.Attack, res.Seed)
+				}
+			}
+		})
 	}
 }

@@ -46,6 +46,9 @@ type runSpec struct {
 	Class GPUClass
 	Spec  workload.Spec
 	Opts  RunOptions
+	// P, when non-nil, overrides the sweep-wide Params for this run only
+	// (FigureBorders varies Params.Border across the jobs of one sweep).
+	P *Params
 }
 
 // runAll executes the specs — each on a fresh System — through the
@@ -64,7 +67,11 @@ func runAll(ctx context.Context, ex Exec, p Params, specs []runSpec) ([]RunResul
 			if opts.Shards == 0 {
 				opts.Shards = ex.Shards
 			}
-			return RunCtx(ctx, s.Mode, s.Class, s.Spec, p, opts)
+			pp := p
+			if s.P != nil {
+				pp = *s.P
+			}
+			return RunCtx(ctx, s.Mode, s.Class, s.Spec, pp, opts)
 		})
 }
 

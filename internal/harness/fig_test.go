@@ -3,6 +3,8 @@ package harness
 import (
 	"context"
 	"testing"
+
+	"bordercontrol/internal/core"
 )
 
 // The figure tests regenerate each paper artifact and assert the SHAPE the
@@ -174,5 +176,53 @@ func TestFigure7(t *testing.T) {
 		if bcSlope <= atsSlope {
 			t.Errorf("%v: BC per-downgrade cost must exceed the trusted baseline's", c)
 		}
+	}
+}
+
+// TestFigureBorders races the registered border designs on the Figure-4
+// sweep. Every design must produce verified-correct results on every
+// workload (decision equivalence, DESIGN.md §14), and no design may be
+// meaningfully more expensive than the paper's flat table — the checks run
+// in parallel with memory access, so walk-cost differences stay hidden.
+func TestFigureBorders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
+	res, err := FigureBorders(context.Background(), Exec{}, ModeratelyThreaded, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	want := core.Designs()
+	if len(res.Designs) != len(want) {
+		t.Fatalf("Designs = %v, want %v", res.Designs, want)
+	}
+	for i := range want {
+		if res.Designs[i] != want[i] {
+			t.Fatalf("Designs = %v, want %v", res.Designs, want)
+		}
+	}
+	if got := len(res.Rows); got != 7 {
+		t.Fatalf("%d workload rows, want 7", got)
+	}
+	for _, row := range res.Rows {
+		for _, d := range res.Designs {
+			if row.Cycles[d] == 0 {
+				t.Errorf("%s under %q reported zero cycles", row.Workload, d)
+			}
+		}
+	}
+	for _, d := range res.Designs {
+		g, ok := res.GeoMean[d]
+		if !ok {
+			t.Errorf("no geomean for design %q", d)
+			continue
+		}
+		if g > 0.02 {
+			t.Errorf("design %q geomean overhead %.2f%%: BC-BCC should stay under 2%%", d, g*100)
+		}
+	}
+	if res.CSV() == "" {
+		t.Error("empty CSV")
 	}
 }

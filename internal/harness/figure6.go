@@ -53,12 +53,12 @@ func captureBCTrace(ctx context.Context, spec workload.Spec, p Params) (bcTrace,
 	if err := sys.BC.ProcessStart(proc.ASID()); err != nil {
 		return tr, err
 	}
-	sys.BC.TraceSink = func(ev core.TraceEvent) {
+	sys.BC.SetTraceSink(func(ev core.TraceEvent) {
 		tr.events = append(tr.events, ev)
 		if ev.PPN > tr.maxPPN {
 			tr.maxPPN = ev.PPN
 		}
-	}
+	})
 	if err := sys.GPU.Launch(prog, proc.ASID()); err != nil {
 		return tr, err
 	}

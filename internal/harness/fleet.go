@@ -353,7 +353,7 @@ func RunFleetCtx(ctx context.Context, p Params, fp FleetParams, spec workload.Sp
 		res.Downgrades += te.downgrades
 		res.Ops += te.sys.GPU.OpsDone.Value()
 		if te.sys.BC != nil {
-			res.BCChecks += te.sys.BC.Checks.Value()
+			res.BCChecks += te.sys.BC.CrossingChecks()
 			te.sys.BC.ProcessComplete(te.sys.GPU.FinishTime(), te.proc.ASID())
 		}
 		te.sys.ATS.Deactivate(te.sys.Name, te.proc.ASID())

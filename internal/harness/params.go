@@ -2,8 +2,10 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 
 	"bordercontrol/internal/arch"
+	"bordercontrol/internal/core"
 )
 
 // Normalize returns the params a caller actually meant: the zero value
@@ -14,6 +16,11 @@ import (
 func (p Params) Normalize() Params {
 	if p == (Params{}) {
 		return DefaultParams()
+	}
+	// An unset Border means the paper's flat design — the one value with
+	// an unambiguous default (pre-Border Params literals keep working).
+	if p.Border == "" {
+		p.Border = core.DefaultDesign
 	}
 	return p
 }
@@ -55,6 +62,10 @@ func (p Params) Validate() error {
 	}
 	if p.ModL2Bytes <= 0 {
 		return fail("ModL2Bytes", "need a positive L2 size, got %d", p.ModL2Bytes)
+	}
+	if !core.KnownDesign(p.Border) {
+		return fail("Border", "unknown border design %q; registered designs: %s",
+			p.Border, strings.Join(core.Designs(), ", "))
 	}
 	if err := p.BCC.Validate(); err != nil {
 		return fail("BCC", "%v", err)

@@ -3,6 +3,8 @@ package harness
 import (
 	"strings"
 	"testing"
+
+	"bordercontrol/internal/core"
 )
 
 func TestNormalize(t *testing.T) {
@@ -17,6 +19,13 @@ func TestNormalize(t *testing.T) {
 	}
 	if err := zero.Normalize().Validate(); err != nil {
 		t.Errorf("normalized zero Params should validate, got %v", err)
+	}
+	// A pre-Border Params literal (every field set except Border) gets the
+	// flat default backfilled rather than failing Validate.
+	legacy := DefaultParams()
+	legacy.Border = ""
+	if got := legacy.Normalize().Border; got != core.DefaultDesign {
+		t.Errorf("Normalize backfilled Border = %q, want %q", got, core.DefaultDesign)
 	}
 }
 
@@ -46,6 +55,8 @@ func TestValidate(t *testing.T) {
 		{"mod-l2", func(p *Params) { p.ModL2Bytes = 0 }, "ModL2Bytes"},
 		{"bcc", func(p *Params) { p.BCC.Entries = -1 }, "BCC"},
 		{"scale", func(p *Params) { p.Scale = 0 }, "Scale"},
+		{"border-unknown", func(p *Params) { p.Border = "mondrian" }, "unknown border design"},
+		{"border-empty", func(p *Params) { p.Border = "" }, "Border"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

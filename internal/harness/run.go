@@ -269,7 +269,7 @@ func RunCtx(ctx context.Context, mode Mode, class GPUClass, spec workload.Spec, 
 		res.Downgrades = *injected
 	}
 	if sys.BC != nil {
-		res.BCChecks = sys.BC.Checks.Value()
+		res.BCChecks = sys.BC.CrossingChecks()
 		if bcc := sys.BC.Cache(); bcc != nil {
 			res.BCCMissRatio = bcc.CheckHitMiss.MissRatio()
 		}

@@ -103,6 +103,12 @@ type Params struct {
 	ModL2Bytes     int
 
 	// Border Control.
+	//
+	// Border selects the protection architecture guarding the accelerator
+	// in the BC modes — one of core.Designs() ("flat", "sparta", "range").
+	// It subsumes the old bare UseBCC switch: the BCC on/off axis stays on
+	// Mode (BCNoBCC vs BCBCC), and Border picks the design under it.
+	Border          string
 	BCC             core.BCCConfig
 	BCCLatencyCyc   uint64 // GPU cycles
 	TableLatencyCyc uint64 // GPU cycles of EXTRA table latency beyond DRAM
@@ -132,6 +138,7 @@ func DefaultParams() Params {
 		ModWavesPerCU:  10,
 		ModL2Bytes:     64 << 10,
 
+		Border:          core.DefaultDesign,
 		BCC:             core.DefaultBCCConfig(),
 		BCCLatencyCyc:   10,
 		TableLatencyCyc: 0,
@@ -153,7 +160,7 @@ type System struct {
 	OS    *hostos.OS
 	ATS   *ats.ATS
 	Dir   *coherence.Directory
-	BC    *core.BorderControl // nil except in BC modes
+	BC    core.ProtectionArchitecture // nil except in BC modes
 	GPU   *accel.GPU
 	Hier  accel.Hierarchy
 	// Port is the border port of the accelerator's outermost cache: the
@@ -290,7 +297,7 @@ func NewSystemWithEngine(eng *sim.Engine, mode Mode, class GPUClass, p Params) (
 
 	switch mode {
 	case ATSOnly, BCNoBCC, BCBCC:
-		var bc *core.BorderControl
+		var bc core.ProtectionArchitecture
 		if mode != ATSOnly {
 			cfg := core.Config{
 				UseBCC:         mode == BCBCC,
@@ -300,7 +307,7 @@ func NewSystemWithEngine(eng *sim.Engine, mode Mode, class GPUClass, p Params) (
 				SelectiveFlush: p.SelectiveFlush,
 				EagerPopulate:  p.EagerPopulate,
 			}
-			bc, err = core.New(sys.Name, cfg, osmodel, dram, eng)
+			bc, err = core.NewArchitecture(p.Border, sys.Name, cfg, osmodel, dram, eng)
 			if err != nil {
 				return nil, err
 			}
