@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-sim bench check trace-smoke profile-smoke bench-json bench-check fuzz-smoke adversary-smoke fleet-smoke border-matrix-smoke
+.PHONY: all build vet test race race-sim bench check trace-smoke profile-smoke bench-json bench-check fuzz-smoke adversary-smoke fleet-smoke border-matrix-smoke replay-smoke sweep-smoke
 
 all: check
 
@@ -96,11 +96,37 @@ border-matrix-smoke:
 	rm -f border-smoke-flat.txt
 	! grep -rn "Deprecated:" --include='*.go' .
 
-# Short coverage-guided runs of both fuzz targets: the border-protocol
-# differential fuzzer and the event-engine ordering fuzzer. Anything they
-# minimize lands in the package testdata/fuzz corpora — commit it.
+# Short coverage-guided runs of the fuzz targets: the border-protocol
+# differential fuzzer, the event-engine ordering fuzzer, and the trace
+# codec fuzzer. Anything they minimize lands in the package testdata/fuzz
+# corpora — commit it.
 fuzz-smoke:
 	$(GO) test -run '^FuzzBorderCheck$$' -fuzz '^FuzzBorderCheck$$' -fuzztime 10s ./internal/core
 	$(GO) test -run '^FuzzEngineSchedule$$' -fuzz '^FuzzEngineSchedule$$' -fuzztime 10s ./internal/sim
+	$(GO) test -run '^FuzzTraceCodec$$' -fuzz '^FuzzTraceCodec$$' -fuzztime 10s ./internal/tracerec
 
-check: vet build test race race-sim fleet-smoke trace-smoke profile-smoke adversary-smoke border-matrix-smoke fuzz-smoke bench-check
+# Replay smoke: record a reference trace, replay it, and byte-compare the
+# replayed report against the live run — the record/replay equivalence
+# guarantee checked end to end through bctool.
+replay-smoke:
+	$(GO) run ./cmd/bctool record -workload pathfinder -o replay-smoke-traces >/dev/null
+	$(GO) run ./cmd/bctool run -mode bc-bcc -class moderate -workload pathfinder \
+		2>/dev/null > replay-smoke-live.txt
+	$(GO) run ./cmd/bctool replay -mode bc-bcc -class moderate \
+		replay-smoke-traces/pathfinder.bctrace 2>/dev/null > replay-smoke-rep.txt
+	cmp replay-smoke-live.txt replay-smoke-rep.txt
+	rm -rf replay-smoke-traces replay-smoke-live.txt replay-smoke-rep.txt
+
+# Sweep smoke: a 16-cell synthetic-traffic replay grid must render
+# byte-identically on the direct engine at one job and on the sharded
+# engine at four jobs — sweeps are deterministic in both host and engine
+# parallelism.
+sweep-smoke:
+	$(GO) run ./cmd/bctool sweep -traffic bursty -seeds 2 -modes bc-nobcc,bc-bcc \
+		-borders flat,range -classes both -jobs 1 -shards 1 -quiet > sweep-smoke-1.txt
+	$(GO) run ./cmd/bctool sweep -traffic bursty -seeds 2 -modes bc-nobcc,bc-bcc \
+		-borders flat,range -classes both -jobs 4 -shards 4 -quiet > sweep-smoke-4.txt
+	cmp sweep-smoke-1.txt sweep-smoke-4.txt
+	rm -f sweep-smoke-1.txt sweep-smoke-4.txt
+
+check: vet build test race race-sim fleet-smoke trace-smoke profile-smoke adversary-smoke border-matrix-smoke replay-smoke sweep-smoke fuzz-smoke bench-check

@@ -44,6 +44,8 @@ import (
 	"bordercontrol/internal/sim"
 	"bordercontrol/internal/stats"
 	"bordercontrol/internal/trace"
+	"bordercontrol/internal/tracerec"
+	"bordercontrol/internal/traffic"
 	"bordercontrol/internal/workload"
 )
 
@@ -640,3 +642,84 @@ type StreamJob = accel.StreamJob
 
 // StreamerConfig sizes a streaming accelerator.
 type StreamerConfig = accel.StreamerConfig
+
+// Trace capture and replay (internal/tracerec, internal/traffic).
+
+// RefTrace is a recorded (or synthetically generated) reference trace: the
+// per-wavefront memory-operation streams of a workload plus the replay
+// recipe (address-space layout, fault order, post-build image) that
+// rebuilds a bit-identical process without re-running the generator.
+// Named RefTrace because Trace in this package's vocabulary is the
+// timeline tracer (Chrome trace events).
+type RefTrace = tracerec.Trace
+
+// TraceFormatError is the typed, fail-closed decode failure of the
+// .bctrace codec.
+type TraceFormatError = tracerec.FormatError
+
+// TraceResult reports a whole trace execution (every segment in order).
+type TraceResult = harness.TraceRunResult
+
+// TrafficConfig selects and seeds a synthetic traffic generator.
+type TrafficConfig = traffic.Config
+
+// SweepCell is one cell of a replay sweep grid; SweepRow its result.
+type (
+	SweepCell = harness.SweepCell
+	SweepRow  = harness.SweepRow
+)
+
+// RecordTrace executes a workload generator once and captures its
+// reference trace and replay recipe.
+func RecordTrace(workloadName string, scale int) (*RefTrace, error) {
+	spec, ok := workload.ByName(workloadName)
+	if !ok {
+		return nil, fmt.Errorf("bordercontrol: unknown workload %q (have %v)", workloadName, Workloads())
+	}
+	return tracerec.Record(spec, scale)
+}
+
+// GenerateTraffic produces a synthetic trace (TrafficShapes names the
+// generators: multi-tenant churn, bursty DMA, inference-style streaming,
+// adversarial mix).
+func GenerateTraffic(cfg TrafficConfig) (*RefTrace, error) { return traffic.Generate(cfg) }
+
+// TrafficShapes lists the synthetic-traffic generators.
+func TrafficShapes() []string { return traffic.Shapes() }
+
+// WriteTraceFile / ReadTraceFile serialize traces in the versioned,
+// content-hashed .bctrace format. LoadTrace is ReadTraceFile behind a
+// process-wide cache (sweeps decode each recording once).
+func WriteTraceFile(path string, t *RefTrace) error { return tracerec.WriteFile(path, t) }
+
+// ReadTraceFile reads and hash-verifies a .bctrace file.
+func ReadTraceFile(path string) (*RefTrace, error) { return tracerec.ReadFile(path) }
+
+// LoadTrace is ReadTraceFile behind a process-wide cache.
+func LoadTrace(path string) (*RefTrace, error) { return tracerec.Load(path) }
+
+// RunTraceCtx replays every segment of a trace through one simulated
+// machine — short-lived processes, adversarial probes and all. Results are
+// bit-identical at any RunOptions.Shards setting.
+func RunTraceCtx(ctx context.Context, mode Mode, class GPUClass, tr *RefTrace, p Params, opts RunOptions) (TraceResult, error) {
+	return harness.RunTraceCtx(ctx, mode, class, tr, p, opts)
+}
+
+// RunSweepCtx executes a replay sweep grid on a bounded worker pool; rows
+// collect in cell order, so rendered output is byte-identical at any jobs
+// setting.
+func RunSweepCtx(ctx context.Context, cells []SweepCell, jobs int) ([]SweepRow, error) {
+	return harness.RunSweepCtx(ctx, cells, jobs)
+}
+
+// RenderSweep and SweepCSV render sweep rows deterministically.
+var (
+	RenderSweep = harness.RenderSweep
+	SweepCSV    = harness.SweepCSV
+)
+
+// SweepGrid expands recorded traces against mode/border/class axes into a
+// labelled cell grid (bctool sweep's builder).
+func SweepGrid(traces map[string]*RefTrace, names []string, modes []Mode, borders []string, classes []GPUClass, base Params, shards int) []SweepCell {
+	return harness.RecordedCells(traces, names, modes, borders, classes, base, shards)
+}

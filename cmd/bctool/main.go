@@ -21,6 +21,19 @@
 //	                                       seeded sandbox-escape campaigns
 //	                                       with the shadow-memory oracle
 //	bctool run -mode bc-bcc -class high -workload bfs [-downgrades N]
+//	bctool record -workload bfs|all | -traffic churn [-seed N] [-o DIR]
+//	                                       capture reference traces (workload
+//	                                       generators or synthetic traffic)
+//	                                       as versioned .bctrace files
+//	bctool replay [run flags] FILE.bctrace re-run a recording through any
+//	                                       mode/border/class/shards cell; a
+//	                                       workload recording prints stdout
+//	                                       byte-identical to `bctool run`
+//	bctool sweep [-traffic all] [-seeds N] [-traces f,..] [-modes ..]
+//	       [-borders ..] [-classes both]   replay a grid of traces across
+//	                                       mode/border/class cells with
+//	                                       border-check latency tails
+//	                                       (p50/p99/p999) per cell
 //	bctool fleet [-tenants N] [-shards N] [-workload W] [-churn-ps N]
 //	                                       many tenant sandboxes on one
 //	                                       sharded conservative-parallel
@@ -114,7 +127,13 @@ func main() {
 	case "all":
 		err = all(ctx, args)
 	case "run":
-		err = runOne(ctx, args)
+		err = runOne(ctx, args, false)
+	case "record":
+		err = recordCmd(args)
+	case "replay":
+		err = runOne(ctx, args, true)
+	case "sweep":
+		err = sweepReplay(ctx, args)
 	case "fleet":
 		err = fleetCmd(ctx, args)
 	case "profile":
@@ -128,6 +147,7 @@ func main() {
 		fmt.Println("modes:     ats-only full-iommu capi bc-nobcc bc-bcc")
 		fmt.Println("classes:   high moderate")
 		fmt.Println("borders:  ", strings.Join(bc.BorderDesigns(), " "))
+		fmt.Println("traffic:  ", strings.Join(bc.TrafficShapes(), " "))
 	default:
 		usage()
 		os.Exit(2)
@@ -139,7 +159,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: bctool <table1|table2|table3|fig4|fig5|fig6|fig7|borders|security|adversary|all|run|fleet|profile|bench|tracecheck|list> [csv]
+	fmt.Fprintln(os.Stderr, `usage: bctool <table1|table2|table3|fig4|fig5|fig6|fig7|borders|security|adversary|all|run|record|replay|sweep|fleet|profile|bench|tracecheck|list> [csv]
 	[-border NAME] [-jobs N] [-shards N] [-timeout D] [-quiet] [-stats-json FILE] [-hist] [-trace FILE] [-trace-cats LIST] [-metrics]`)
 }
 
@@ -491,8 +511,18 @@ func parseMode(s string) (bc.Mode, error) {
 	return 0, fmt.Errorf("unknown mode %q", s)
 }
 
-func runOne(ctx context.Context, args []string) error {
-	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+// runOne executes one workload (`bctool run`) or replays one recording
+// (`bctool replay [flags] FILE`). The two share every flag and every line
+// of output: replaying a workload's recording prints byte-identical stdout
+// to running the workload live — `make replay-smoke` diffs exactly that.
+// Replaying a multi-segment or probed recording (synthetic traffic) prints
+// the trace-run report instead.
+func runOne(ctx context.Context, args []string, replay bool) error {
+	cmdName := "run"
+	if replay {
+		cmdName = "replay"
+	}
+	fs := flag.NewFlagSet(cmdName, flag.ContinueOnError)
 	mode := fs.String("mode", "bc-bcc", "safety configuration (see bctool list)")
 	class := fs.String("class", "high", "GPU class: high or moderate")
 	name := fs.String("workload", "bfs", "workload name")
@@ -529,6 +559,25 @@ func runOne(ctx context.Context, args []string) error {
 	if obs.tracePath != "" {
 		tr = bc.NewTracer(obs.traceCats)
 		opts.Tracer = tr
+	}
+	if replay {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: bctool replay [flags] FILE.bctrace")
+		}
+		path := fs.Arg(0)
+		rec, err := bc.LoadTrace(path)
+		if err != nil {
+			return err
+		}
+		// A single benign segment of a known workload replays through the
+		// exact same path (and printer) as `bctool run`; anything else —
+		// multi-tenant churn, probed mixes — goes through the trace runner.
+		single := len(rec.Segments) == 1 && len(rec.Segments[0].Probes) == 0
+		if !single || !knownWorkload(rec.Workload) {
+			return replayTraceRun(ctx, m, cl, rec, p, opts, obs)
+		}
+		p.Trace = path
+		*name = rec.Workload
 	}
 	res, err := bc.RunCtx(ctx, m, cl, *name, p, opts)
 	if err != nil {
@@ -818,6 +867,46 @@ func bench(ctx context.Context, args []string) error {
 		wall += res.Host.Wall
 		events += res.Host.Events
 	}
+	// Replay row: record the workload's reference trace once, then run the
+	// bc-bcc/moderate cell from the recording instead of the generator.
+	// Replay must reproduce the live row's sim_ps and events bit-exactly,
+	// and bench asserts it here — every bench run doubles as a
+	// record/replay equivalence check, and BENCH.json pins both.
+	{
+		rec, err := bc.RecordTrace(*workloadName, basep.Scale)
+		if err != nil {
+			return fmt.Errorf("bench replay record: %w", err)
+		}
+		dir, err := os.MkdirTemp("", "bctool-bench-trace")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		path := dir + "/" + *workloadName + ".bctrace"
+		if err := bc.WriteTraceFile(path, rec); err != nil {
+			return err
+		}
+		rp := basep
+		rp.Trace = path
+		res, err := bc.RunCtx(ctx, bc.BCBCC, bc.ModeratelyThreaded, *workloadName, rp, bc.RunOptions{})
+		if err != nil {
+			return fmt.Errorf("bench replay: %w", err)
+		}
+		live := rep.Runs[3] // bc-bcc/moderate above
+		if uint64(res.Runtime) != live.SimPs || res.Host.Events != live.Events {
+			return fmt.Errorf("bench replay diverged from live %s: sim_ps %d vs %d, events %d vs %d",
+				live.Name, res.Runtime, live.SimPs, res.Host.Events, live.Events)
+		}
+		rep.Runs = append(rep.Runs, benchRun{
+			Name:         "replay/bc-bcc/moderate/" + *workloadName,
+			SimPs:        uint64(res.Runtime),
+			WallMs:       float64(res.Host.Wall) / float64(time.Millisecond),
+			Events:       res.Host.Events,
+			EventsPerSec: res.Host.EventsPerSec,
+		})
+		wall += res.Host.Wall
+		events += res.Host.Events
+	}
 	// Fleet rows: the same fleet serial and on 4 workers. sim_ps and
 	// events must be identical between the two — `bench -compare` against
 	// the snapshot doubles as a determinism check of the sharded engine.
@@ -1015,4 +1104,240 @@ func traceCheck(args []string) error {
 		fmt.Printf("  %-16s %d\n", c, cats[c])
 	}
 	return nil
+}
+
+func knownWorkload(name string) bool {
+	for _, w := range bc.Workloads() {
+		if w == name {
+			return true
+		}
+	}
+	return false
+}
+
+// replayTraceRun executes a multi-segment or probed recording and prints
+// the trace-run report. A safe mode granting any adversarial probe is a
+// sandbox breach and exits non-zero, as does any segment image mismatch.
+func replayTraceRun(ctx context.Context, m bc.Mode, cl bc.GPUClass, rec *bc.RefTrace, p bc.Params, opts bc.RunOptions, obs obsFlags) error {
+	res, err := bc.RunTraceCtx(ctx, m, cl, rec, p, opts)
+	if err != nil {
+		return err
+	}
+	var granted, denied uint64
+	var verifyErr error
+	for _, s := range res.Segments {
+		granted += s.ProbesGranted
+		denied += s.ProbesDenied
+		if s.VerifyErr != nil && verifyErr == nil {
+			verifyErr = fmt.Errorf("segment %s: %w", s.Name, s.VerifyErr)
+		}
+	}
+	fmt.Printf("trace         %s (%d segments)\n", res.Workload, len(res.Segments))
+	fmt.Printf("mode          %v\n", res.Mode)
+	fmt.Printf("class         %v\n", res.Class)
+	fmt.Printf("sim time      %.3f ms\n", float64(res.SimTime)/1e9)
+	fmt.Printf("memory ops    %d\n", res.Ops)
+	if m == bc.BCNoBCC || m == bc.BCBCC {
+		fmt.Printf("BC checks     %d\n", res.BCChecks)
+		fmt.Printf("BCC miss      %.4f\n", res.BCCMissRatio)
+	}
+	if granted+denied > 0 {
+		fmt.Printf("probes        %d granted, %d denied\n", granted, denied)
+	}
+	fmt.Fprintf(os.Stderr, "host: %s wall, %d events, %.0f events/sec\n",
+		fmtDur(res.Host.Wall), res.Host.Events, res.Host.EventsPerSec)
+	if err := obs.emitStats(res.Stats); err != nil {
+		return err
+	}
+	if verifyErr != nil {
+		return fmt.Errorf("results INCORRECT: %w", verifyErr)
+	}
+	if m.Safe() && granted > 0 {
+		return fmt.Errorf("sandbox BREACHED: %d adversarial probe(s) granted under %v", granted, m)
+	}
+	fmt.Println("results       verified correct")
+	return nil
+}
+
+// recordCmd captures reference traces: workload generators (`-workload
+// bfs`, `-workload all`) or synthetic traffic (`-traffic churn`), written
+// as versioned, content-hashed .bctrace files.
+func recordCmd(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	name := fs.String("workload", "", "workload to record, or 'all' (every workload into the -o directory)")
+	shape := fs.String("traffic", "", "synthetic traffic shape to generate instead of a workload (see bctool list)")
+	seed := fs.Uint64("seed", 1, "traffic generator seed")
+	segments := fs.Int("segments", 0, "traffic segment count (0 = shape default)")
+	wavefronts := fs.Int("wavefronts", 0, "traffic wavefronts per phase (0 = shape default)")
+	ops := fs.Int("ops", 0, "traffic ops per wavefront (0 = shape default)")
+	scale := fs.Int("scale", 1, "workload problem-size multiplier")
+	out := fs.String("o", "traces", "output file, or directory (gets <name>.bctrace)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*name == "") == (*shape == "") {
+		return fmt.Errorf("record: exactly one of -workload or -traffic is required")
+	}
+	write := func(rec *bc.RefTrace, base string) error {
+		path := *out
+		if strings.HasSuffix(path, "/") || !strings.HasSuffix(path, ".bctrace") {
+			path = path + "/" + base + ".bctrace"
+		}
+		if err := bc.WriteTraceFile(path, rec); err != nil {
+			return err
+		}
+		sum, err := rec.Hash()
+		if err != nil {
+			return err
+		}
+		blob, _ := os.Stat(path)
+		fmt.Printf("recorded %-12s %3d segment(s) %8d ops %9d bytes sha256:%x -> %s\n",
+			rec.Workload, len(rec.Segments), rec.Ops(), blob.Size(), sum[:6], path)
+		return nil
+	}
+	if *shape != "" {
+		rec, err := bc.GenerateTraffic(bc.TrafficConfig{
+			Shape: *shape, Seed: *seed, Segments: *segments, Wavefronts: *wavefronts, Ops: *ops,
+		})
+		if err != nil {
+			return err
+		}
+		return write(rec, fmt.Sprintf("%s-s%d", *shape, *seed))
+	}
+	names := []string{*name}
+	if *name == "all" {
+		names = bc.Workloads()
+	}
+	for _, n := range names {
+		rec, err := bc.RecordTrace(n, *scale)
+		if err != nil {
+			return err
+		}
+		if err := write(rec, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepReplay runs a replay sweep grid: traces (synthetic shapes x seeds,
+// plus any recorded files) crossed with mode/border/class axes. Replay
+// feeds recorded references back through the full border/ATS/cache path,
+// so a thousand-cell grid costs no generator time, and the whole artifact
+// is byte-identical at any -jobs and -shards setting.
+func sweepReplay(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	shapes := fs.String("traffic", "all", "comma-separated synthetic shapes, or 'all', or '' for none")
+	seeds := fs.Int("seeds", 1, "seeds per shape (1..N, one trace each)")
+	traces := fs.String("traces", "", "comma-separated recorded .bctrace files to include")
+	modes := fs.String("modes", "all", "comma-separated modes (see bctool list), or 'all'")
+	borders := fs.String("borders", "all", "comma-separated border designs for the BC modes, or 'all'")
+	classes := fs.String("classes", "both", "GPU classes: high, moderate, or both")
+	jobs := fs.Int("jobs", 0, "concurrent cells (0 = all cores, 1 = serial); output is byte-identical at any setting")
+	shards := fs.Int("shards", 0, "run each cell on the sharded engine with this many workers (0 = direct engine); output is byte-identical at any setting")
+	csv := fs.Bool("csv", false, "emit CSV instead of a text table")
+	quiet := fs.Bool("quiet", false, "suppress the summary line on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("sweep: unexpected argument %q (recorded files go in -traces)", fs.Arg(0))
+	}
+
+	trs := map[string]*bc.RefTrace{}
+	var names []string
+	add := func(name string, rec *bc.RefTrace) error {
+		if _, dup := trs[name]; dup {
+			return fmt.Errorf("sweep: duplicate trace name %q", name)
+		}
+		trs[name] = rec
+		names = append(names, name)
+		return nil
+	}
+	if *shapes != "" {
+		list := bc.TrafficShapes()
+		if *shapes != "all" {
+			list = splitList(*shapes)
+		}
+		for _, shape := range list {
+			for s := 1; s <= *seeds; s++ {
+				rec, err := bc.GenerateTraffic(bc.TrafficConfig{Shape: shape, Seed: uint64(s)})
+				if err != nil {
+					return err
+				}
+				if err := add(fmt.Sprintf("%s-s%d", shape, s), rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, path := range splitList(*traces) {
+		rec, err := bc.LoadTrace(path)
+		if err != nil {
+			return err
+		}
+		if err := add(rec.Workload, rec); err != nil {
+			return err
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("sweep: no traces (empty -traffic and -traces)")
+	}
+
+	ms := []bc.Mode{bc.ATSOnly, bc.FullIOMMU, bc.CAPILike, bc.BCNoBCC, bc.BCBCC}
+	if *modes != "all" {
+		ms = ms[:0]
+		for _, s := range splitList(*modes) {
+			m, err := parseMode(s)
+			if err != nil {
+				return err
+			}
+			ms = append(ms, m)
+		}
+	}
+	bs := bc.BorderDesigns()
+	if *borders != "all" {
+		bs = splitList(*borders)
+	}
+	var cls []bc.GPUClass
+	switch *classes {
+	case "both":
+		cls = []bc.GPUClass{bc.HighlyThreaded, bc.ModeratelyThreaded}
+	case "high":
+		cls = []bc.GPUClass{bc.HighlyThreaded}
+	case "moderate", "mod":
+		cls = []bc.GPUClass{bc.ModeratelyThreaded}
+	default:
+		return fmt.Errorf("sweep: unknown -classes %q (high, moderate, both)", *classes)
+	}
+
+	cells := bc.SweepGrid(trs, names, ms, bs, cls, bc.DefaultParams(), *shards)
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "sweep: %d cells (%d traces x modes/borders/classes), jobs=%d shards=%d\n",
+			len(cells), len(names), *jobs, *shards)
+	}
+	start := time.Now()
+	rows, err := bc.RunSweepCtx(ctx, cells, *jobs)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		fmt.Print(bc.SweepCSV(rows))
+	} else {
+		fmt.Print(bc.RenderSweep(rows))
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "sweep: %d cells in %s\n", len(rows), fmtDur(time.Since(start)))
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }

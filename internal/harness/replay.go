@@ -1,0 +1,215 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"bordercontrol/internal/accel"
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/sim"
+	"bordercontrol/internal/stats"
+	"bordercontrol/internal/tracerec"
+)
+
+// SegmentResult reports one process segment of a trace run.
+type SegmentResult struct {
+	Name string
+	// ASID is the identity the OS assigned the segment's process. The OS
+	// never reuses a live ASID; churn scenarios assert uniqueness across
+	// the whole run.
+	ASID arch.ASID
+	// Runtime is the segment's simulated kernel duration.
+	Runtime sim.Time
+	// Ops is the number of memory operations the segment completed.
+	Ops uint64
+	// ProbesGranted / ProbesDenied count the segment's adversarial border
+	// crossings by outcome. Safe modes must deny all of them.
+	ProbesGranted uint64
+	ProbesDenied  uint64
+	// VerifyErr reports an image mismatch (nil when correct, or when the
+	// segment carries no image).
+	VerifyErr error
+}
+
+// TraceRunResult reports a whole trace execution: every segment in order,
+// plus run-wide totals matching RunResult's vocabulary.
+type TraceRunResult struct {
+	Workload string
+	Mode     Mode
+	Class    GPUClass
+
+	Segments []SegmentResult
+
+	// SimTime is the total simulated time the run consumed (the engine
+	// clock after the last segment drained).
+	SimTime sim.Time
+	// Ops is the total memory-operation count.
+	Ops uint64
+	// BCChecks / BCCMissRatio as in RunResult.
+	BCChecks     uint64
+	BCCMissRatio float64
+
+	// Stats is the system's full metrics snapshot after the last segment.
+	Stats stats.Snapshot
+	// Host is the host-side self-measurement (whole run).
+	Host HostStats
+}
+
+// RunTrace executes a recorded or generated trace on a fresh system.
+func RunTrace(mode Mode, class GPUClass, tr *tracerec.Trace, p Params, opts RunOptions) (TraceRunResult, error) {
+	return RunTraceCtx(context.Background(), mode, class, tr, p, opts)
+}
+
+// RunTraceCtx replays every segment of tr through one simulated machine,
+// in order: fresh process, replayed address space, process start on the
+// accelerator, kernel launch, adversarial probes at their recorded times,
+// process completion, exit. Multi-segment traces exercise exactly the
+// lifecycle the paper's Figure 3 walks through — thousands of short-lived
+// ASIDs hammering ProcessStart/ProcessComplete and the exit-time
+// downgrade flush — without a generator in the loop.
+//
+// Determinism contract: for a given (trace, mode, class, params), the
+// result — every simulated time, count, and stats snapshot — is
+// bit-identical at any opts.Shards setting and any worker count.
+func RunTraceCtx(ctx context.Context, mode Mode, class GPUClass, tr *tracerec.Trace, p Params, opts RunOptions) (TraceRunResult, error) {
+	fail := func(stage string, err error) (TraceRunResult, error) {
+		return TraceRunResult{}, &RunError{Workload: tr.Workload, Mode: mode, Class: class, Stage: stage, Err: err}
+	}
+	var se *sim.ShardedEngine
+	eng := &sim.Engine{}
+	if opts.Shards > 0 {
+		se = sim.NewShardedEngine(1, sim.Microsecond)
+		se.Workers = opts.Shards
+		eng = se.Shard(0)
+	}
+	sys, err := NewSystemWithEngine(eng, mode, class, p)
+	if err != nil {
+		return TraceRunResult{}, err
+	}
+	// Probed segments frame their own process for the violation; the run
+	// must survive the report to keep churning through segments.
+	sys.OS.KeepProcessOnViolation = true
+	if done := ctx.Done(); done != nil {
+		poll := func() bool {
+			select {
+			case <-done:
+				return true
+			default:
+				return false
+			}
+		}
+		if se != nil {
+			se.Interrupt = poll
+		} else {
+			eng.Interrupt = poll
+		}
+	}
+	if opts.Tracer != nil {
+		sys.AttachTracer(opts.Tracer)
+	}
+	if opts.Profiler != nil {
+		sys.AttachProfiler(opts.Profiler)
+	}
+
+	res := TraceRunResult{Workload: tr.Workload, Mode: mode, Class: class}
+	var wall time.Duration
+	for si := range tr.Segments {
+		seg := &tr.Segments[si]
+		segfail := func(stage string, err error) (TraceRunResult, error) {
+			return fail(stage, fmt.Errorf("segment %d (%s): %w", si, seg.Name, err))
+		}
+		proc, err := sys.OS.NewProcess(seg.Name)
+		if err != nil {
+			return segfail("start", err)
+		}
+		prog, err := tracerec.BuildSegment(proc, seg)
+		if err != nil {
+			return segfail("build", err)
+		}
+		sys.ATS.Activate(sys.Name, proc.ASID())
+		if sys.BC != nil {
+			if err := sys.BC.ProcessStart(proc.ASID()); err != nil {
+				return segfail("start", err)
+			}
+		}
+		if err := sys.GPU.Launch(prog, proc.ASID()); err != nil {
+			return segfail("launch", err)
+		}
+
+		sres := SegmentResult{Name: seg.Name, ASID: proc.ASID()}
+		opsBefore := sys.GPU.OpsDone.Value()
+		segStart := eng.Now()
+		if len(seg.Probes) > 0 {
+			// The adversary fabricates physical requests at the recorded
+			// offsets from this segment's launch, claiming the segment's
+			// own identity (attribution, never authority).
+			trojan := accel.NewTrojan(sys.Port)
+			trojan.ASID = proc.ASID()
+			for _, pr := range seg.Probes {
+				pr := pr
+				eng.At(segStart+pr.At, func() {
+					granted := false
+					if pr.Kind == arch.Write {
+						granted = trojan.TryWrite(eng.Now(), pr.Addr, [arch.BlockSize]byte{})
+					} else {
+						_, granted = trojan.TryRead(eng.Now(), pr.Addr)
+					}
+					if granted {
+						sres.ProbesGranted++
+					} else {
+						sres.ProbesDenied++
+					}
+				})
+			}
+		}
+
+		wallStart := time.Now()
+		if se != nil {
+			se.Run()
+		} else {
+			eng.Run()
+		}
+		wall += time.Since(wallStart)
+
+		if !sys.GPU.Finished() {
+			if err := ctx.Err(); err != nil {
+				return segfail("interrupted", err)
+			}
+			return segfail("hang", fmt.Errorf("simulation drained with the kernel incomplete"))
+		}
+		if gerr := sys.GPU.Err(); gerr != nil {
+			return segfail("abort", gerr)
+		}
+
+		sres.Runtime = sys.GPU.Runtime()
+		sres.Ops = sys.GPU.OpsDone.Value() - opsBefore
+		if sys.BC != nil {
+			sys.BC.ProcessComplete(sys.GPU.FinishTime(), proc.ASID())
+		}
+		sys.ATS.Deactivate(sys.Name, proc.ASID())
+		if prog.Verify != nil && !opts.SkipVerify {
+			sres.VerifyErr = prog.Verify(proc)
+		}
+		// Exit tears the address space down: permission downgrades broadcast
+		// to the accelerator (the flush path churn is designed to hammer)
+		// and every frame returns to the allocator in deterministic order.
+		sys.OS.Exit(proc)
+		res.Segments = append(res.Segments, sres)
+		res.Ops += sres.Ops
+	}
+
+	res.SimTime = eng.Now()
+	if sys.BC != nil {
+		res.BCChecks = sys.BC.CrossingChecks()
+		if bcc := sys.BC.Cache(); bcc != nil {
+			res.BCCMissRatio = bcc.CheckHitMiss.MissRatio()
+		}
+	}
+	res.Stats = sys.Metrics.Snapshot()
+	res.Host = HostStats{Wall: wall, Events: eng.Fired()}
+	if s := wall.Seconds(); s > 0 {
+		res.Host.EventsPerSec = float64(res.Host.Events) / s
+	}
+	return res, nil
+}

@@ -13,6 +13,7 @@ import (
 	"bordercontrol/internal/sim"
 	"bordercontrol/internal/stats"
 	"bordercontrol/internal/trace"
+	"bordercontrol/internal/tracerec"
 	"bordercontrol/internal/workload"
 )
 
@@ -152,6 +153,20 @@ func Run(mode Mode, class GPUClass, spec workload.Spec, p Params, opts RunOption
 func RunCtx(ctx context.Context, mode Mode, class GPUClass, spec workload.Spec, p Params, opts RunOptions) (RunResult, error) {
 	fail := func(stage string, err error) (RunResult, error) {
 		return RunResult{}, &RunError{Workload: spec.Name, Mode: mode, Class: class, Stage: stage, Err: err}
+	}
+	if p.Trace != "" {
+		// Replay mode: swap the generator for the recorded trace's replay
+		// recipe. Decode failures (corrupt or truncated recordings) surface
+		// here as typed build-stage errors.
+		tr, err := tracerec.Load(tracerec.Resolve(p.Trace, spec.Name))
+		if err != nil {
+			return fail("build", err)
+		}
+		rspec, err := tracerec.ReplaySpec(tr)
+		if err != nil {
+			return fail("build", err)
+		}
+		spec = rspec
 	}
 	// With opts.Shards the system is assembled on (the only) shard of a
 	// sharded engine; the window width is irrelevant with no cross-shard

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"bordercontrol/internal/tracerec"
+	"bordercontrol/internal/traffic"
+)
+
+// TestSweepDeterminism: a replay sweep grid renders byte-identically
+// whatever the host parallelism (jobs) and engine sharding — cells are
+// independent deterministic simulations collected in submission order. It
+// also pins the adversarial-probe outcomes the grid exists to show: under
+// ATS-only every fabricated crossing is granted; under Border Control with
+// the BCC every one is denied.
+func TestSweepDeterminism(t *testing.T) {
+	traces := map[string]*tracerec.Trace{}
+	for _, shape := range []string{traffic.Bursty, traffic.Mix} {
+		tr, err := traffic.Generate(traffic.Config{Shape: shape, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces[shape] = tr
+	}
+	names := []string{traffic.Bursty, traffic.Mix}
+	modes := []Mode{ATSOnly, BCBCC}
+	borders := []string{"flat", "range"}
+	classes := []GPUClass{ModeratelyThreaded}
+
+	run := func(jobs, shards int) string {
+		cells := RecordedCells(traces, names, modes, borders, classes, DefaultParams(), shards)
+		rows, err := RunSweep(cells, jobs)
+		if err != nil {
+			t.Fatalf("jobs=%d shards=%d: %v", jobs, shards, err)
+		}
+		probed := false
+		for _, r := range rows {
+			switch {
+			case strings.HasPrefix(r.Label, "mix/ats-only/"):
+				probed = true
+				if r.Granted == 0 || r.Denied != 0 {
+					t.Errorf("%s: want all probes granted, got %d granted %d denied",
+						r.Label, r.Granted, r.Denied)
+				}
+			case strings.HasPrefix(r.Label, "mix/bc-bcc/"):
+				probed = true
+				if r.Denied == 0 || r.Granted != 0 {
+					t.Errorf("%s: want all probes denied, got %d granted %d denied",
+						r.Label, r.Granted, r.Denied)
+				}
+			}
+		}
+		if !probed {
+			t.Fatal("grid carried no adversarial cells")
+		}
+		return RenderSweep(rows) + SweepCSV(rows)
+	}
+
+	serial := run(1, 0)
+	parallel := run(4, 4)
+	if serial != parallel {
+		t.Errorf("sweep output depends on jobs/shards:\n--- jobs=1 shards=0\n%s--- jobs=4 shards=4\n%s",
+			serial, parallel)
+	}
+}

@@ -2,6 +2,7 @@ package hostos
 
 import (
 	"fmt"
+	"sort"
 
 	"bordercontrol/internal/arch"
 	"bordercontrol/internal/memory"
@@ -215,10 +216,24 @@ func (o *OS) Exit(p *Process) {
 	if p.dead {
 		return
 	}
-	for vpn, info := range p.pages {
+	// Iterate pages in address order, not map order: exit broadcasts reach
+	// shootdown listeners (border flushes) and the freed frames re-enter
+	// the allocator's free list, so a deterministic order here keeps
+	// multi-process churn runs bit-exact.
+	vpns := make([]arch.VPN, 0, len(p.pages))
+	for vpn := range p.pages {
+		vpns = append(vpns, vpn)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	for _, vpn := range vpns {
+		info := p.pages[vpn]
 		o.broadcast(Downgrade{ASID: p.asid, VPN: vpn, PPN: info.ppn, Old: info.perm, New: arch.PermNone})
 	}
-	for vpn, info := range p.pages {
+	for _, vpn := range vpns {
+		info, ok := p.pages[vpn]
+		if !ok {
+			continue
+		}
 		if info.refs != nil {
 			*info.refs--
 			if *info.refs > 0 {

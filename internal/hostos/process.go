@@ -53,6 +53,18 @@ type Process struct {
 
 	// MajorFaults counts demand-paging faults served.
 	MajorFaults uint64
+
+	// OnMmap, when set, observes every successful address-space
+	// reservation (Mmap/MmapHuge) with its final aligned geometry. The
+	// trace recorder registers here: replaying the same reservation
+	// sequence on a fresh process reproduces identical base addresses.
+	OnMmap func(base arch.Virt, size uint64, perm arch.Perm, huge bool)
+	// OnFault, when set, observes every demand-paging fault with the
+	// touched virtual page, in service order. Fault order determines the
+	// frame and page-table-node allocation interleaving — and therefore
+	// the physical layout the timing model sees — so the trace recorder
+	// captures it to make replay bit-exact.
+	OnFault func(vpn arch.VPN)
 }
 
 // Name returns the process name.
@@ -98,6 +110,9 @@ func (p *Process) mmap(size uint64, perm arch.Perm, huge bool) (arch.Virt, error
 	p.vmas = append(p.vmas, vma{start: base, size: size, perm: perm, huge: huge})
 	// Leave a one-page guard gap between areas.
 	p.brk = base + arch.Virt(size) + arch.PageSize
+	if p.OnMmap != nil {
+		p.OnMmap(base, size, perm, huge)
+	}
 	return base, nil
 }
 
@@ -174,6 +189,9 @@ func (p *Process) page(v arch.Virt, kind arch.AccessKind) (*pageInfo, error) {
 // faultIn services a demand-paging fault for vpn inside vma a.
 func (p *Process) faultIn(vpn arch.VPN, a *vma) (*pageInfo, error) {
 	p.MajorFaults++
+	if p.OnFault != nil {
+		p.OnFault(vpn)
+	}
 	if a.huge {
 		return p.faultInHuge(vpn, a)
 	}
@@ -289,4 +307,50 @@ func (p *Process) PPNOf(vpn arch.VPN) (arch.PPN, bool) {
 		return 0, false
 	}
 	return info.ppn, true
+}
+
+// FaultPage services the demand-paging fault for vpn exactly as a first
+// touch would — same frame allocation, same page-table insertion — without
+// requiring any particular access permission. A page already mapped is a
+// no-op. Trace replay uses it to reproduce a recorded first-touch order.
+func (p *Process) FaultPage(vpn arch.VPN) error {
+	if p.dead {
+		return fmt.Errorf("hostos: fault in dead process %q", p.name)
+	}
+	if _, ok := p.pages[vpn]; ok {
+		return nil
+	}
+	a := p.vmaFor(vpn.Base())
+	if a == nil {
+		return &Segfault{ASID: p.asid, Addr: vpn.Base(), Kind: arch.Read}
+	}
+	_, err := p.faultIn(vpn, a)
+	return err
+}
+
+// PageBytes returns a copy of the full backing frame of a mapped page,
+// bypassing permission checks (the trace recorder snapshots write-protected
+// pages too).
+func (p *Process) PageBytes(vpn arch.VPN) ([]byte, error) {
+	info, ok := p.pages[vpn]
+	if !ok {
+		return nil, fmt.Errorf("hostos: page bytes of unmapped page %#x", vpn.Base())
+	}
+	return p.os.store.Read(info.ppn.Base(), arch.PageSize), nil
+}
+
+// SetPageBytes overwrites the backing frame of a mapped page with data
+// (zero-padded to the page size), bypassing permission checks. Trace replay
+// uses it to restore a recorded memory image onto freshly faulted frames.
+func (p *Process) SetPageBytes(vpn arch.VPN, data []byte) error {
+	info, ok := p.pages[vpn]
+	if !ok {
+		return fmt.Errorf("hostos: set bytes of unmapped page %#x", vpn.Base())
+	}
+	if len(data) > arch.PageSize {
+		return fmt.Errorf("hostos: page image of %d bytes exceeds the page size", len(data))
+	}
+	p.os.store.ZeroPage(info.ppn)
+	p.os.store.Write(info.ppn.Base(), data)
+	return nil
 }

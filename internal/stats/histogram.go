@@ -119,6 +119,27 @@ func (h *Histogram) Percentile(p int) uint64 {
 	return h.max
 }
 
+// Permille returns the upper bound of the bucket holding the p-th permille
+// sample (integer p in [0,1000]) — the finer-grained sibling of Percentile
+// for deep-tail readings like p999. Permille(990) equals Percentile(99).
+func (h *Histogram) Permille(p int) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := (h.count*uint64(p) + 999) / 1000
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return bucketBound(i)
+		}
+	}
+	return h.max
+}
+
 // Merge adds other's samples into h. Buckets are identical by construction,
 // so merging is a plain element-wise sum and therefore order-independent.
 func (h *Histogram) Merge(other *Histogram) {
@@ -186,6 +207,25 @@ func (s HistSnapshot) Percentile(p int) uint64 {
 		return 0
 	}
 	rank := (s.Count*uint64(p) + 99) / 100
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			return b.Bound
+		}
+	}
+	return s.Max
+}
+
+// Permille mirrors Histogram.Permille on the sparse bucket list.
+func (s HistSnapshot) Permille(p int) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := (s.Count*uint64(p) + 999) / 1000
 	if rank == 0 {
 		rank = 1
 	}

@@ -1,0 +1,80 @@
+package tracerec
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// reseal wraps a raw body in a valid container (magic, version, fresh
+// content hash), so structural-decoder inputs get past the integrity
+// checks.
+func reseal(body []byte) []byte {
+	sum := sha256.Sum256(body)
+	out := make([]byte, 0, headerSize+len(body))
+	out = append(out, magic...)
+	out = binary.LittleEndian.AppendUint16(out, Version)
+	out = append(out, sum[:]...)
+	return append(out, body...)
+}
+
+// FuzzTraceCodec is the differential fuzz target for the .bctrace codec:
+//
+//   - Decode must never panic, whatever the input (the API contract every
+//     checked-in or user-supplied trace file relies on).
+//   - When Decode accepts an input, re-encoding the result must decode to
+//     a deeply-equal trace (decode ∘ encode = identity on the image of
+//     decode) — the lossless round-trip guarantee, approached from the
+//     byte side.
+//
+// Corrupt and truncated inputs must fail closed with a *FormatError; the
+// seed corpus plants valid encodings, resealed structural mutants, and
+// plain garbage to give coverage-guided mutation all three starting
+// points.
+func FuzzTraceCodec(f *testing.F) {
+	valid, err := Encode(sampleTrace())
+	if err != nil {
+		f.Fatal(err)
+	}
+	empty, err := Encode(&Trace{Workload: "empty"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Add([]byte("BCTR"))
+	f.Add(valid[:len(valid)-7])
+	f.Add(reseal([]byte{0x01, 'x', 0x05, 0xff}))
+	corrupt := bytes.Clone(valid)
+	corrupt[headerSize+3] ^= 0xff
+	f.Add(corrupt)
+	var e enc
+	e.str("hostile")
+	e.uvarint(0)
+	e.uvarint(0xffffffff)
+	f.Add(reseal(e.buf))
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		tr, err := Decode(blob) // must not panic
+		if err != nil {
+			if tr != nil {
+				t.Fatal("Decode returned a trace alongside an error")
+			}
+			return
+		}
+		blob2, err := Encode(tr)
+		if err != nil {
+			t.Fatalf("accepted input re-encodes with error: %v", err)
+		}
+		tr2, err := Decode(blob2)
+		if err != nil {
+			t.Fatalf("re-encoded trace fails to decode: %v", err)
+		}
+		if !reflect.DeepEqual(tr, tr2) {
+			t.Fatal("decode/encode/decode is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package tracerec
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Ext is the conventional file extension for encoded traces.
+const Ext = ".bctrace"
+
+// WriteFile encodes t and writes it to path, creating parent directories.
+func WriteFile(path string, t *Trace) error {
+	blob, err := Encode(t)
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// ReadFile reads and decodes (hash-verifying) the trace at path.
+func ReadFile(path string) (*Trace, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := Decode(blob)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+var cache sync.Map // path -> *Trace
+
+// Load is ReadFile behind a process-wide cache, so a sweep running
+// thousands of cells over the same recordings decodes each file once.
+// Callers must treat the returned trace as immutable.
+func Load(path string) (*Trace, error) {
+	if t, ok := cache.Load(path); ok {
+		return t.(*Trace), nil
+	}
+	t, err := ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	got, _ := cache.LoadOrStore(path, t)
+	return got.(*Trace), nil
+}
+
+// Resolve maps a -trace flag value to a concrete file: a directory means
+// "the trace for workload name inside it"; anything else is the file
+// itself.
+func Resolve(path, name string) string {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return filepath.Join(path, name+Ext)
+	}
+	return path
+}

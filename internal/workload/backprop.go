@@ -12,7 +12,7 @@ import (
 // vector, which is why backprop generates the fewest border crossings per
 // cycle of the suite (paper Figure 5).
 func BuildBackprop(p *hostos.Process, scale int) (*accel.Program, error) {
-	return run(func() *accel.Program {
+	return run("backprop", func() *accel.Program {
 		if scale < 1 {
 			scale = 1
 		}

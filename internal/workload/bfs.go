@@ -14,7 +14,7 @@ import (
 // neighbor probes make bfs the most irregular workload of the suite and the
 // heaviest generator of border requests per cycle (paper Figure 5).
 func BuildBFS(p *hostos.Process, scale int) (*accel.Program, error) {
-	return run(func() *accel.Program {
+	return run("bfs", func() *accel.Program {
 		if scale < 1 {
 			scale = 1
 		}

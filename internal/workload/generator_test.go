@@ -43,7 +43,32 @@ func TestForeignPanicsPropagate(t *testing.T) {
 			t.Error("foreign panic was swallowed")
 		}
 	}()
-	_, _ = run(func() *accel.Program { panic("unrelated bug") })
+	_, _ = run("test", func() *accel.Program { panic("unrelated bug") })
+}
+
+// TestBuildFailureIsTyped: a generation failure surfaces as a *BuildError
+// naming the generator, with the original cause reachable via errors.As —
+// run()'s recover must not flatten typed causes into anonymous errors.
+// (Would fail before run() wrapped recoveries in BuildError: the bare
+// cause came back with no generator attribution and no stable type.)
+func TestBuildFailureIsTyped(t *testing.T) {
+	type causeError struct{ error }
+	cause := causeError{errors.New("decode failed")}
+	_, err := run("replayed", func() *accel.Program {
+		check(cause)
+		return nil
+	})
+	var be *BuildError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %v (%T) is not a *BuildError", err, err)
+	}
+	if be.Workload != "replayed" {
+		t.Errorf("BuildError names %q, want %q", be.Workload, "replayed")
+	}
+	var ce causeError
+	if !errors.As(err, &ce) {
+		t.Errorf("typed cause lost: %v", err)
+	}
 }
 
 // TestRNGDeterminism: the xorshift generator is stable across calls with

@@ -13,7 +13,7 @@ import (
 // with strong spatial locality: each row's blocks are read three times
 // across consecutive wavefronts but usually hit in the L2.
 func BuildHotspot(p *hostos.Process, scale int) (*accel.Program, error) {
-	return run(func() *accel.Program {
+	return run("hotspot", func() *accel.Program {
 		if scale < 1 {
 			scale = 1
 		}

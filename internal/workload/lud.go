@@ -14,7 +14,7 @@ import (
 // producing the regular-but-triangular pattern the paper cites as lud's
 // signature.
 func BuildLUD(p *hostos.Process, scale int) (*accel.Program, error) {
-	return run(func() *accel.Program {
+	return run("lud", func() *accel.Program {
 		if scale < 1 {
 			scale = 1
 		}

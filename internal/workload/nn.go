@@ -11,7 +11,7 @@ import (
 // (as in Rodinia, selection is not on the accelerator). Pure streaming —
 // every byte is touched exactly once.
 func BuildNN(p *hostos.Process, scale int) (*accel.Program, error) {
-	return run(func() *accel.Program {
+	return run("nn", func() *accel.Program {
 		if scale < 1 {
 			scale = 1
 		}

@@ -14,7 +14,7 @@ import (
 // up and back down — the dependency-limited wavefront pattern Rodinia's nw
 // is known for.
 func BuildNW(p *hostos.Process, scale int) (*accel.Program, error) {
-	return run(func() *accel.Program {
+	return run("nw", func() *accel.Program {
 		if scale < 1 {
 			scale = 1
 		}

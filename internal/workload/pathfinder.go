@@ -14,7 +14,7 @@ import (
 // halo, which is why pathfinder shows essentially no overhead under the
 // latency-tolerant configurations in Figure 4.
 func BuildPathfinder(p *hostos.Process, scale int) (*accel.Program, error) {
-	return run(func() *accel.Program {
+	return run("pathfinder", func() *accel.Program {
 		if scale < 1 {
 			scale = 1
 		}

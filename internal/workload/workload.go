@@ -74,12 +74,32 @@ func ByName(name string) (Spec, bool) {
 // genError carries a generation failure up through the helper panics.
 type genError struct{ err error }
 
-// run invokes fn, converting helper panics back into errors.
-func run(fn func() *accel.Program) (prog *accel.Program, err error) {
+// BuildError is the typed failure of a workload (or trace-replay) builder.
+// It names the generator and wraps the underlying cause unmodified, so
+// errors.As reaches typed causes — a replay-layer decode error surfaces as
+// itself, not as a recovered panic flattened into a generation string.
+type BuildError struct {
+	// Workload is the generator that failed.
+	Workload string
+	// Err is the underlying cause, reachable via errors.As/Is.
+	Err error
+}
+
+func (e *BuildError) Error() string {
+	return fmt.Sprintf("workload: building %s: %v", e.Workload, e.Err)
+}
+
+func (e *BuildError) Unwrap() error { return e.Err }
+
+// run invokes fn, converting helper panics back into a typed *BuildError.
+// Only the package's own genError marker is captured; any foreign panic (a
+// genuine bug) propagates — run must never disguise one as a generation
+// failure.
+func run(name string, fn func() *accel.Program) (prog *accel.Program, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if ge, ok := r.(genError); ok {
-				err = ge.err
+				err = &BuildError{Workload: name, Err: ge.err}
 				return
 			}
 			panic(r)
