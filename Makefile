@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-sim bench check trace-smoke profile-smoke bench-json bench-check fuzz-smoke adversary-smoke fleet-smoke border-matrix-smoke replay-smoke sweep-smoke
+.PHONY: all build vet test race race-sim bench check trace-smoke profile-smoke bench-json bench-check fuzz-smoke adversary-smoke fleet-smoke border-matrix-smoke replay-smoke sweep-smoke serve-smoke
 
 all: check
 
@@ -129,4 +129,30 @@ sweep-smoke:
 	cmp sweep-smoke-1.txt sweep-smoke-4.txt
 	rm -f sweep-smoke-1.txt sweep-smoke-4.txt
 
-check: vet build test race race-sim fleet-smoke trace-smoke profile-smoke adversary-smoke border-matrix-smoke replay-smoke sweep-smoke fuzz-smoke bench-check
+# Serve smoke: the experiment service must produce the same bytes as the
+# local CLI. One daemon per worker count (1, 2, 4 subprocesses) serves the
+# same sweep grid; each artifact is byte-compared against the in-process
+# `bctool sweep` CSV. A second submission to the last daemon must be a
+# cache hit (no re-execution, logged on stderr) with identical bytes.
+SERVE_SMOKE_AXES = -traffic bursty,stream -seeds 1 -modes bc-nobcc,bc-bcc -borders flat -classes moderate -csv
+serve-smoke:
+	$(GO) build -o serve-smoke-bctool ./cmd/bctool
+	./serve-smoke-bctool sweep $(SERVE_SMOKE_AXES) -quiet > serve-smoke-local.csv
+	for w in 1 2 4; do \
+		./serve-smoke-bctool serve -addr 127.0.0.1:18346 -workers $$w -quiet & pid=$$!; \
+		./serve-smoke-bctool submit -addr http://127.0.0.1:18346 -wait 10s -quiet \
+			sweep $(SERVE_SMOKE_AXES) > serve-smoke-$$w.csv || { kill $$pid; exit 1; }; \
+		cmp serve-smoke-local.csv serve-smoke-$$w.csv || { kill $$pid; exit 1; }; \
+		kill $$pid; wait $$pid; test $$? -eq 130 || exit 1; \
+	done
+	./serve-smoke-bctool serve -addr 127.0.0.1:18346 -workers 2 -quiet & pid=$$!; \
+	./serve-smoke-bctool submit -addr http://127.0.0.1:18346 -wait 10s -quiet \
+		sweep $(SERVE_SMOKE_AXES) > serve-smoke-a.csv 2>/dev/null || { kill $$pid; exit 1; }; \
+	./serve-smoke-bctool submit -addr http://127.0.0.1:18346 -quiet \
+		sweep $(SERVE_SMOKE_AXES) > serve-smoke-b.csv 2>serve-smoke-b.err || { kill $$pid; exit 1; }; \
+	grep -q "cache hit" serve-smoke-b.err || { kill $$pid; exit 1; }; \
+	cmp serve-smoke-a.csv serve-smoke-b.csv || { kill $$pid; exit 1; }; \
+	kill $$pid; wait $$pid; test $$? -eq 130
+	rm -f serve-smoke-bctool serve-smoke-local.csv serve-smoke-1.csv serve-smoke-2.csv serve-smoke-4.csv serve-smoke-a.csv serve-smoke-b.csv serve-smoke-b.err
+
+check: vet build test race race-sim fleet-smoke trace-smoke profile-smoke adversary-smoke border-matrix-smoke replay-smoke sweep-smoke serve-smoke fuzz-smoke bench-check

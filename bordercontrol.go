@@ -723,3 +723,22 @@ var (
 func SweepGrid(traces map[string]*RefTrace, names []string, modes []Mode, borders []string, classes []GPUClass, base Params, shards int) []SweepCell {
 	return harness.RecordedCells(traces, names, modes, borders, classes, base, shards)
 }
+
+// ValidateSweepCells checks a grid before anything runs: every cell must
+// carry a trace, and labels must be unique (they key the CSV and the
+// serve/worker merge). Duplicate labels surface as *DuplicateLabelError.
+func ValidateSweepCells(cells []SweepCell) error { return harness.ValidateCells(cells) }
+
+// DuplicateLabelError reports two sweep cells sharing a label.
+type DuplicateLabelError = harness.DuplicateLabelError
+
+// ModeSlug and ClassSlug are the canonical wire/label spellings of a mode
+// and class (sweep labels, the serve API, the worker protocol); ParseMode
+// and ParseClass invert them, accepting the historical CLI aliases
+// ("capi", "moderate").
+var (
+	ModeSlug   = harness.ModeSlug
+	ParseMode  = harness.ParseModeSlug
+	ClassSlug  = harness.ClassSlug
+	ParseClass = harness.ParseClassSlug
+)

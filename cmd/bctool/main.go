@@ -39,6 +39,20 @@
 //	                                       sharded conservative-parallel
 //	                                       simulation (host shard + one
 //	                                       shard per tenant)
+//	bctool serve [-addr HOST:PORT] [-workers N] [-jobs N] [-queue N]
+//	                                       run the experiment service: an
+//	                                       HTTP job queue with an artifact
+//	                                       cache; sweep grids fan out over
+//	                                       `bctool worker` subprocesses with
+//	                                       byte-identical artifacts at any
+//	                                       worker count
+//	bctool submit [-addr URL] [-wait D] run|sweep|adversary|fleet [flags]
+//	                                       submit a job to a running service,
+//	                                       stream its progress to stderr and
+//	                                       print the artifact to stdout
+//	bctool worker                          internal: sweep-cell executor
+//	                                       spawned by serve (cells on stdin,
+//	                                       rows on stdout)
 //	bctool profile [-folded FILE] [-pprof FILE]
 //	                                       simulated-time profile of the
 //	                                       bench matrix (folded stacks or a
@@ -89,6 +103,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -97,6 +112,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	bc "bordercontrol"
@@ -107,7 +123,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	cmd := os.Args[1]
@@ -136,6 +152,12 @@ func main() {
 		err = sweepReplay(ctx, args)
 	case "fleet":
 		err = fleetCmd(ctx, args)
+	case "serve":
+		err = serveCmd(ctx, args)
+	case "worker":
+		err = workerCmd(ctx)
+	case "submit":
+		err = submitCmd(ctx, args)
 	case "profile":
 		err = profileCmd(ctx, args)
 	case "bench":
@@ -153,14 +175,24 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
+		// A SIGINT/SIGTERM arrives as context cancellation; report it as an
+		// interruption (exit 130, the shell convention) rather than a
+		// failure of the tool itself.
+		if ctx.Err() != nil && errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "bctool: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "bctool:", err)
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: bctool <table1|table2|table3|fig4|fig5|fig6|fig7|borders|security|adversary|all|run|record|replay|sweep|fleet|profile|bench|tracecheck|list> [csv]
-	[-border NAME] [-jobs N] [-shards N] [-timeout D] [-quiet] [-stats-json FILE] [-hist] [-trace FILE] [-trace-cats LIST] [-metrics]`)
+	fmt.Fprintln(os.Stderr, `usage: bctool <table1|table2|table3|fig4|fig5|fig6|fig7|borders|security|adversary|all|run|record|replay|sweep|fleet|serve|worker|submit|profile|bench|tracecheck|list> [csv]
+	[-border NAME] [-jobs N] [-shards N] [-timeout D] [-quiet] [-stats-json FILE] [-hist] [-trace FILE] [-trace-cats LIST] [-metrics]
+	serve:  run the experiment service (-addr, -workers, -jobs, -queue, -cache-size, -quiet)
+	submit: send a job to a running service and stream it (-addr, -wait, then run|sweep|adversary|fleet + flags)
+	worker: internal — sweep-cell executor spawned by serve`)
 }
 
 // obsFlags are the observability knobs shared by run and the sweeps.
@@ -496,19 +528,7 @@ func all(ctx context.Context, args []string) error {
 }
 
 func parseMode(s string) (bc.Mode, error) {
-	switch s {
-	case "ats-only":
-		return bc.ATSOnly, nil
-	case "full-iommu":
-		return bc.FullIOMMU, nil
-	case "capi":
-		return bc.CAPILike, nil
-	case "bc-nobcc":
-		return bc.BCNoBCC, nil
-	case "bc-bcc":
-		return bc.BCBCC, nil
-	}
-	return 0, fmt.Errorf("unknown mode %q", s)
+	return bc.ParseMode(s)
 }
 
 // runOne executes one workload (`bctool run`) or replays one recording

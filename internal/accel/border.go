@@ -1,6 +1,8 @@
 package accel
 
 import (
+	"reflect"
+
 	"bordercontrol/internal/arch"
 	"bordercontrol/internal/coherence"
 	"bordercontrol/internal/core"
@@ -36,12 +38,13 @@ type BorderPort struct {
 	WriteLatency stats.Histogram
 }
 
-// NewBorderPort wires a border port. bc may be nil for unchecked paths
-// (pass a nil interface, not a typed-nil design pointer). agent is the
-// accelerator's directory agent ID.
+// NewBorderPort wires a border port. bc may be nil for unchecked paths;
+// a typed-nil design pointer is treated the same as a nil interface.
+// agent is the accelerator's directory agent ID.
 func NewBorderPort(bc core.ProtectionArchitecture, dir *coherence.Directory, agent coherence.AgentID, dram *memory.DRAM, dirLatency sim.Time) *BorderPort {
-	p := &BorderPort{bc: bc, dir: dir, agent: agent, dram: dram, dirLatency: dirLatency}
-	if bc != nil {
+	p := &BorderPort{dir: dir, agent: agent, dram: dram, dirLatency: dirLatency}
+	if !isNilChecker(bc) {
+		p.bc = bc
 		p.check = bc
 	}
 	return p
@@ -52,10 +55,31 @@ func (p *BorderPort) BC() core.ProtectionArchitecture { return p.bc }
 
 // SetChecker installs an arbitrary border checker (e.g. core.TrustZone, or
 // the adversary harness's auditing oracle) in place of the design. Pass
-// nil to remove checking entirely.
+// nil to remove checking entirely; a typed-nil checker (a nil design
+// pointer boxed in the interface) also removes it — the hot path calls
+// p.check without a nil-receiver guard, so letting one through would
+// panic on the first crossing.
 func (p *BorderPort) SetChecker(c core.Checker) {
+	if isNilChecker(c) {
+		p.check, p.bc = nil, nil
+		return
+	}
 	p.check = c
 	p.bc, _ = c.(core.ProtectionArchitecture)
+}
+
+// isNilChecker reports whether c is nil for dispatch purposes: the nil
+// interface, or an interface boxing a nil pointer (or other nilable
+// kind), whose method calls would hit a nil receiver.
+func isNilChecker(c core.Checker) bool {
+	if c == nil {
+		return true
+	}
+	switch v := reflect.ValueOf(c); v.Kind() {
+	case reflect.Ptr, reflect.Map, reflect.Func, reflect.Chan, reflect.Slice, reflect.Interface:
+		return v.IsNil()
+	}
+	return false
 }
 
 // ReadBlock requests the 128-byte block at addr from host memory on behalf

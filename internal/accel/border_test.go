@@ -1,0 +1,107 @@
+package accel
+
+import (
+	"testing"
+
+	"bordercontrol/internal/arch"
+	"bordercontrol/internal/coherence"
+	"bordercontrol/internal/core"
+	"bordercontrol/internal/memory"
+	"bordercontrol/internal/sim"
+)
+
+// stubAgent is a minimal untrusted caching agent for the directory.
+type stubAgent struct{}
+
+func (stubAgent) Name() string                               { return "stub" }
+func (stubAgent) Trusted() bool                              { return false }
+func (stubAgent) Recall(arch.Phys) (data []byte, dirty bool) { return nil, false }
+
+// newBarePort wires the minimum BorderPort a checker test needs: a store,
+// DRAM, and a directory with a stub agent — no hierarchy, no GPU.
+func newBarePort(t *testing.T) *BorderPort {
+	t.Helper()
+	store, err := memory.NewStore(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dram, err := memory.NewDRAM(store, memory.DefaultDRAMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := coherence.NewDirectory(store)
+	return NewBorderPort(nil, dir, dir.AddAgent(stubAgent{}), dram, 4)
+}
+
+// TestSetCheckerTypedNil is the regression test for the typed-nil hazard:
+// a nil *core.BorderControl boxed in the Checker interface used to leave
+// p.check non-nil, so the first crossing called Check on a nil receiver
+// and panicked. A typed-nil checker must remove checking entirely.
+func TestSetCheckerTypedNil(t *testing.T) {
+	p := newBarePort(t)
+	var bc *core.BorderControl
+	p.SetChecker(bc) // typed nil: interface non-nil, receiver nil
+
+	if p.BC() != nil {
+		t.Fatalf("BC() = %v, want nil after typed-nil SetChecker", p.BC())
+	}
+	var buf [arch.BlockSize]byte
+	done, ok := p.ReadBlock(0, 1, 0, arch.Read, &buf) // panicked before the fix
+	if !ok {
+		t.Fatalf("ReadBlock with checking removed: blocked (done=%d), want allowed", done)
+	}
+	if _, ok := p.WriteBlock(done, 1, 0, &buf); !ok {
+		t.Fatal("WriteBlock with checking removed: blocked, want allowed")
+	}
+}
+
+// TestNewBorderPortTypedNil: the constructor gets the same guard — a
+// typed-nil design pointer behaves exactly like passing nil.
+func TestNewBorderPortTypedNil(t *testing.T) {
+	store, err := memory.NewStore(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dram, err := memory.NewDRAM(store, memory.DefaultDRAMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := coherence.NewDirectory(store)
+	var bc *core.BorderControl
+	p := NewBorderPort(bc, dir, dir.AddAgent(stubAgent{}), dram, 4)
+	if p.BC() != nil {
+		t.Fatalf("BC() = %v, want nil for typed-nil constructor arg", p.BC())
+	}
+	var buf [arch.BlockSize]byte
+	if _, ok := p.ReadBlock(0, 1, 0, arch.Read, &buf); !ok {
+		t.Fatal("ReadBlock on typed-nil-constructed port: blocked, want allowed")
+	}
+}
+
+// TestSetCheckerReal: a live checker still installs and adjudicates — the
+// typed-nil guard must not eat real checkers that aren't designs.
+func TestSetCheckerReal(t *testing.T) {
+	p := newBarePort(t)
+	tz := core.NewTrustZone(sim.Time(10))
+	tz.Secure(0, arch.BlockSize)
+	p.SetChecker(tz)
+
+	if p.BC() != nil {
+		t.Fatalf("BC() = %v, want nil (TrustZone is a Checker, not a design)", p.BC())
+	}
+	var buf [arch.BlockSize]byte
+	if _, ok := p.ReadBlock(0, 1, 0, arch.Read, &buf); ok {
+		t.Fatal("ReadBlock into Secure region: allowed, want blocked")
+	}
+	if tz.Blocked != 1 {
+		t.Fatalf("TrustZone.Blocked = %d, want 1", tz.Blocked)
+	}
+	if _, ok := p.ReadBlock(0, 1, arch.Phys(arch.BlockSize), arch.Read, &buf); !ok {
+		t.Fatal("ReadBlock into Normal world: blocked, want allowed")
+	}
+
+	p.SetChecker(nil) // plain nil removes checking too
+	if _, ok := p.ReadBlock(0, 1, 0, arch.Read, &buf); !ok {
+		t.Fatal("ReadBlock after SetChecker(nil): blocked, want allowed")
+	}
+}

@@ -145,11 +145,15 @@ type fleetTenant struct {
 	page  uint64
 
 	// done/doneAt are host-shard state, written only by the completion
-	// interrupt handler on shard 0; downgrades is tenant-shard state,
-	// written only by commands executing on this tenant's shard.
-	done       bool
-	doneAt     sim.Time
-	downgrades uint64
+	// interrupt handler on shard 0; downgrades and the restore-failure
+	// fields are tenant-shard state, written only by commands executing on
+	// this tenant's shard. A failed restore strands the tenant's workload
+	// on read-only pages, so it fails the fleet after the engines drain.
+	done        bool
+	doneAt      sim.Time
+	downgrades  uint64
+	restoreErrs uint64
+	restoreErr  error
 }
 
 // splitmix64 is the seeded jitter generator behind launch staggering and
@@ -273,7 +277,7 @@ func RunFleetCtx(ctx context.Context, p Params, fp FleetParams, spec workload.Sp
 				return
 			}
 			churnSeq++
-			target := int(splitmix64(uint64(fp.Seed) ^ (churnSeq * 0x100000001b3)) % uint64(fp.Tenants))
+			target := int(splitmix64(uint64(fp.Seed)^(churnSeq*0x100000001b3)) % uint64(fp.Tenants))
 			if te := tenants[target]; !te.done && len(te.pages) > 0 {
 				host.Send(sim.ShardID(target+1), now+fp.Lookahead, func(_ sim.Time, pi uint64) {
 					if te.sys.GPU.Finished() {
@@ -283,7 +287,12 @@ func RunFleetCtx(ctx context.Context, p Params, fp FleetParams, spec workload.Sp
 					if _, err := te.sys.OS.Protect(te.proc, v, arch.PageSize, arch.PermRead); err == nil {
 						te.downgrades++
 					}
-					_, _ = te.sys.OS.Protect(te.proc, v, arch.PageSize, arch.PermRW)
+					if _, err := te.sys.OS.Protect(te.proc, v, arch.PageSize, arch.PermRW); err != nil {
+						te.restoreErrs++
+						if te.restoreErr == nil {
+							te.restoreErr = fmt.Errorf("restore %#x to RW: %w", uint64(v), err)
+						}
+					}
 				}, te.page)
 				te.page++
 			}
@@ -318,6 +327,9 @@ func RunFleetCtx(ctx context.Context, p Params, fp FleetParams, spec workload.Sp
 		}
 		if gerr := te.sys.GPU.Err(); gerr != nil {
 			return fail(i, "abort", gerr)
+		}
+		if te.restoreErr != nil {
+			return fail(i, "downgrade", fmt.Errorf("%d restore(s) failed; first: %w", te.restoreErrs, te.restoreErr))
 		}
 	}
 

@@ -203,14 +203,17 @@ func RunCtx(ctx context.Context, mode Mode, class GPUClass, spec workload.Spec, 
 		return fail("launch", err)
 	}
 
-	var injected *uint64
+	var injector *downgradeInjector
 	switch {
 	case opts.FixedDowngrades > 0 && opts.SpreadOver > 0:
 		interval := opts.SpreadOver / sim.Time(opts.FixedDowngrades+1)
-		injected = injectDowngradesEvery(sys, proc, interval, opts.FixedDowngrades)
+		injector = newDowngradeInjector(sys, proc, interval, opts.FixedDowngrades)
 	case opts.DowngradesPerSec > 0:
 		interval := sim.Time(float64(sim.Second) / opts.DowngradesPerSec)
-		injected = injectDowngradesEvery(sys, proc, interval, 0)
+		injector = newDowngradeInjector(sys, proc, interval, 0)
+	}
+	if injector != nil {
+		injector.start()
 	}
 	if done := ctx.Done(); done != nil {
 		poll := func() bool {
@@ -280,8 +283,14 @@ func RunCtx(ctx context.Context, mode Mode, class GPUClass, spec workload.Spec, 
 		}
 		res.L2MissRatio = h.L2().HitMiss.MissRatio()
 	}
-	if injected != nil {
-		res.Downgrades = *injected
+	if injector != nil {
+		// A failed restore leaves the workload wedged on read-only pages —
+		// the run's numbers would be nonsense, so it fails rather than
+		// silently under-reporting.
+		if injector.err != nil {
+			return fail("downgrade", fmt.Errorf("%d restore(s) failed; first: %w", injector.restoreErrs, injector.err))
+		}
+		res.Downgrades = injector.count
 	}
 	if sys.BC != nil {
 		res.BCChecks = sys.BC.CrossingChecks()
@@ -307,10 +316,25 @@ func RunCtx(ctx context.Context, mode Mode, class GPUClass, spec workload.Spec, 
 	return res, nil
 }
 
-// injectDowngradesEvery schedules periodic permission downgrades over the
-// process's pages while the GPU runs, at most max times (0 = until the GPU
-// finishes). The returned counter is valid once the engine has drained.
-func injectDowngradesEvery(sys *System, proc *hostos.Process, interval sim.Time, max int) *uint64 {
+// downgradeInjector schedules periodic permission downgrades over a
+// process's writable pages while the GPU runs, at most max times (0 =
+// until the GPU finishes). count and err are valid once the engine has
+// drained: count is the number of downgrades that landed, err the first
+// restore failure (a failed restore strands the workload on read-only
+// pages, so the run must not report results as if nothing happened).
+type downgradeInjector struct {
+	sys      *System
+	proc     *hostos.Process
+	pages    []arch.Virt
+	interval sim.Time
+	max      int
+
+	count       uint64
+	restoreErrs uint64
+	err         error
+}
+
+func newDowngradeInjector(sys *System, proc *hostos.Process, interval sim.Time, max int) *downgradeInjector {
 	if interval == 0 {
 		interval = 1
 	}
@@ -324,28 +348,41 @@ func injectDowngradesEvery(sys *System, proc *hostos.Process, interval sim.Time,
 		}
 	})
 	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
-	count := new(uint64)
-	if len(pages) == 0 {
-		return count
+	return &downgradeInjector{sys: sys, proc: proc, pages: pages, interval: interval, max: max}
+}
+
+// injectOnce runs one downgrade/restore round on the idx'th page of the
+// round-robin: downgrade RW -> R (shootdown + border flush), then restore
+// so the workload can continue; the restore is an upgrade and incurs no
+// shootdown (paper §3.2.4). Split out from the event-loop scheduling so
+// the restore-failure path is directly testable.
+func (d *downgradeInjector) injectOnce(idx uint64) {
+	v := d.pages[idx%uint64(len(d.pages))]
+	if _, err := d.sys.OS.Protect(d.proc, v, arch.PageSize, arch.PermRead); err == nil {
+		d.count++
 	}
-	// One pre-bound callback rescheduling itself: the payload word is the
-	// round-robin page index, so injection runs allocation-free however many
-	// downgrades fire.
+	if _, err := d.sys.OS.Protect(d.proc, v, arch.PageSize, arch.PermRW); err != nil {
+		d.restoreErrs++
+		if d.err == nil {
+			d.err = fmt.Errorf("restore %#x to RW: %w", uint64(v), err)
+		}
+	}
+}
+
+// start arms the injector on the system's engine. One pre-bound callback
+// rescheduling itself: the payload word is the round-robin page index, so
+// injection runs allocation-free however many downgrades fire.
+func (d *downgradeInjector) start() {
+	if len(d.pages) == 0 {
+		return
+	}
 	var tick sim.EventFunc
 	tick = func(_ sim.Time, idx uint64) {
-		if sys.GPU.Finished() || (max > 0 && *count >= uint64(max)) {
+		if d.sys.GPU.Finished() || (d.max > 0 && d.count >= uint64(d.max)) {
 			return
 		}
-		v := pages[idx%uint64(len(pages))]
-		// Downgrade RW -> R (shootdown + border flush), then restore so
-		// the workload can continue; the restore is an upgrade and incurs
-		// no shootdown (paper §3.2.4).
-		if _, err := sys.OS.Protect(proc, v, arch.PageSize, arch.PermRead); err == nil {
-			*count++
-		}
-		_, _ = sys.OS.Protect(proc, v, arch.PageSize, arch.PermRW)
-		sys.Eng.ScheduleIntoAfter(interval, tick, idx+1)
+		d.injectOnce(idx)
+		d.sys.Eng.ScheduleIntoAfter(d.interval, tick, idx+1)
 	}
-	sys.Eng.ScheduleIntoAfter(interval, tick, 0)
-	return count
+	d.sys.Eng.ScheduleIntoAfter(d.interval, tick, 0)
 }

@@ -56,6 +56,39 @@ func checkLatency(s stats.Snapshot) stats.HistSnapshot {
 	return h.Merge(s.Hist("border.latency_ps.denied"))
 }
 
+// DuplicateLabelError reports a sweep grid whose cells do not have unique
+// labels. Labels are the merge key of every rendered artifact (CSV rows,
+// the worker-protocol merge), so a duplicate would silently corrupt output
+// rather than fail; ValidateCells turns it into a typed, pre-run error.
+type DuplicateLabelError struct {
+	Label string
+	// First and Second are the indices of the two colliding cells.
+	First, Second int
+}
+
+func (e *DuplicateLabelError) Error() string {
+	return fmt.Sprintf("harness: sweep cells %d and %d share the label %q (labels must be unique per grid)",
+		e.First, e.Second, e.Label)
+}
+
+// ValidateCells checks the grid invariants every sweep path relies on:
+// unique labels (see DuplicateLabelError) and a non-nil trace per cell.
+// RunSweepExec and the worker-protocol fan-out both call it before running
+// anything.
+func ValidateCells(cells []SweepCell) error {
+	seen := make(map[string]int, len(cells))
+	for i, c := range cells {
+		if c.Trace == nil {
+			return fmt.Errorf("harness: sweep cell %d (%q) has a nil trace", i, c.Label)
+		}
+		if j, dup := seen[c.Label]; dup {
+			return &DuplicateLabelError{Label: c.Label, First: j, Second: i}
+		}
+		seen[c.Label] = i
+	}
+	return nil
+}
+
 // RunSweep executes every cell on a bounded worker pool and returns rows
 // in cell order. jobs bounds host parallelism (0 = GOMAXPROCS); because
 // each cell is an independent deterministic simulation and rows collect in
@@ -69,35 +102,54 @@ func RunSweep(cells []SweepCell, jobs int) ([]SweepRow, error) {
 // replay fails (or whose image verification mismatches) fails the sweep
 // with an error naming the cell.
 func RunSweepCtx(ctx context.Context, cells []SweepCell, jobs int) ([]SweepRow, error) {
-	runner := &exp.Runner{Workers: jobs}
-	return exp.Map(ctx, runner, cells,
+	return RunSweepExec(ctx, Exec{Jobs: jobs}, cells)
+}
+
+// RunSweepExec is RunSweepCtx with the full execution policy of Exec:
+// per-cell timeouts and serialized completion-order progress callbacks in
+// addition to the Jobs bound. The grid is validated (see ValidateCells)
+// before anything runs.
+func RunSweepExec(ctx context.Context, ex Exec, cells []SweepCell) ([]SweepRow, error) {
+	if err := ValidateCells(cells); err != nil {
+		return nil, err
+	}
+	return exp.Map(ctx, ex.runner(), cells,
 		func(_ int, c SweepCell) string { return c.Label },
 		func(ctx context.Context, c SweepCell) (SweepRow, error) {
-			res, err := RunTraceCtx(ctx, c.Mode, c.Class, c.Trace, c.P, RunOptions{Shards: c.Shards})
-			if err != nil {
-				return SweepRow{}, err
-			}
-			row := SweepRow{
-				Label:    c.Label,
-				SimPs:    res.SimTime,
-				Events:   res.Host.Events,
-				Ops:      res.Ops,
-				BCChecks: res.BCChecks,
-				BCCMiss:  res.BCCMissRatio,
-			}
-			for _, s := range res.Segments {
-				if s.VerifyErr != nil {
-					return SweepRow{}, fmt.Errorf("%s: segment %s verify: %w", c.Label, s.Name, s.VerifyErr)
-				}
-				row.Granted += s.ProbesGranted
-				row.Denied += s.ProbesDenied
-			}
-			lat := checkLatency(res.Stats)
-			row.CheckP50 = lat.Permille(500)
-			row.CheckP99 = lat.Permille(990)
-			row.CheckP999 = lat.Permille(999)
-			return row, nil
+			return RunCell(ctx, c)
 		})
+}
+
+// RunCell executes one sweep cell — a single deterministic simulation —
+// and distills its result into the cell's row. It is the unit of work the
+// worker protocol ships across process boundaries; anything that executes
+// cells through RunCell and merges rows in canonical cell order reproduces
+// RunSweep byte-for-byte.
+func RunCell(ctx context.Context, c SweepCell) (SweepRow, error) {
+	res, err := RunTraceCtx(ctx, c.Mode, c.Class, c.Trace, c.P, RunOptions{Shards: c.Shards})
+	if err != nil {
+		return SweepRow{}, err
+	}
+	row := SweepRow{
+		Label:    c.Label,
+		SimPs:    res.SimTime,
+		Events:   res.Host.Events,
+		Ops:      res.Ops,
+		BCChecks: res.BCChecks,
+		BCCMiss:  res.BCCMissRatio,
+	}
+	for _, s := range res.Segments {
+		if s.VerifyErr != nil {
+			return SweepRow{}, fmt.Errorf("%s: segment %s verify: %w", c.Label, s.Name, s.VerifyErr)
+		}
+		row.Granted += s.ProbesGranted
+		row.Denied += s.ProbesDenied
+	}
+	lat := checkLatency(res.Stats)
+	row.CheckP50 = lat.Permille(500)
+	row.CheckP99 = lat.Permille(990)
+	row.CheckP999 = lat.Permille(999)
+	return row, nil
 }
 
 // RenderSweep renders rows as a fixed-width table. Output is a pure
@@ -182,5 +234,45 @@ func modeSlug(m Mode) string {
 		return "bc-bcc"
 	default:
 		return fmt.Sprintf("mode%d", int(m))
+	}
+}
+
+// ModeSlug is the canonical short name of a mode as it appears in sweep
+// labels, bctool flags, and the serve/worker wire protocol.
+func ModeSlug(m Mode) string { return modeSlug(m) }
+
+// ParseModeSlug inverts ModeSlug. It also accepts "capi" as an alias for
+// "capi-like" (the historical bctool flag spelling).
+func ParseModeSlug(s string) (Mode, error) {
+	switch s {
+	case "ats-only":
+		return ATSOnly, nil
+	case "full-iommu":
+		return FullIOMMU, nil
+	case "capi", "capi-like":
+		return CAPILike, nil
+	case "bc-nobcc":
+		return BCNoBCC, nil
+	case "bc-bcc":
+		return BCBCC, nil
+	default:
+		return 0, fmt.Errorf("harness: unknown mode %q (want ats-only, full-iommu, capi-like, bc-nobcc, or bc-bcc)", s)
+	}
+}
+
+// ClassSlug is the canonical short name of a GPU class as it appears in
+// sweep labels and the serve/worker wire protocol.
+func ClassSlug(c GPUClass) string { return classShort(c) }
+
+// ParseClassSlug inverts ClassSlug. It also accepts the long bctool flag
+// spellings "moderate" and "highly".
+func ParseClassSlug(s string) (GPUClass, error) {
+	switch s {
+	case "mod", "moderate":
+		return ModeratelyThreaded, nil
+	case "high", "highly":
+		return HighlyThreaded, nil
+	default:
+		return 0, fmt.Errorf("harness: unknown GPU class %q (want mod or high)", s)
 	}
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -62,5 +63,64 @@ func TestSweepDeterminism(t *testing.T) {
 	if serial != parallel {
 		t.Errorf("sweep output depends on jobs/shards:\n--- jobs=1 shards=0\n%s--- jobs=4 shards=4\n%s",
 			serial, parallel)
+	}
+}
+
+// TestSweepDuplicateLabel: SweepCell.Label is documented "must be unique
+// per grid" — labels are the merge key of the CSV and of the worker
+// protocol, so RunSweep must refuse a duplicate with a typed error instead
+// of silently corrupting output.
+func TestSweepDuplicateLabel(t *testing.T) {
+	tr, err := traffic.Generate(traffic.Config{Shape: traffic.Bursty, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := []SweepCell{
+		{Label: "a", Trace: tr, Mode: BCBCC, Class: ModeratelyThreaded, P: DefaultParams()},
+		{Label: "b", Trace: tr, Mode: BCBCC, Class: ModeratelyThreaded, P: DefaultParams()},
+		{Label: "a", Trace: tr, Mode: BCNoBCC, Class: ModeratelyThreaded, P: DefaultParams()},
+	}
+	_, err = RunSweep(cells, 1)
+	var dup *DuplicateLabelError
+	if !errors.As(err, &dup) {
+		t.Fatalf("RunSweep on duplicate labels: err = %v, want *DuplicateLabelError", err)
+	}
+	if dup.Label != "a" || dup.First != 0 || dup.Second != 2 {
+		t.Fatalf("DuplicateLabelError = %+v, want {a 0 2}", dup)
+	}
+
+	// A nil trace is refused before anything runs, too.
+	if _, err := RunSweep([]SweepCell{{Label: "x"}}, 1); err == nil {
+		t.Fatal("RunSweep on nil trace: want error")
+	}
+}
+
+// TestModeClassSlugs: the slug codecs are the wire vocabulary of sweep
+// labels and the serve/worker protocol — they must round-trip every mode
+// and class, and accept the historical flag aliases.
+func TestModeClassSlugs(t *testing.T) {
+	for _, m := range []Mode{ATSOnly, FullIOMMU, CAPILike, BCNoBCC, BCBCC} {
+		got, err := ParseModeSlug(ModeSlug(m))
+		if err != nil || got != m {
+			t.Errorf("mode %v: round-trip via %q gave (%v, %v)", m, ModeSlug(m), got, err)
+		}
+	}
+	if m, err := ParseModeSlug("capi"); err != nil || m != CAPILike {
+		t.Errorf(`ParseModeSlug("capi") = (%v, %v), want CAPILike`, m, err)
+	}
+	if _, err := ParseModeSlug("bogus"); err == nil {
+		t.Error(`ParseModeSlug("bogus"): want error`)
+	}
+	for _, c := range []GPUClass{HighlyThreaded, ModeratelyThreaded} {
+		got, err := ParseClassSlug(ClassSlug(c))
+		if err != nil || got != c {
+			t.Errorf("class %v: round-trip via %q gave (%v, %v)", c, ClassSlug(c), got, err)
+		}
+	}
+	if c, err := ParseClassSlug("moderate"); err != nil || c != ModeratelyThreaded {
+		t.Errorf(`ParseClassSlug("moderate") = (%v, %v), want ModeratelyThreaded`, c, err)
+	}
+	if _, err := ParseClassSlug("warp"); err == nil {
+		t.Error(`ParseClassSlug("warp"): want error`)
 	}
 }

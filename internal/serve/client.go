@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is a minimal typed client for the serve HTTP API, used by
+// `bctool submit` and the smoke tests.
+type Client struct {
+	// Base is the service root, e.g. "http://127.0.0.1:8373".
+	Base string
+	// HTTP overrides the transport (default http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+// WaitReady polls /v1/healthz until the service answers or the timeout
+// elapses — the bridge between spawning a daemon and submitting to it.
+func (c *Client) WaitReady(ctx context.Context, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/healthz"), nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.http().Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("serve: %s not ready after %v", c.Base, timeout)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// Submit posts a request and returns the accepted job's status.
+func (c *Client) Submit(ctx context.Context, req Request) (JobStatus, error) {
+	blob, err := json.Marshal(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/jobs"), bytes.NewReader(blob))
+	if err != nil {
+		return JobStatus{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return JobStatus{}, apiError(resp)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return JobStatus{}, fmt.Errorf("serve: decoding job status: %w", err)
+	}
+	return st, nil
+}
+
+// Status fetches a job's current status.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id), nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return JobStatus{}, apiError(resp)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return JobStatus{}, fmt.Errorf("serve: decoding job status: %w", err)
+	}
+	return st, nil
+}
+
+// Stream follows a job's NDJSON event stream until the job reaches a
+// terminal state (the server closes the stream), invoking fn per event,
+// then returns the final status.
+func (c *Client) Stream(ctx context.Context, id string, fn func(Event)) (JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/events"), nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return JobStatus{}, apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return JobStatus{}, fmt.Errorf("serve: decoding event: %w", err)
+		}
+		if fn != nil {
+			fn(e)
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return JobStatus{}, err
+	}
+	return c.Status(ctx, id)
+}
+
+// Artifact fetches a terminal job's rendered artifact.
+func (c *Client) Artifact(ctx context.Context, id string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/artifact"), nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", apiError(resp)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(blob), nil
+}
+
+// Cancel requests cooperative cancellation of a job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.url("/v1/jobs/"+id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// apiError extracts the service's {"error": ...} payload.
+func apiError(resp *http.Response) error {
+	blob, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var payload struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(blob, &payload) == nil && payload.Error != "" {
+		return fmt.Errorf("serve: %s: %s", resp.Status, payload.Error)
+	}
+	return fmt.Errorf("serve: %s: %s", resp.Status, bytes.TrimSpace(blob))
+}

@@ -1,0 +1,503 @@
+// Package serve is the experiment service behind `bctool serve`: an
+// HTTP/JSON daemon with a bounded job queue, typed job specs keyed to the
+// harness entry points (run, sweep, adversary, fleet), an artifact cache
+// keyed by (request, trace hashes, code version), NDJSON progress
+// streaming, cooperative cancellation, and a worker protocol that fans
+// sweep grids out across `bctool worker` subprocesses with byte-identical
+// artifacts at any worker count. See DESIGN.md §16.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// Options configures a Server. The zero value serves with sensible
+// defaults: a 32-deep queue, in-process sweeps, GOMAXPROCS parallelism,
+// a 128-entry artifact cache, and no logging.
+type Options struct {
+	// QueueDepth bounds accepted-but-unstarted jobs; submissions beyond it
+	// are refused with 503 rather than buffered without bound.
+	QueueDepth int
+	// Workers is the default worker-process fan-out for sweep jobs
+	// (0 = in-process; SweepSpec.Workers overrides per job).
+	Workers int
+	// Jobs bounds host parallelism within a job or worker (0 = GOMAXPROCS).
+	Jobs int
+	// WorkerArgv is the worker command (default: this executable,
+	// argument "worker"); WorkerEnv entries are appended to the inherited
+	// environment.
+	WorkerArgv []string
+	WorkerEnv  []string
+	// CacheSize bounds the artifact cache (entries; <0 disables caching,
+	// 0 = default 128).
+	CacheSize int
+	// Log, when non-nil, receives one line per lifecycle event.
+	Log func(format string, args ...any)
+	// Version overrides the cache key's code-version component (default:
+	// the build's VCS revision).
+	Version string
+}
+
+// Job states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+// Event is one entry of a job's progress stream.
+type Event struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"` // "state", "progress", "cache"
+	Msg  string `json:"msg"`
+}
+
+// Job is one submitted request and its lifecycle. All fields behind mu;
+// readers use the snapshot accessors.
+type Job struct {
+	ID  string  `json:"id"`
+	Req Request `json:"request"`
+
+	mu       sync.Mutex
+	state    string
+	events   []Event
+	artifact string
+	errMsg   string
+	cached   bool
+	updated  chan struct{} // closed-and-replaced on every mutation
+	cancel   context.CancelFunc
+}
+
+// JobStatus is the wire snapshot of a job.
+type JobStatus struct {
+	ID     string `json:"id"`
+	Type   string `json:"type"`
+	State  string `json:"state"`
+	Error  string `json:"error,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+	Events int    `json:"events"`
+}
+
+func (j *Job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID: j.ID, Type: j.Req.Type, State: j.state,
+		Error: j.errMsg, Cached: j.cached, Events: len(j.events),
+	}
+}
+
+// mutate applies fn under the lock and wakes every waiter.
+func (j *Job) mutate(fn func()) {
+	j.mu.Lock()
+	fn()
+	close(j.updated)
+	j.updated = make(chan struct{})
+	j.mu.Unlock()
+}
+
+func (j *Job) addEvent(typ, msg string) {
+	j.mutate(func() {
+		j.events = append(j.events, Event{Seq: len(j.events) + 1, Type: typ, Msg: msg})
+	})
+}
+
+func (j *Job) setState(state string) {
+	j.mutate(func() {
+		j.state = state
+		j.events = append(j.events, Event{Seq: len(j.events) + 1, Type: "state", Msg: state})
+	})
+}
+
+// eventsSince returns events with Seq > seq, the current state, and a
+// channel that closes on the next mutation.
+func (j *Job) eventsSince(seq int) ([]Event, string, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []Event
+	if seq < len(j.events) {
+		out = append(out, j.events[seq:]...)
+	}
+	return out, j.state, j.updated
+}
+
+// Server is the experiment service. Construct with New, wire Handler into
+// an http.Server, call Start to launch the executor, Stop to shut down.
+type Server struct {
+	opts    Options
+	version string
+	queue   chan *Job
+	cache   *artifactCache
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string
+	nextID  int
+	started bool
+	ctx     context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// New builds a Server from opts (see Options for the zero-value
+// defaults).
+func New(opts Options) *Server {
+	depth := opts.QueueDepth
+	if depth <= 0 {
+		depth = 32
+	}
+	cacheSize := opts.CacheSize
+	if cacheSize == 0 {
+		cacheSize = 128
+	}
+	version := opts.Version
+	if version == "" {
+		version = codeVersion()
+	}
+	return &Server{
+		opts:    opts,
+		version: version,
+		queue:   make(chan *Job, depth),
+		cache:   newArtifactCache(cacheSize),
+		jobs:    make(map[string]*Job),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Log != nil {
+		s.opts.Log(format, args...)
+	}
+}
+
+// Start launches the executor goroutine. Jobs execute one at a time in
+// acceptance order — parallelism lives inside a job (Jobs/Workers), not
+// across jobs, so artifacts and cache state stay deterministic.
+func (s *Server) Start(ctx context.Context) {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.ctx, s.stop = context.WithCancel(ctx)
+	runCtx := s.ctx
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			select {
+			case <-runCtx.Done():
+				s.drainQueue()
+				return
+			case j := <-s.queue:
+				s.execute(runCtx, j)
+			}
+		}
+	}()
+}
+
+// Stop cancels the running job (if any), fails the queued ones as
+// cancelled, and waits for the executor to exit. Safe to call more than
+// once and before Start.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	stop := s.stop
+	s.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) drainQueue() {
+	for {
+		select {
+		case j := <-s.queue:
+			j.setState(StateCancelled)
+		default:
+			return
+		}
+	}
+}
+
+// execute runs one job to a terminal state.
+func (s *Server) execute(ctx context.Context, j *Job) {
+	j.mu.Lock()
+	alreadyCancelled := j.state == StateCancelled
+	j.mu.Unlock()
+	if alreadyCancelled {
+		return
+	}
+	jctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	j.mu.Lock()
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	j.setState(StateRunning)
+	s.logf("job %s (%s) running", j.ID, j.Req.Type)
+
+	sp, err := j.Req.spec()
+	if err != nil { // Validate gates submission; this is belt and braces
+		s.finish(j, "", err)
+		return
+	}
+
+	// Artifact identity: for sweeps the input traces are part of it, so
+	// the plan (cheap, deterministic) runs first to hash them.
+	var traceHashes []string
+	if j.Req.Sweep != nil {
+		if _, hashes, perr := j.Req.Sweep.plan(); perr == nil {
+			traceHashes = hashes
+		}
+	}
+	key, err := cacheKey(s.version, j.Req, traceHashes)
+	if err != nil {
+		s.finish(j, "", err)
+		return
+	}
+	if art, hit := s.cache.get(key); hit {
+		j.mutate(func() { j.cached = true })
+		j.addEvent("cache", fmt.Sprintf("cache hit %s — skipping execution", key[:12]))
+		s.logf("job %s cache hit %s", j.ID, key[:12])
+		s.finish(j, art, nil)
+		return
+	}
+
+	env := jobEnv{
+		jobs:    s.opts.Jobs,
+		workers: s.opts.Workers,
+		argv:    s.opts.WorkerArgv,
+		env:     s.opts.WorkerEnv,
+		progress: func(msg string) {
+			j.addEvent("progress", msg)
+		},
+	}
+	art, err := sp.run(jctx, env)
+	if err == nil {
+		s.cache.put(key, art)
+	}
+	if jctx.Err() != nil && ctx.Err() == nil {
+		// The job's own context died but the server's didn't: this was a
+		// per-job cancellation, not a shutdown.
+		j.mutate(func() { j.artifact = art })
+		j.setState(StateCancelled)
+		s.logf("job %s cancelled", j.ID)
+		return
+	}
+	s.finish(j, art, err)
+}
+
+func (s *Server) finish(j *Job, artifact string, err error) {
+	j.mutate(func() {
+		j.artifact = artifact
+		if err != nil {
+			j.errMsg = err.Error()
+		}
+	})
+	if err != nil {
+		j.setState(StateFailed)
+		s.logf("job %s failed: %v", j.ID, err)
+		return
+	}
+	j.setState(StateDone)
+	s.logf("job %s done (%d artifact bytes)", j.ID, len(artifact))
+}
+
+// Submit validates and enqueues a request. It fails with ErrQueueFull
+// when the queue is at depth.
+func (s *Server) Submit(req Request) (*Job, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.nextID++
+	j := &Job{
+		ID:      fmt.Sprintf("j%04d", s.nextID),
+		Req:     req,
+		state:   StateQueued,
+		updated: make(chan struct{}),
+	}
+	j.events = append(j.events, Event{Seq: 1, Type: "state", Msg: StateQueued})
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- j:
+	default:
+		return nil, ErrQueueFull
+	}
+	s.mu.Lock()
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.mu.Unlock()
+	s.logf("job %s (%s) queued", j.ID, req.Type)
+	return j, nil
+}
+
+// ErrQueueFull reports a submission refused because the bounded queue is
+// at depth.
+var ErrQueueFull = fmt.Errorf("serve: job queue full")
+
+// Cancel requests cooperative cancellation of a job. A queued job is
+// cancelled immediately; a running one stops at its next engine poll.
+func (s *Server) Cancel(id string) error {
+	j, ok := s.job(id)
+	if !ok {
+		return fmt.Errorf("serve: no job %q", id)
+	}
+	j.mu.Lock()
+	state, cancel := j.state, j.cancel
+	j.mu.Unlock()
+	switch {
+	case terminal(state):
+		return nil
+	case cancel != nil:
+		cancel()
+	default:
+		j.setState(StateCancelled) // still queued; executor will skip it
+	}
+	s.logf("job %s cancel requested", id)
+	return nil
+}
+
+func (s *Server) job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Handler returns the service's HTTP API:
+//
+//	GET    /v1/healthz           — liveness + version
+//	POST   /v1/jobs              — submit a Request (202, or 400/503)
+//	GET    /v1/jobs              — all job statuses, submission order
+//	GET    /v1/jobs/{id}         — one job status
+//	GET    /v1/jobs/{id}/events  — NDJSON progress stream until terminal
+//	GET    /v1/jobs/{id}/artifact — rendered artifact (text/plain)
+//	DELETE /v1/jobs/{id}         — cooperative cancellation
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok": true, "version": s.version, "cache_entries": s.cache.len(),
+		})
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		j, err := s.Submit(req)
+		switch {
+		case err == ErrQueueFull:
+			httpError(w, http.StatusServiceUnavailable, err)
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err)
+		default:
+			writeJSON(w, http.StatusAccepted, j.status())
+		}
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		jobs := make([]*Job, 0, len(s.order))
+		for _, id := range s.order {
+			jobs = append(jobs, s.jobs[id])
+		}
+		s.mu.Unlock()
+		out := make([]JobStatus, len(jobs))
+		for i, j := range jobs {
+			out[i] = j.status()
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, j.status())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/artifact", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+			return
+		}
+		j.mu.Lock()
+		state, art := j.state, j.artifact
+		j.mu.Unlock()
+		if !terminal(state) {
+			httpError(w, http.StatusConflict, fmt.Errorf("job %s is %s; artifact not ready", j.ID, state))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_, _ = strings.NewReader(art).WriteTo(w)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		seq := 0
+		for {
+			events, state, changed := j.eventsSince(seq)
+			for _, e := range events {
+				if err := enc.Encode(e); err != nil {
+					return
+				}
+				seq = e.Seq
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if terminal(state) {
+				return
+			}
+			select {
+			case <-r.Context().Done():
+				return
+			case <-changed:
+			}
+		}
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.Cancel(r.PathValue("id")); err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
