@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-sim bench check trace-smoke profile-smoke bench-json bench-check fuzz-smoke adversary-smoke fleet-smoke border-matrix-smoke replay-smoke sweep-smoke serve-smoke
+.PHONY: all build vet test race race-sim bench check trace-smoke profile-smoke bench-json bench-check fuzz-smoke adversary-smoke fleet-smoke border-matrix-smoke replay-smoke sweep-smoke serve-smoke obs-smoke
 
 all: check
 
@@ -155,4 +155,28 @@ serve-smoke:
 	kill $$pid; wait $$pid; test $$? -eq 130
 	rm -f serve-smoke-bctool serve-smoke-local.csv serve-smoke-1.csv serve-smoke-2.csv serve-smoke-4.csv serve-smoke-a.csv serve-smoke-b.csv serve-smoke-b.err
 
-check: vet build test race race-sim fleet-smoke trace-smoke profile-smoke adversary-smoke border-matrix-smoke replay-smoke sweep-smoke serve-smoke fuzz-smoke bench-check
+# Telemetry smoke: the fleet observability plane end to end. A daemon
+# answers `submit -ping`, serves a sweep, and its /v1/metrics page must
+# parse and carry every required daemon + job series (`top -require`).
+# The same grid submitted twice must `sweepdiff` clean (observation is
+# pure and the simulator deterministic); perturbing one row must make
+# sweepdiff exit non-zero — the regression-triage path actually triages.
+OBS_SMOKE_AXES = -traffic bursty -seeds 1 -modes bc-nobcc,bc-bcc -borders flat -classes moderate -csv
+obs-smoke:
+	$(GO) build -o obs-smoke-bctool ./cmd/bctool
+	./obs-smoke-bctool serve -addr 127.0.0.1:18347 -workers 2 -log-level off & pid=$$!; \
+	./obs-smoke-bctool submit -addr http://127.0.0.1:18347 -wait 10s -ping >/dev/null || { kill $$pid; exit 1; }; \
+	./obs-smoke-bctool submit -addr http://127.0.0.1:18347 -quiet \
+		sweep $(OBS_SMOKE_AXES) > obs-smoke-a.csv 2>/dev/null || { kill $$pid; exit 1; }; \
+	./obs-smoke-bctool top -addr http://127.0.0.1:18347 \
+		-require bc_daemon_info,bc_daemon_uptime_seconds,bc_daemon_queue_depth,bc_daemon_queue_capacity,bc_daemon_jobs,bc_daemon_cache_hit_ratio,bc_daemon_workers_spawned_total,bc_daemon_watch_events_total,bc_job_sweep_cells \
+		>/dev/null || { kill $$pid; exit 1; }; \
+	./obs-smoke-bctool submit -addr http://127.0.0.1:18347 -quiet \
+		sweep $(OBS_SMOKE_AXES) > obs-smoke-b.csv 2>/dev/null || { kill $$pid; exit 1; }; \
+	kill $$pid; wait $$pid; test $$? -eq 130
+	./obs-smoke-bctool sweepdiff obs-smoke-a.csv obs-smoke-b.csv
+	sed 's/^\([^,]*bc-bcc[^,]*\),\([0-9]*\)/\1,9\2/' obs-smoke-a.csv > obs-smoke-c.csv
+	! ./obs-smoke-bctool sweepdiff obs-smoke-a.csv obs-smoke-c.csv
+	rm -f obs-smoke-bctool obs-smoke-a.csv obs-smoke-b.csv obs-smoke-c.csv
+
+check: vet build test race race-sim fleet-smoke trace-smoke profile-smoke adversary-smoke border-matrix-smoke replay-smoke sweep-smoke serve-smoke obs-smoke fuzz-smoke bench-check

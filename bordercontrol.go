@@ -718,6 +718,20 @@ var (
 	SweepCSV    = harness.SweepCSV
 )
 
+// Sweep-diff regression triage (bctool sweepdiff): compare two sweep CSV
+// artifacts or two -stats-json snapshots cell-by-cell under per-metric
+// relative-drift thresholds.
+type (
+	SweepDiffOptions = harness.SweepDiffOptions
+	SweepDiff        = harness.SweepDiff
+	SweepDrift       = harness.SweepDrift
+)
+
+var (
+	DiffSweepCSV  = harness.DiffSweepCSV
+	DiffStatsJSON = harness.DiffStatsJSON
+)
+
 // SweepGrid expands recorded traces against mode/border/class axes into a
 // labelled cell grid (bctool sweep's builder).
 func SweepGrid(traces map[string]*RefTrace, names []string, modes []Mode, borders []string, classes []GPUClass, base Params, shards int) []SweepCell {

@@ -50,6 +50,19 @@
 //	                                       submit a job to a running service,
 //	                                       stream its progress to stderr and
 //	                                       print the artifact to stdout
+//	bctool top [-addr URL] [-interval D] [-once|-raw|-require a,b]
+//	                                       live dashboard over a running
+//	                                       service: jobs table, queue/cache
+//	                                       gauges, per-job activity from the
+//	                                       /v1/watch firehose; -require
+//	                                       asserts metric families exist and
+//	                                       /v1/metrics parses
+//	bctool sweepdiff [-rel F] [-tol m=f,..] [-stats] OLD NEW
+//	                                       compare two sweep CSV (or two
+//	                                       -stats-json) artifacts cell-by-
+//	                                       cell under relative-drift
+//	                                       thresholds; exits non-zero on any
+//	                                       drift or missing cell
 //	bctool worker                          internal: sweep-cell executor
 //	                                       spawned by serve (cells on stdin,
 //	                                       rows on stdout)
@@ -158,6 +171,10 @@ func main() {
 		err = workerCmd(ctx)
 	case "submit":
 		err = submitCmd(ctx, args)
+	case "top":
+		err = topCmd(ctx, args)
+	case "sweepdiff":
+		err = sweepdiffCmd(ctx, args)
 	case "profile":
 		err = profileCmd(ctx, args)
 	case "bench":
@@ -188,11 +205,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: bctool <table1|table2|table3|fig4|fig5|fig6|fig7|borders|security|adversary|all|run|record|replay|sweep|fleet|serve|worker|submit|profile|bench|tracecheck|list> [csv]
+	fmt.Fprintln(os.Stderr, `usage: bctool <table1|table2|table3|fig4|fig5|fig6|fig7|borders|security|adversary|all|run|record|replay|sweep|fleet|serve|worker|submit|top|sweepdiff|profile|bench|tracecheck|list> [csv]
 	[-border NAME] [-jobs N] [-shards N] [-timeout D] [-quiet] [-stats-json FILE] [-hist] [-trace FILE] [-trace-cats LIST] [-metrics]
-	serve:  run the experiment service (-addr, -workers, -jobs, -queue, -cache-size, -quiet)
-	submit: send a job to a running service and stream it (-addr, -wait, then run|sweep|adversary|fleet + flags)
-	worker: internal — sweep-cell executor spawned by serve`)
+	serve:     run the experiment service (-addr, -workers, -jobs, -queue, -cache-size, -watch-buffer, -log-level)
+	submit:    send a job to a running service and stream it (-addr, -wait, -ping, then run|sweep|adversary|fleet + flags)
+	top:       live dashboard over a running service (-addr, -interval, -once, -raw, -require FAMILIES)
+	sweepdiff: compare two sweep CSV/stats artifacts (-rel FRAC, -tol m=f,.., -stats OLD NEW); non-zero exit on drift
+	worker:    internal — sweep-cell executor spawned by serve`)
 }
 
 // obsFlags are the observability knobs shared by run and the sweeps.

@@ -8,6 +8,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -15,6 +16,27 @@ import (
 
 	"bordercontrol/internal/serve"
 )
+
+// buildLogger turns a -log-level value into the daemon's slog.Logger on
+// stderr, or nil (discard) for "off".
+func buildLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	case "off":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown -log-level %q (debug, info, warn, error, off)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
+}
 
 // serveCmd runs the experiment service until the context is cancelled
 // (SIGINT/SIGTERM), then shuts down gracefully: the HTTP listener drains,
@@ -27,22 +49,26 @@ func serveCmd(ctx context.Context, args []string) error {
 	jobs := fs.Int("jobs", 0, "host parallelism within a job or worker (0 = all cores)")
 	queue := fs.Int("queue", 0, "job queue depth (0 = default 32); beyond it submissions get 503")
 	cacheSize := fs.Int("cache-size", 0, "artifact cache entries (0 = default 128, negative disables)")
-	quiet := fs.Bool("quiet", false, "suppress lifecycle log lines on stderr")
+	watchBuf := fs.Int("watch-buffer", 0, "/v1/watch event ring size (0 = default 1024); slow subscribers past it see drop markers")
+	logLevel := fs.String("log-level", "info", "structured log level on stderr: debug, info, warn, error, off")
+	quiet := fs.Bool("quiet", false, "shorthand for -log-level off")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	logf := func(format string, a ...any) {
-		fmt.Fprintf(os.Stderr, "serve: "+format+"\n", a...)
-	}
 	if *quiet {
-		logf = nil
+		*logLevel = "off"
+	}
+	logger, err := buildLogger(*logLevel)
+	if err != nil {
+		return err
 	}
 	srv := serve.New(serve.Options{
-		QueueDepth: *queue,
-		Workers:    *workers,
-		Jobs:       *jobs,
-		CacheSize:  *cacheSize,
-		Log:        logf,
+		QueueDepth:  *queue,
+		Workers:     *workers,
+		Jobs:        *jobs,
+		CacheSize:   *cacheSize,
+		WatchBuffer: *watchBuf,
+		Logger:      logger,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -50,8 +76,8 @@ func serveCmd(ctx context.Context, args []string) error {
 	}
 	srv.Start(ctx)
 	hs := &http.Server{Handler: srv.Handler()}
-	if logf != nil {
-		logf("listening on http://%s", ln.Addr())
+	if logger != nil {
+		logger.Info("listening", "url", fmt.Sprintf("http://%s", ln.Addr()))
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -82,8 +108,31 @@ func submitCmd(ctx context.Context, args []string) error {
 	addr := fs.String("addr", "http://127.0.0.1:8373", "service base URL")
 	wait := fs.Duration("wait", 10*time.Second, "how long to wait for the service to answer /v1/healthz")
 	quiet := fs.Bool("quiet", false, "suppress progress lines on stderr (the cache-hit note still prints)")
+	ping := fs.Bool("ping", false, "print the service's health document (uptime, queue, jobs by state, version) and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *ping {
+		if fs.NArg() > 0 {
+			return fmt.Errorf("submit -ping: unexpected argument %q", fs.Arg(0))
+		}
+		c := &serve.Client{Base: *addr}
+		if err := c.WaitReady(ctx, *wait); err != nil {
+			return err
+		}
+		h, err := c.Health(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("service   %s\n", *addr)
+		fmt.Printf("version   %s\n", h.Version)
+		fmt.Printf("uptime    %s\n", (time.Duration(h.UptimeSeconds * float64(time.Second))).Round(time.Millisecond))
+		fmt.Printf("queue     %d/%d\n", h.QueueDepth, h.QueueCapacity)
+		fmt.Printf("cache     %d entries\n", h.CacheEntries)
+		for _, st := range serve.States {
+			fmt.Printf("jobs.%-10s %d\n", st, h.Jobs[st])
+		}
+		return nil
 	}
 	if fs.NArg() < 1 {
 		return fmt.Errorf("submit: missing job type (run, sweep, adversary, fleet)")

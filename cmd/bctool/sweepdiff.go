@@ -1,0 +1,72 @@
+// `bctool sweepdiff`: regression triage between two sweep artifacts.
+// Compares cell-by-cell and metric-by-metric under relative-drift
+// thresholds; any out-of-tolerance drift (or a missing cell) prints and
+// exits non-zero. The simulator is deterministic, so the default zero
+// tolerance is the right baseline: two runs of the same code over the
+// same inputs are byte-identical.
+
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	bc "bordercontrol"
+)
+
+func sweepdiffCmd(_ context.Context, args []string) error {
+	fs := flag.NewFlagSet("sweepdiff", flag.ContinueOnError)
+	rel := fs.Float64("rel", 0, "default maximum relative drift |new-old|/|old| per metric (0 = exact)")
+	tolSpec := fs.String("tol", "", "per-metric overrides, comma-separated metric=frac pairs (e.g. bcc_miss=0.01,chk_p99_ps=0.05)")
+	statsMode := fs.Bool("stats", false, "compare two -stats-json snapshots instead of sweep CSVs (histograms compare as count/p50/p99/max)")
+	quiet := fs.Bool("quiet", false, "suppress the clean-verdict line (drifts always print)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: bctool sweepdiff [-rel FRAC] [-tol m=f,...] [-stats] OLD NEW")
+	}
+	opts := bc.SweepDiffOptions{Default: *rel}
+	if *tolSpec != "" {
+		opts.Tol = map[string]float64{}
+		for _, pair := range splitList(*tolSpec) {
+			metric, frac, ok := strings.Cut(pair, "=")
+			if !ok {
+				return fmt.Errorf("sweepdiff: bad -tol entry %q (want metric=frac)", pair)
+			}
+			v, err := strconv.ParseFloat(frac, 64)
+			if err != nil || v < 0 {
+				return fmt.Errorf("sweepdiff: bad -tol fraction %q for %s", frac, metric)
+			}
+			opts.Tol[metric] = v
+		}
+	}
+	oldBlob, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newBlob, err := os.ReadFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	var d *bc.SweepDiff
+	if *statsMode {
+		d, err = bc.DiffStatsJSON(oldBlob, newBlob, opts)
+	} else {
+		d, err = bc.DiffSweepCSV(string(oldBlob), string(newBlob), opts)
+	}
+	if err != nil {
+		return err
+	}
+	if !d.Clean() || !*quiet {
+		fmt.Print(d.Render())
+	}
+	if !d.Clean() {
+		return fmt.Errorf("sweepdiff: %s and %s drifted beyond tolerance", fs.Arg(0), fs.Arg(1))
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+// Sweep-diff regression triage: compare two sweep artifacts (the CSV
+// rendering, or two -stats-json snapshots) cell-by-cell and metric-by-
+// metric under configurable relative-drift thresholds. The simulator is
+// deterministic, so two runs of the same code over the same traces are
+// byte-identical and diff clean with zero tolerance; any drift is a code
+// or input change, and the per-metric thresholds say which drifts are
+// intentional noise floors (e.g. host-timing columns, if ever added) and
+// which are regressions.
+
+package harness
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bordercontrol/internal/stats"
+)
+
+// SweepDiffOptions configures drift tolerance. A metric's threshold is the
+// maximum allowed relative drift |new-old|/|old| (0 = exact match);
+// Tol entries override Default per metric name.
+type SweepDiffOptions struct {
+	Default float64
+	Tol     map[string]float64
+}
+
+func (o SweepDiffOptions) tol(metric string) float64 {
+	if t, ok := o.Tol[metric]; ok {
+		return t
+	}
+	return o.Default
+}
+
+// SweepDrift is one out-of-tolerance cell/metric pair.
+type SweepDrift struct {
+	Cell   string
+	Metric string
+	Old    float64
+	New    float64
+	// Rel is |new-old|/|old| (+Inf when old is 0 and new is not).
+	Rel float64
+}
+
+// SweepDiff is the comparison result.
+type SweepDiff struct {
+	// Metrics are the compared column/metric names, in artifact order.
+	Metrics []string
+	// Cells is how many cells (rows/samples) both artifacts share.
+	Cells int
+	// OnlyOld/OnlyNew list cells present in exactly one artifact — always
+	// a structural regression, whatever the thresholds.
+	OnlyOld []string
+	OnlyNew []string
+	// Drifts lists every out-of-tolerance pair, in artifact order.
+	Drifts []SweepDrift
+}
+
+// Clean reports whether the two artifacts agree within tolerance: same
+// cell set, every metric within its threshold.
+func (d *SweepDiff) Clean() bool {
+	return len(d.Drifts) == 0 && len(d.OnlyOld) == 0 && len(d.OnlyNew) == 0
+}
+
+// Render formats the diff for terminal output: a one-line verdict, then
+// one line per structural mismatch and drift.
+func (d *SweepDiff) Render() string {
+	var b strings.Builder
+	if d.Clean() {
+		fmt.Fprintf(&b, "sweepdiff: clean — %d cells x %d metrics within tolerance\n", d.Cells, len(d.Metrics))
+		return b.String()
+	}
+	fmt.Fprintf(&b, "sweepdiff: REGRESSION — %d drift(s), %d cell(s) missing\n",
+		len(d.Drifts), len(d.OnlyOld)+len(d.OnlyNew))
+	for _, c := range d.OnlyOld {
+		fmt.Fprintf(&b, "  cell %-40s only in OLD\n", c)
+	}
+	for _, c := range d.OnlyNew {
+		fmt.Fprintf(&b, "  cell %-40s only in NEW\n", c)
+	}
+	for _, dr := range d.Drifts {
+		rel := "inf"
+		if !math.IsInf(dr.Rel, 0) {
+			rel = fmt.Sprintf("%.4g", dr.Rel)
+		}
+		fmt.Fprintf(&b, "  cell %-40s %-14s %v -> %v (rel %s)\n", dr.Cell, dr.Metric, dr.Old, dr.New, rel)
+	}
+	return b.String()
+}
+
+// relDrift is the shared drift semantics: equal values drift 0 (including
+// both zero), a value appearing from zero drifts +Inf, everything else
+// |new-old|/|old|.
+func relDrift(oldV, newV float64) float64 {
+	if oldV == newV {
+		return 0
+	}
+	if oldV == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(newV-oldV) / math.Abs(oldV)
+}
+
+// DiffSweepCSV compares two sweep CSV artifacts (harness.SweepCSV's
+// rendering: a "cell,..." header then one row per cell). The headers must
+// match exactly — differing columns means the artifacts are not
+// comparable, which is an error, not a drift.
+func DiffSweepCSV(oldCSV, newCSV string, opts SweepDiffOptions) (*SweepDiff, error) {
+	oldHdr, oldRows, err := parseSweepCSV(oldCSV)
+	if err != nil {
+		return nil, fmt.Errorf("harness: sweepdiff: old artifact: %w", err)
+	}
+	newHdr, newRows, err := parseSweepCSV(newCSV)
+	if err != nil {
+		return nil, fmt.Errorf("harness: sweepdiff: new artifact: %w", err)
+	}
+	if strings.Join(oldHdr, ",") != strings.Join(newHdr, ",") {
+		return nil, fmt.Errorf("harness: sweepdiff: header mismatch:\n  old: %s\n  new: %s",
+			strings.Join(oldHdr, ","), strings.Join(newHdr, ","))
+	}
+
+	d := &SweepDiff{Metrics: oldHdr[1:]}
+	newByCell := make(map[string][]float64, len(newRows))
+	for _, r := range newRows {
+		newByCell[r.cell] = r.vals
+	}
+	oldSeen := make(map[string]bool, len(oldRows))
+	for _, r := range oldRows {
+		oldSeen[r.cell] = true
+		nv, ok := newByCell[r.cell]
+		if !ok {
+			d.OnlyOld = append(d.OnlyOld, r.cell)
+			continue
+		}
+		d.Cells++
+		for i, metric := range d.Metrics {
+			rel := relDrift(r.vals[i], nv[i])
+			if rel > opts.tol(metric) {
+				d.Drifts = append(d.Drifts, SweepDrift{
+					Cell: r.cell, Metric: metric, Old: r.vals[i], New: nv[i], Rel: rel,
+				})
+			}
+		}
+	}
+	for _, r := range newRows {
+		if !oldSeen[r.cell] {
+			d.OnlyNew = append(d.OnlyNew, r.cell)
+		}
+	}
+	return d, nil
+}
+
+type sweepCSVRow struct {
+	cell string
+	vals []float64
+}
+
+func parseSweepCSV(text string) ([]string, []sweepCSVRow, error) {
+	rec, err := csv.NewReader(strings.NewReader(text)).ReadAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(rec) == 0 {
+		return nil, nil, fmt.Errorf("empty artifact")
+	}
+	hdr := rec[0]
+	if len(hdr) < 2 || hdr[0] != "cell" {
+		return nil, nil, fmt.Errorf("not a sweep CSV (header %q)", strings.Join(hdr, ","))
+	}
+	seen := make(map[string]bool)
+	rows := make([]sweepCSVRow, 0, len(rec)-1)
+	for ln, fields := range rec[1:] {
+		if len(fields) != len(hdr) {
+			return nil, nil, fmt.Errorf("row %d has %d fields, header has %d", ln+2, len(fields), len(hdr))
+		}
+		cell := fields[0]
+		if seen[cell] {
+			return nil, nil, fmt.Errorf("duplicate cell %q", cell)
+		}
+		seen[cell] = true
+		vals := make([]float64, len(fields)-1)
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("row %d (%s), column %s: bad value %q", ln+2, cell, hdr[i+1], f)
+			}
+			vals[i] = v
+		}
+		rows = append(rows, sweepCSVRow{cell: cell, vals: vals})
+	}
+	return hdr, rows, nil
+}
+
+// DiffStatsJSON compares two -stats-json snapshots (stats.Snapshot's JSON
+// form) under the same drift semantics. Counters and gauges compare
+// directly; each histogram expands to .count/.p50/.p99/.max sub-metrics —
+// the same tails the sweep table reports — so a latency-shape regression
+// is caught without demanding bucket-exact equality under tolerance.
+// "Cells" here are sample names; a sample present on one side only is
+// structural, like a missing CSV row.
+func DiffStatsJSON(oldBlob, newBlob []byte, opts SweepDiffOptions) (*SweepDiff, error) {
+	var oldSnap, newSnap stats.Snapshot
+	if err := json.Unmarshal(oldBlob, &oldSnap); err != nil {
+		return nil, fmt.Errorf("harness: sweepdiff: old stats: %w", err)
+	}
+	if err := json.Unmarshal(newBlob, &newSnap); err != nil {
+		return nil, fmt.Errorf("harness: sweepdiff: new stats: %w", err)
+	}
+	oldM := statsMetricMap(oldSnap)
+	newM := statsMetricMap(newSnap)
+
+	d := &SweepDiff{}
+	metricSet := make(map[string]bool)
+	for name, oldVals := range oldM {
+		newVals, ok := newM[name]
+		if !ok {
+			d.OnlyOld = append(d.OnlyOld, name)
+			continue
+		}
+		d.Cells++
+		// Sub-metric keys, sorted for deterministic drift order.
+		keys := make([]string, 0, len(oldVals))
+		for k := range oldVals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			metricSet[k] = true
+			rel := relDrift(oldVals[k], newVals[k])
+			if rel > opts.tol(k) {
+				d.Drifts = append(d.Drifts, SweepDrift{
+					Cell: name, Metric: k, Old: oldVals[k], New: newVals[k], Rel: rel,
+				})
+			}
+		}
+	}
+	for name := range newM {
+		if _, ok := oldM[name]; !ok {
+			d.OnlyNew = append(d.OnlyNew, name)
+		}
+	}
+	sort.Strings(d.OnlyOld)
+	sort.Strings(d.OnlyNew)
+	sort.Slice(d.Drifts, func(i, j int) bool {
+		if d.Drifts[i].Cell != d.Drifts[j].Cell {
+			return d.Drifts[i].Cell < d.Drifts[j].Cell
+		}
+		return d.Drifts[i].Metric < d.Drifts[j].Metric
+	})
+	for _, k := range []string{"value", "count", "p50", "p99", "max"} {
+		if metricSet[k] {
+			d.Metrics = append(d.Metrics, k)
+		}
+	}
+	return d, nil
+}
+
+// statsMetricMap flattens a snapshot into per-sample sub-metric values.
+func statsMetricMap(s stats.Snapshot) map[string]map[string]float64 {
+	out := make(map[string]map[string]float64, len(s.Samples))
+	for _, smp := range s.Samples {
+		switch smp.Kind {
+		case stats.KindHistogram:
+			out[smp.Name] = map[string]float64{
+				"count": float64(smp.Hist.Count),
+				"p50":   float64(smp.Hist.Percentile(50)),
+				"p99":   float64(smp.Hist.Percentile(99)),
+				"max":   float64(smp.Hist.Max),
+			}
+		case stats.KindGauge:
+			out[smp.Name] = map[string]float64{"value": smp.Value}
+		default:
+			out[smp.Name] = map[string]float64{"value": float64(smp.Count)}
+		}
+	}
+	return out
+}

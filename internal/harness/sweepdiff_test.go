@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bordercontrol/internal/stats"
+)
+
+const sweepDiffHdr = "cell,sim_ps,events,ops,bc_checks,bcc_miss,chk_p50_ps,chk_p99_ps,chk_p999_ps,granted,denied\n"
+
+func sampleSweepCSV() string {
+	return sweepDiffHdr +
+		"bc-bcc/flat/moderate/s1,1000,40,640,640,12,180,420,600,630,10\n" +
+		"bc-nobcc/flat/moderate/s1,1000,40,640,640,0,200,480,660,630,10\n"
+}
+
+func TestSweepDiffIdenticalClean(t *testing.T) {
+	d, err := DiffSweepCSV(sampleSweepCSV(), sampleSweepCSV(), SweepDiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Clean() {
+		t.Fatalf("identical artifacts not clean:\n%s", d.Render())
+	}
+	if d.Cells != 2 || len(d.Metrics) != 10 {
+		t.Errorf("cells=%d metrics=%d, want 2 and 10", d.Cells, len(d.Metrics))
+	}
+	if !strings.Contains(d.Render(), "clean") {
+		t.Errorf("Render() = %q, want a clean verdict", d.Render())
+	}
+}
+
+func TestSweepDiffPerturbationFlagged(t *testing.T) {
+	perturbed := strings.Replace(sampleSweepCSV(), ",12,", ",13,", 1)
+	d, err := DiffSweepCSV(sampleSweepCSV(), perturbed, SweepDiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Clean() {
+		t.Fatal("perturbed bcc_miss column diffed clean at zero tolerance")
+	}
+	if len(d.Drifts) != 1 {
+		t.Fatalf("drifts = %+v, want exactly one", d.Drifts)
+	}
+	dr := d.Drifts[0]
+	if dr.Metric != "bcc_miss" || dr.Cell != "bc-bcc/flat/moderate/s1" || dr.Old != 12 || dr.New != 13 {
+		t.Errorf("drift = %+v, want bcc_miss 12->13 in bc-bcc/flat/moderate/s1", dr)
+	}
+	if !strings.Contains(d.Render(), "REGRESSION") {
+		t.Errorf("Render() = %q, want a regression verdict", d.Render())
+	}
+}
+
+func TestSweepDiffToleranceAdmitsDrift(t *testing.T) {
+	perturbed := strings.Replace(sampleSweepCSV(), ",12,", ",13,", 1) // rel 1/12 ≈ 0.083
+
+	// A generous per-metric override admits it…
+	d, err := DiffSweepCSV(sampleSweepCSV(), perturbed, SweepDiffOptions{Tol: map[string]float64{"bcc_miss": 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Clean() {
+		t.Errorf("bcc_miss=0.1 tolerance still flags an 8.3%% drift:\n%s", d.Render())
+	}
+
+	// …a tight one does not.
+	d, err = DiffSweepCSV(sampleSweepCSV(), perturbed, SweepDiffOptions{Default: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Clean() {
+		t.Error("default 5% tolerance admitted an 8.3% drift")
+	}
+}
+
+func TestSweepDiffZeroToNonzeroIsInf(t *testing.T) {
+	perturbed := strings.Replace(sampleSweepCSV(), ",0,200,", ",3,200,", 1)
+	d, err := DiffSweepCSV(sampleSweepCSV(), perturbed, SweepDiffOptions{Default: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Clean() {
+		t.Fatal("0 -> 3 drift admitted by a finite tolerance; relDrift should be +Inf")
+	}
+	if !math.IsInf(d.Drifts[0].Rel, 1) {
+		t.Errorf("rel = %v, want +Inf", d.Drifts[0].Rel)
+	}
+}
+
+func TestSweepDiffStructural(t *testing.T) {
+	oneRow := sweepDiffHdr + "bc-bcc/flat/moderate/s1,1000,40,640,640,12,180,420,600,630,10\n"
+	d, err := DiffSweepCSV(sampleSweepCSV(), oneRow, SweepDiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Clean() {
+		t.Fatal("missing cell diffed clean")
+	}
+	if len(d.OnlyOld) != 1 || d.OnlyOld[0] != "bc-nobcc/flat/moderate/s1" {
+		t.Errorf("OnlyOld = %v", d.OnlyOld)
+	}
+	d, err = DiffSweepCSV(oneRow, sampleSweepCSV(), SweepDiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.OnlyNew) != 1 || d.OnlyNew[0] != "bc-nobcc/flat/moderate/s1" {
+		t.Errorf("OnlyNew = %v", d.OnlyNew)
+	}
+}
+
+func TestSweepDiffErrors(t *testing.T) {
+	good := sampleSweepCSV()
+	otherHdr := strings.Replace(good, "bcc_miss", "bcc_lost", 1)
+	if _, err := DiffSweepCSV(good, otherHdr, SweepDiffOptions{}); err == nil {
+		t.Error("header mismatch: want an error, not a drift report")
+	}
+	if _, err := DiffSweepCSV(good, "", SweepDiffOptions{}); err == nil {
+		t.Error("empty artifact: want error")
+	}
+	if _, err := DiffSweepCSV(good, "a,b\n1,2\n", SweepDiffOptions{}); err == nil {
+		t.Error("non-sweep header: want error")
+	}
+	dup := good + "bc-bcc/flat/moderate/s1,1000,40,640,640,12,180,420,600,630,10\n"
+	if _, err := DiffSweepCSV(good, dup, SweepDiffOptions{}); err == nil {
+		t.Error("duplicate cell: want error")
+	}
+	bad := sweepDiffHdr + "c1,x,40,640,640,12,180,420,600,630,10\n"
+	if _, err := DiffSweepCSV(good, bad, SweepDiffOptions{}); err == nil {
+		t.Error("non-numeric value: want error")
+	}
+}
+
+func statsBlob(t *testing.T, build func(sc stats.Scope)) []byte {
+	t.Helper()
+	reg := stats.NewRegistry()
+	build(reg.Scope("sim"))
+	blob, err := reg.Snapshot().MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func TestSweepDiffStatsJSON(t *testing.T) {
+	mk := func(checks uint64, lat []uint64) []byte {
+		return statsBlob(t, func(sc stats.Scope) {
+			c := &stats.Counter{}
+			c.Add(checks)
+			sc.Counter("bc_checks", c)
+			h := &stats.Histogram{}
+			for _, v := range lat {
+				h.Record(v)
+			}
+			sc.Histogram("check_latency_ps", h)
+		})
+	}
+	a := mk(640, []uint64{100, 200, 300})
+
+	d, err := DiffStatsJSON(a, mk(640, []uint64{100, 200, 300}), SweepDiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Clean() {
+		t.Fatalf("identical snapshots not clean:\n%s", d.Render())
+	}
+
+	// A counter drift is flagged under "value".
+	d, err = DiffStatsJSON(a, mk(700, []uint64{100, 200, 300}), SweepDiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Clean() || d.Drifts[0].Metric != "value" || d.Drifts[0].Cell != "sim.bc_checks" {
+		t.Errorf("counter drift = %+v", d.Drifts)
+	}
+
+	// A histogram-shape drift is flagged via its expanded sub-metrics.
+	d, err = DiffStatsJSON(a, mk(640, []uint64{100, 200, 300, 90000}), SweepDiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Clean() {
+		t.Fatal("histogram tail change diffed clean")
+	}
+	for _, dr := range d.Drifts {
+		if dr.Cell != "sim.check_latency_ps" {
+			t.Errorf("unexpected drift cell %q", dr.Cell)
+		}
+	}
+
+	// A sample missing on one side is structural.
+	b := statsBlob(t, func(sc stats.Scope) {
+		c := &stats.Counter{}
+		c.Add(640)
+		sc.Counter("bc_checks", c)
+	})
+	d, err = DiffStatsJSON(a, b, SweepDiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.OnlyOld) != 1 || d.OnlyOld[0] != "sim.check_latency_ps" {
+		t.Errorf("OnlyOld = %v, want the histogram sample", d.OnlyOld)
+	}
+
+	if _, err := DiffStatsJSON([]byte("not json"), a, SweepDiffOptions{}); err == nil {
+		t.Error("bad JSON: want error")
+	}
+}

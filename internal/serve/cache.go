@@ -77,6 +77,9 @@ type artifactCache struct {
 	max   int
 	order []string
 	byKey map[string]string
+	// hits/misses count lookups for the metrics page; pure observation.
+	hits   uint64
+	misses uint64
 }
 
 func newArtifactCache(max int) *artifactCache {
@@ -87,6 +90,11 @@ func (c *artifactCache) get(key string) (string, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	a, ok := c.byKey[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
 	return a, ok
 }
 
@@ -111,4 +119,11 @@ func (c *artifactCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.byKey)
+}
+
+// counters returns (entries, hits, misses).
+func (c *artifactCache) counters() (int, uint64, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byKey), c.hits, c.misses
 }

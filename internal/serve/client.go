@@ -5,9 +5,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -108,21 +110,79 @@ func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
 }
 
 // Stream follows a job's NDJSON event stream until the job reaches a
-// terminal state (the server closes the stream), invoking fn per event,
-// then returns the final status.
+// terminal state, invoking fn per event, then returns the final status.
+// A dropped connection resumes with ?after=<last seq> instead of
+// replaying the whole stream, so fn sees every event exactly once even
+// across reconnects; only repeated attempts with no forward progress give
+// up.
 func (c *Client) Stream(ctx context.Context, id string, fn func(Event)) (JobStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/events"), nil)
+	const maxStalls = 4
+	seq, stalls := 0, 0
+	for {
+		last, err := c.streamOnce(ctx, id, seq, fn)
+		if err != nil {
+			// HTTP-level refusals (404, 400, ...) are permanent; transport
+			// errors are retried until they stop making progress.
+			var perm *apiStatusError
+			if errors.As(err, &perm) || ctx.Err() != nil {
+				return JobStatus{}, err
+			}
+			if last == seq {
+				if stalls++; stalls >= maxStalls {
+					return JobStatus{}, fmt.Errorf("serve: stream %s: no progress after %d attempts: %w", id, stalls, err)
+				}
+			} else {
+				stalls = 0
+			}
+			seq = last
+			select {
+			case <-ctx.Done():
+				return JobStatus{}, ctx.Err()
+			case <-time.After(100 * time.Millisecond):
+			}
+			continue
+		}
+		// Clean close: the server ends the stream at a terminal state, but a
+		// proxy can also close cleanly mid-job — trust the status, not the
+		// close.
+		st, serr := c.Status(ctx, id)
+		if serr != nil {
+			return JobStatus{}, serr
+		}
+		if terminal(st.State) {
+			return st, nil
+		}
+		if last == seq {
+			if stalls++; stalls >= maxStalls {
+				return JobStatus{}, fmt.Errorf("serve: stream %s: repeatedly closed with job still %s", id, st.State)
+			}
+		} else {
+			stalls = 0
+		}
+		seq = last
+	}
+}
+
+// streamOnce follows one connection of the event stream from ?after=seq,
+// returning the last seq it delivered.
+func (c *Client) streamOnce(ctx context.Context, id string, after int, fn func(Event)) (int, error) {
+	u := c.url("/v1/jobs/" + id + "/events")
+	if after > 0 {
+		u += "?after=" + strconv.Itoa(after)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
-		return JobStatus{}, err
+		return after, err
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return JobStatus{}, err
+		return after, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return JobStatus{}, apiError(resp)
+		return after, apiError(resp)
 	}
+	seq := after
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
@@ -132,16 +192,128 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(Event)) (JobStat
 		}
 		var e Event
 		if err := json.Unmarshal(line, &e); err != nil {
-			return JobStatus{}, fmt.Errorf("serve: decoding event: %w", err)
+			return seq, fmt.Errorf("serve: decoding event: %w", err)
+		}
+		if e.Seq <= seq {
+			continue // duplicate after a reconnect race; already delivered
 		}
 		if fn != nil {
 			fn(e)
 		}
+		seq = e.Seq
 	}
 	if err := sc.Err(); err != nil && ctx.Err() == nil {
-		return JobStatus{}, err
+		return seq, err
 	}
-	return c.Status(ctx, id)
+	return seq, nil
+}
+
+// Jobs fetches every job's status in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs"), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var jobs []JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		return nil, fmt.Errorf("serve: decoding job list: %w", err)
+	}
+	return jobs, nil
+}
+
+// Health fetches the enriched /v1/healthz document.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/healthz"), nil)
+	if err != nil {
+		return Health{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return Health{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Health{}, apiError(resp)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return Health{}, fmt.Errorf("serve: decoding health: %w", err)
+	}
+	return h, nil
+}
+
+// MetricsText fetches the raw /v1/metrics exposition page.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/metrics"), nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", apiError(resp)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(blob), nil
+}
+
+// Watch follows the daemon firehose from ?after=cursor, invoking fn per
+// WatchEvent (including drop markers), until the context is cancelled or
+// the connection ends. It returns nil on a clean server-side close
+// (daemon shutdown) and the context error on cancellation.
+func (c *Client) Watch(ctx context.Context, after uint64, fn func(WatchEvent)) error {
+	u := c.url("/v1/watch")
+	if after > 0 {
+		u += "?after=" + strconv.FormatUint(after, 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var we WatchEvent
+		if err := json.Unmarshal(line, &we); err != nil {
+			return fmt.Errorf("serve: decoding watch event: %w", err)
+		}
+		if fn != nil {
+			fn(we)
+		}
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return sc.Err()
 }
 
 // Artifact fetches a terminal job's rendered artifact.
@@ -183,6 +355,15 @@ func (c *Client) Cancel(ctx context.Context, id string) error {
 	return nil
 }
 
+// apiStatusError is an HTTP-level refusal from the service — a definite
+// answer, so retry loops treat it as permanent.
+type apiStatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *apiStatusError) Error() string { return e.Msg }
+
 // apiError extracts the service's {"error": ...} payload.
 func apiError(resp *http.Response) error {
 	blob, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
@@ -190,7 +371,7 @@ func apiError(resp *http.Response) error {
 		Error string `json:"error"`
 	}
 	if json.Unmarshal(blob, &payload) == nil && payload.Error != "" {
-		return fmt.Errorf("serve: %s: %s", resp.Status, payload.Error)
+		return &apiStatusError{Code: resp.StatusCode, Msg: fmt.Sprintf("serve: %s: %s", resp.Status, payload.Error)}
 	}
-	return fmt.Errorf("serve: %s: %s", resp.Status, bytes.TrimSpace(blob))
+	return &apiStatusError{Code: resp.StatusCode, Msg: fmt.Sprintf("serve: %s: %s", resp.Status, bytes.TrimSpace(blob))}
 }

@@ -1,0 +1,127 @@
+// The /v1/watch firehose: every job's seq-numbered events multiplexed
+// onto one daemon-global stream under a monotonic cursor.
+//
+// Design: publishers append to a bounded ring of WatchEvents; each event
+// gets the next global cursor. Subscribers pull — each holds only its own
+// cursor and reads whatever the ring retains past it, so a subscriber's
+// effective buffer is the ring itself. A subscriber that falls behind the
+// ring's capacity does not stall publishers and does not accumulate
+// unbounded queues; it observes an explicit drop marker naming how many
+// events it missed, then continues from the oldest retained event. Because
+// publishers append while holding their job's mutex, the cursor order of
+// any single job's events matches that job's seq order.
+
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+// WatchEvent is one record of the /v1/watch firehose: a daemon-global
+// monotonic cursor plus the job-scoped event it carries. Type "drop" is
+// synthesized per subscriber when it fell behind the retained window; a
+// drop carries no job or seq, and its cursor is the last missed event's,
+// so resuming at it continues exactly where delivery picks up.
+type WatchEvent struct {
+	Cursor uint64 `json:"cursor"`
+	Job    string `json:"job,omitempty"`
+	Type   string `json:"type"` // "state", "progress", "cache", "drop"
+	Seq    int    `json:"seq,omitempty"`
+	Msg    string `json:"msg"`
+}
+
+// defaultWatchBuffer is the ring capacity when Options.WatchBuffer is 0.
+const defaultWatchBuffer = 1024
+
+// firehose is the bounded publish/subscribe ring behind /v1/watch.
+type firehose struct {
+	mu   sync.Mutex
+	cap  int
+	next uint64       // cursor the next published event will get (starts at 1)
+	ring []WatchEvent // the last <= cap events, ascending cursor
+
+	updated chan struct{} // closed-and-replaced on every publish
+
+	subs      int    // current subscriber count (gauge)
+	published uint64 // total events published (counter)
+	dropped   uint64 // total events subscribers missed (counter)
+}
+
+func newFirehose(capacity int) *firehose {
+	if capacity <= 0 {
+		capacity = defaultWatchBuffer
+	}
+	return &firehose{cap: capacity, next: 1, updated: make(chan struct{})}
+}
+
+// publish appends one event, assigning it the next global cursor, and
+// wakes every waiting subscriber. Callers publish a single job's events in
+// that job's seq order (they hold the job mutex across the call), which is
+// what makes the per-job ordering guarantee hold on the multiplexed
+// stream.
+func (f *firehose) publish(job string, e Event) {
+	f.mu.Lock()
+	we := WatchEvent{Cursor: f.next, Job: job, Type: e.Type, Seq: e.Seq, Msg: e.Msg}
+	f.next++
+	f.published++
+	f.ring = append(f.ring, we)
+	if len(f.ring) > f.cap {
+		// Trim in one copy; the slice never grows past cap+1.
+		copy(f.ring, f.ring[1:])
+		f.ring = f.ring[:f.cap]
+	}
+	close(f.updated)
+	f.updated = make(chan struct{})
+	f.mu.Unlock()
+}
+
+// since returns the retained events with Cursor > after, how many events
+// past `after` were already evicted (the subscriber's drop count), and a
+// channel that closes on the next publish. The caller accounts delivered
+// events by advancing its own cursor.
+func (f *firehose) since(after uint64) (events []WatchEvent, dropped uint64, wait <-chan struct{}) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	oldest := f.next - uint64(len(f.ring)) // cursor of ring[0]
+	from := after + 1
+	if from < oldest {
+		dropped = oldest - from
+		f.dropped += dropped
+		from = oldest
+	}
+	if from < f.next {
+		events = append(events, f.ring[from-oldest:]...)
+	}
+	return events, dropped, f.updated
+}
+
+// dropMarker builds the synthetic event a subscriber sees after missing n
+// events; its cursor is the last missed event's cursor.
+func (f *firehose) dropMarker(after, n uint64) WatchEvent {
+	return WatchEvent{
+		Cursor: after + n,
+		Type:   "drop",
+		Msg:    fmt.Sprintf("%d event(s) dropped (subscriber fell behind the %d-event watch buffer)", n, f.cap),
+	}
+}
+
+// subscribe/unsubscribe maintain the subscriber gauge.
+func (f *firehose) subscribe() {
+	f.mu.Lock()
+	f.subs++
+	f.mu.Unlock()
+}
+
+func (f *firehose) unsubscribe() {
+	f.mu.Lock()
+	f.subs--
+	f.mu.Unlock()
+}
+
+// counters returns (subscribers, published, dropped) for the metrics page.
+func (f *firehose) counters() (int, uint64, uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.subs, f.published, f.dropped
+}

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"testing"
+)
+
+// TestFirehoseCursorAndRing: cursors are global and monotonic from 1, the
+// ring retains at most its capacity, and since() reports exactly how many
+// events a lagging subscriber lost.
+func TestFirehoseCursorAndRing(t *testing.T) {
+	fh := newFirehose(4)
+	for i := 1; i <= 10; i++ {
+		fh.publish("j0001", Event{Seq: i, Type: "progress", Msg: "x"})
+	}
+	_, published, _ := fh.counters()
+	if published != 10 {
+		t.Fatalf("published = %d, want 10", published)
+	}
+
+	// A fresh subscriber (cursor 0) missed 10-4=6 events.
+	events, dropped, _ := fh.since(0)
+	if dropped != 6 {
+		t.Errorf("dropped = %d, want 6", dropped)
+	}
+	if len(events) != 4 {
+		t.Fatalf("len(events) = %d, want 4 (ring capacity)", len(events))
+	}
+	for i, e := range events {
+		want := uint64(7 + i)
+		if e.Cursor != want {
+			t.Errorf("events[%d].Cursor = %d, want %d", i, e.Cursor, want)
+		}
+	}
+
+	// The drop marker resumes exactly where delivery picks up.
+	m := fh.dropMarker(0, dropped)
+	if m.Type != "drop" || m.Cursor != 6 {
+		t.Errorf("dropMarker = %+v, want type=drop cursor=6", m)
+	}
+
+	// A caught-up subscriber sees nothing and loses nothing.
+	events, dropped, _ = fh.since(10)
+	if len(events) != 0 || dropped != 0 {
+		t.Errorf("caught-up since() = %d events, %d dropped; want 0, 0", len(events), dropped)
+	}
+
+	// A partially-behind subscriber inside the retained window drops none.
+	events, dropped, _ = fh.since(8)
+	if dropped != 0 || len(events) != 2 {
+		t.Errorf("since(8) = %d events, %d dropped; want 2, 0", len(events), dropped)
+	}
+}
+
+// TestFirehosePublishWakesWaiters: the wait channel returned by since()
+// closes on the next publish.
+func TestFirehosePublishWakesWaiters(t *testing.T) {
+	fh := newFirehose(8)
+	_, _, wait := fh.since(0)
+	select {
+	case <-wait:
+		t.Fatal("wait channel closed before any publish")
+	default:
+	}
+	fh.publish("j0001", Event{Seq: 1, Type: "state", Msg: "queued"})
+	select {
+	case <-wait:
+	default:
+		t.Fatal("wait channel still open after publish")
+	}
+	events, dropped, _ := fh.since(0)
+	if dropped != 0 || len(events) != 1 || events[0].Cursor != 1 || events[0].Seq != 1 {
+		t.Fatalf("since(0) after first publish = (%v, %d), want one event cursor=1 seq=1", events, dropped)
+	}
+}
+
+// TestFirehoseSubscriberGauge: subscribe/unsubscribe move the gauge.
+func TestFirehoseSubscriberGauge(t *testing.T) {
+	fh := newFirehose(8)
+	fh.subscribe()
+	fh.subscribe()
+	if subs, _, _ := fh.counters(); subs != 2 {
+		t.Fatalf("subs = %d, want 2", subs)
+	}
+	fh.unsubscribe()
+	if subs, _, _ := fh.counters(); subs != 1 {
+		t.Fatalf("subs = %d, want 1", subs)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"bordercontrol/internal/core"
 	"bordercontrol/internal/harness"
 	"bordercontrol/internal/sim"
+	"bordercontrol/internal/stats"
 	"bordercontrol/internal/tracerec"
 	"bordercontrol/internal/traffic"
 	"bordercontrol/internal/workload"
@@ -29,13 +30,16 @@ type Request struct {
 }
 
 // jobEnv is the execution context the server hands a spec: host
-// parallelism, the sweep fan-out configuration, and a progress sink.
+// parallelism, the sweep fan-out configuration, a progress sink, and the
+// worker-lifecycle hooks feeding the daemon's telemetry.
 type jobEnv struct {
-	jobs     int
-	workers  int
-	argv     []string
-	env      []string
-	progress func(msg string)
+	jobs        int
+	workers     int
+	argv        []string
+	env         []string
+	progress    func(msg string)
+	workerStart func(worker, cells int)
+	workerExit  func(worker int, err error)
 }
 
 func (e jobEnv) note(format string, args ...any) {
@@ -45,10 +49,12 @@ func (e jobEnv) note(format string, args ...any) {
 }
 
 // spec is what every job type implements: validation at submission time,
-// then execution to a rendered text artifact.
+// then execution to a rendered text artifact plus the run's metrics
+// snapshot (merged daemon-wide and re-exported on /v1/metrics). The
+// snapshot is observation only — the artifact never depends on it.
 type spec interface {
 	validate() error
-	run(ctx context.Context, env jobEnv) (artifact string, err error)
+	run(ctx context.Context, env jobEnv) (artifact string, snap stats.Snapshot, err error)
 }
 
 // Validate checks the request is well-formed: a known type with exactly
@@ -128,14 +134,14 @@ func (s *RunSpec) validate() error {
 	return nil
 }
 
-func (s *RunSpec) run(ctx context.Context, env jobEnv) (string, error) {
+func (s *RunSpec) run(ctx context.Context, env jobEnv) (string, stats.Snapshot, error) {
 	mode, err := harness.ParseModeSlug(s.Mode)
 	if err != nil {
-		return "", err
+		return "", stats.Snapshot{}, err
 	}
 	class, err := harness.ParseClassSlug(s.Class)
 	if err != nil {
-		return "", err
+		return "", stats.Snapshot{}, err
 	}
 	sw, _ := workload.ByName(s.Workload)
 	p := harness.DefaultParams()
@@ -150,9 +156,9 @@ func (s *RunSpec) run(ctx context.Context, env jobEnv) (string, error) {
 		DowngradesPerSec: s.DowngradesPerSec, Shards: s.Shards,
 	})
 	if err != nil {
-		return "", err
+		return "", stats.Snapshot{}, err
 	}
-	return renderRun(mode, res), nil
+	return renderRun(mode, res), res.Stats, nil
 }
 
 // renderRun mirrors the `bctool run` report (the daemon's run artifact is
@@ -316,10 +322,10 @@ func designKnown(name string) bool {
 	return false
 }
 
-func (s *SweepSpec) run(ctx context.Context, env jobEnv) (string, error) {
+func (s *SweepSpec) run(ctx context.Context, env jobEnv) (string, stats.Snapshot, error) {
 	cells, _, err := s.plan()
 	if err != nil {
-		return "", err
+		return "", stats.Snapshot{}, err
 	}
 	workers := s.Workers
 	if workers == 0 {
@@ -332,15 +338,42 @@ func (s *SweepSpec) run(ctx context.Context, env jobEnv) (string, error) {
 	rows, err := SweepFanout(ctx, cells, FanoutConfig{
 		Workers: workers, Jobs: env.jobs,
 		Argv: env.argv, Env: env.env,
-		Progress: env.progress,
+		Progress:      env.progress,
+		OnWorkerStart: env.workerStart,
+		OnWorkerExit:  env.workerExit,
 	})
 	if err != nil {
-		return "", err
+		return "", stats.Snapshot{}, err
 	}
 	if s.CSV {
-		return harness.SweepCSV(rows), nil
+		return harness.SweepCSV(rows), sweepRowStats(rows), nil
 	}
-	return harness.RenderSweep(rows), nil
+	return harness.RenderSweep(rows), sweepRowStats(rows), nil
+}
+
+// sweepRowStats synthesizes a metrics snapshot from the merged sweep rows.
+// Worker-process fan-out moves the per-run registries into subprocesses,
+// so the daemon aggregates what crosses the wire: the row totals. Built
+// through a Registry so names come out in canonical sorted order.
+func sweepRowStats(rows []harness.SweepRow) stats.Snapshot {
+	var cellsC, eventsC, opsC, checksC, grantedC, deniedC stats.Counter
+	for _, r := range rows {
+		cellsC.Inc()
+		eventsC.Add(r.Events)
+		opsC.Add(r.Ops)
+		checksC.Add(r.BCChecks)
+		grantedC.Add(r.Granted)
+		deniedC.Add(r.Denied)
+	}
+	reg := stats.NewRegistry()
+	sc := reg.Scope("sweep")
+	sc.Counter("cells", &cellsC)
+	sc.Counter("events", &eventsC)
+	sc.Counter("ops", &opsC)
+	sc.Counter("bc_checks", &checksC)
+	sc.Counter("probes.granted", &grantedC)
+	sc.Counter("probes.denied", &deniedC)
+	return reg.Snapshot()
 }
 
 // AdversarySpec runs seeded sandbox-escape campaigns — the daemon's
@@ -372,7 +405,7 @@ func (s *AdversarySpec) validate() error {
 	return nil
 }
 
-func (s *AdversarySpec) run(ctx context.Context, env jobEnv) (string, error) {
+func (s *AdversarySpec) run(ctx context.Context, env jobEnv) (string, stats.Snapshot, error) {
 	seed := s.Seed
 	if seed == 0 {
 		seed = 1
@@ -388,13 +421,13 @@ func (s *AdversarySpec) run(ctx context.Context, env jobEnv) (string, error) {
 	env.note("adversary: seed=%d campaigns=%d", seed, campaigns)
 	rep, err := harness.AdversaryReport(ctx, harness.Exec{Jobs: env.jobs}, p, seed, campaigns, s.Attacks)
 	if err != nil {
-		return "", err
+		return "", stats.Snapshot{}, err
 	}
 	art := adversary.Render(rep)
 	if rep.Failed() {
-		return art, fmt.Errorf("serve: sandbox breached — see the reproducing seeds in the artifact")
+		return art, rep.Stats(), fmt.Errorf("serve: sandbox breached — see the reproducing seeds in the artifact")
 	}
-	return art, nil
+	return art, rep.Stats(), nil
 }
 
 // FleetSpec runs a multi-tenant fleet on the sharded engine — the
@@ -437,7 +470,7 @@ func (s *FleetSpec) validate() error {
 	return nil
 }
 
-func (s *FleetSpec) run(ctx context.Context, env jobEnv) (string, error) {
+func (s *FleetSpec) run(ctx context.Context, env jobEnv) (string, stats.Snapshot, error) {
 	fp := harness.DefaultFleetParams()
 	if s.Tenants > 0 {
 		fp.Tenants = s.Tenants
@@ -445,14 +478,14 @@ func (s *FleetSpec) run(ctx context.Context, env jobEnv) (string, error) {
 	if s.Mode != "" {
 		m, err := harness.ParseModeSlug(s.Mode)
 		if err != nil {
-			return "", err
+			return "", stats.Snapshot{}, err
 		}
 		fp.Mode = m
 	}
 	if s.Class != "" {
 		c, err := harness.ParseClassSlug(s.Class)
 		if err != nil {
-			return "", err
+			return "", stats.Snapshot{}, err
 		}
 		fp.Class = c
 	}
@@ -485,11 +518,11 @@ func (s *FleetSpec) run(ctx context.Context, env jobEnv) (string, error) {
 	env.note("fleet: %d tenants x %s", fp.Tenants, name)
 	res, err := harness.RunFleetCtx(ctx, p, fp, sw)
 	if err != nil {
-		return "", err
+		return "", stats.Snapshot{}, err
 	}
 	art := res.Render()
 	if res.Verified != res.Tenants {
-		return art, fmt.Errorf("serve: %d of %d tenants produced INCORRECT results", res.Tenants-res.Verified, res.Tenants)
+		return art, res.Stats, fmt.Errorf("serve: %d of %d tenants produced INCORRECT results", res.Tenants-res.Verified, res.Tenants)
 	}
-	return art, nil
+	return art, res.Stats, nil
 }

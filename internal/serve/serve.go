@@ -5,20 +5,34 @@
 // streaming, cooperative cancellation, and a worker protocol that fans
 // sweep grids out across `bctool worker` subprocesses with byte-identical
 // artifacts at any worker count. See DESIGN.md §16.
+//
+// The telemetry plane on top (DESIGN.md §17): structured log/slog logging
+// of the request/job lifecycle, a Prometheus-text `GET /v1/metrics`
+// endpoint bridging completed jobs' stats snapshots plus daemon-level
+// series, and a `GET /v1/watch` NDJSON firehose multiplexing every job's
+// events under a daemon-global monotonic cursor. All of it is pure
+// observation: scraping, tailing, and logging never change an artifact
+// byte.
 package serve
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"bordercontrol/internal/stats"
 )
 
 // Options configures a Server. The zero value serves with sensible
 // defaults: a 32-deep queue, in-process sweeps, GOMAXPROCS parallelism,
-// a 128-entry artifact cache, and no logging.
+// a 128-entry artifact cache, a 1024-event watch buffer, and no logging.
 type Options struct {
 	// QueueDepth bounds accepted-but-unstarted jobs; submissions beyond it
 	// are refused with 503 rather than buffered without bound.
@@ -36,8 +50,13 @@ type Options struct {
 	// CacheSize bounds the artifact cache (entries; <0 disables caching,
 	// 0 = default 128).
 	CacheSize int
-	// Log, when non-nil, receives one line per lifecycle event.
-	Log func(format string, args ...any)
+	// WatchBuffer bounds the /v1/watch event ring (0 = default 1024);
+	// subscribers that fall further behind see an explicit drop marker.
+	WatchBuffer int
+	// Logger, when non-nil, receives structured lifecycle logs: request
+	// handling at debug, job/cache/worker lifecycle at info, queue pressure
+	// and failures at warn. Nil discards everything.
+	Logger *slog.Logger
 	// Version overrides the cache key's code-version component (default:
 	// the build's VCS revision).
 	Version string
@@ -51,6 +70,10 @@ const (
 	StateFailed    = "failed"
 	StateCancelled = "cancelled"
 )
+
+// States lists every job state in lifecycle order — the fixed label set of
+// the jobs-by-state series on /v1/metrics and /v1/healthz.
+var States = []string{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled}
 
 func terminal(state string) bool {
 	return state == StateDone || state == StateFailed || state == StateCancelled
@@ -77,6 +100,10 @@ type Job struct {
 	cached   bool
 	updated  chan struct{} // closed-and-replaced on every mutation
 	cancel   context.CancelFunc
+	// publish forwards every appended event to the daemon firehose. It is
+	// set once before the job becomes visible and is called with mu held,
+	// so a job's events reach the firehose in seq order.
+	publish func(jobID string, e Event)
 }
 
 // JobStatus is the wire snapshot of a job.
@@ -107,16 +134,25 @@ func (j *Job) mutate(fn func()) {
 	j.mu.Unlock()
 }
 
+// appendLocked appends one event (assigning the next job-local seq) and
+// forwards it to the firehose. Callers hold j.mu; mutate's unlock path
+// wakes the per-job stream waiters.
+func (j *Job) appendLocked(typ, msg string) {
+	e := Event{Seq: len(j.events) + 1, Type: typ, Msg: msg}
+	j.events = append(j.events, e)
+	if j.publish != nil {
+		j.publish(j.ID, e)
+	}
+}
+
 func (j *Job) addEvent(typ, msg string) {
-	j.mutate(func() {
-		j.events = append(j.events, Event{Seq: len(j.events) + 1, Type: typ, Msg: msg})
-	})
+	j.mutate(func() { j.appendLocked(typ, msg) })
 }
 
 func (j *Job) setState(state string) {
 	j.mutate(func() {
 		j.state = state
-		j.events = append(j.events, Event{Seq: len(j.events) + 1, Type: "state", Msg: state})
+		j.appendLocked("state", state)
 	})
 }
 
@@ -139,15 +175,24 @@ type Server struct {
 	version string
 	queue   chan *Job
 	cache   *artifactCache
+	log     *slog.Logger
+	fh      *firehose
 
-	mu      sync.Mutex
-	jobs    map[string]*Job
-	order   []string
-	nextID  int
-	started bool
-	ctx     context.Context
-	stop    context.CancelFunc
-	wg      sync.WaitGroup
+	// Worker-subprocess telemetry, updated from fan-out goroutines.
+	workersSpawned atomic.Uint64
+	workersActive  atomic.Int64
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	order     []string
+	nextID    int
+	started   bool
+	startedAt time.Time
+	jobStats  stats.Snapshot // merged snapshots of completed jobs
+	jobSnaps  uint64         // how many job snapshots merged in
+	ctx       context.Context
+	stop      context.CancelFunc
+	wg        sync.WaitGroup
 }
 
 // New builds a Server from opts (see Options for the zero-value
@@ -165,20 +210,29 @@ func New(opts Options) *Server {
 	if version == "" {
 		version = codeVersion()
 	}
+	log := opts.Logger
+	if log == nil {
+		log = slog.New(discardHandler{})
+	}
 	return &Server{
 		opts:    opts,
 		version: version,
 		queue:   make(chan *Job, depth),
 		cache:   newArtifactCache(cacheSize),
+		log:     log,
+		fh:      newFirehose(opts.WatchBuffer),
 		jobs:    make(map[string]*Job),
 	}
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.opts.Log != nil {
-		s.opts.Log(format, args...)
-	}
-}
+// discardHandler is the nil-Logger sink: nothing is enabled, nothing is
+// formatted, logging costs one interface call.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
 
 // Start launches the executor goroutine. Jobs execute one at a time in
 // acceptance order — parallelism lives inside a job (Jobs/Workers), not
@@ -190,9 +244,13 @@ func (s *Server) Start(ctx context.Context) {
 		return
 	}
 	s.started = true
+	s.startedAt = time.Now()
 	s.ctx, s.stop = context.WithCancel(ctx)
 	runCtx := s.ctx
 	s.mu.Unlock()
+	s.log.Info("executor started",
+		"queue_capacity", cap(s.queue), "workers", s.opts.Workers, "jobs", s.opts.Jobs,
+		"cache_size", s.opts.CacheSize, "version", s.version)
 
 	s.wg.Add(1)
 	go func() {
@@ -227,6 +285,7 @@ func (s *Server) drainQueue() {
 		select {
 		case j := <-s.queue:
 			j.setState(StateCancelled)
+			s.log.Info("job cancelled at shutdown", "job", j.ID)
 		default:
 			return
 		}
@@ -248,11 +307,12 @@ func (s *Server) execute(ctx context.Context, j *Job) {
 	j.mu.Unlock()
 
 	j.setState(StateRunning)
-	s.logf("job %s (%s) running", j.ID, j.Req.Type)
+	start := time.Now()
+	s.log.Info("job running", "job", j.ID, "type", j.Req.Type)
 
 	sp, err := j.Req.spec()
 	if err != nil { // Validate gates submission; this is belt and braces
-		s.finish(j, "", err)
+		s.finish(j, "", stats.Snapshot{}, err, start)
 		return
 	}
 
@@ -266,14 +326,16 @@ func (s *Server) execute(ctx context.Context, j *Job) {
 	}
 	key, err := cacheKey(s.version, j.Req, traceHashes)
 	if err != nil {
-		s.finish(j, "", err)
+		s.finish(j, "", stats.Snapshot{}, err, start)
 		return
 	}
 	if art, hit := s.cache.get(key); hit {
 		j.mutate(func() { j.cached = true })
 		j.addEvent("cache", fmt.Sprintf("cache hit %s — skipping execution", key[:12]))
-		s.logf("job %s cache hit %s", j.ID, key[:12])
-		s.finish(j, art, nil)
+		s.log.Info("cache hit", "job", j.ID, "key", key[:12])
+		// A cache hit re-serves bytes, it does not re-run the simulation, so
+		// it contributes no job-stats snapshot.
+		s.finish(j, art, stats.Snapshot{}, nil, start)
 		return
 	}
 
@@ -285,8 +347,21 @@ func (s *Server) execute(ctx context.Context, j *Job) {
 		progress: func(msg string) {
 			j.addEvent("progress", msg)
 		},
+		workerStart: func(worker, cells int) {
+			s.workersSpawned.Add(1)
+			s.workersActive.Add(1)
+			s.log.Info("worker spawned", "job", j.ID, "worker", worker, "cells", cells)
+		},
+		workerExit: func(worker int, err error) {
+			s.workersActive.Add(-1)
+			if err != nil {
+				s.log.Warn("worker exited", "job", j.ID, "worker", worker, "err", err)
+			} else {
+				s.log.Info("worker exited", "job", j.ID, "worker", worker)
+			}
+		},
 	}
-	art, err := sp.run(jctx, env)
+	art, snap, err := sp.run(jctx, env)
 	if err == nil {
 		s.cache.put(key, art)
 	}
@@ -295,32 +370,39 @@ func (s *Server) execute(ctx context.Context, j *Job) {
 		// per-job cancellation, not a shutdown.
 		j.mutate(func() { j.artifact = art })
 		j.setState(StateCancelled)
-		s.logf("job %s cancelled", j.ID)
+		s.log.Info("job cancelled", "job", j.ID, "elapsed", time.Since(start))
 		return
 	}
-	s.finish(j, art, err)
+	s.finish(j, art, snap, err, start)
 }
 
-func (s *Server) finish(j *Job, artifact string, err error) {
+func (s *Server) finish(j *Job, artifact string, snap stats.Snapshot, err error, start time.Time) {
 	j.mutate(func() {
 		j.artifact = artifact
 		if err != nil {
 			j.errMsg = err.Error()
 		}
 	})
+	if len(snap.Samples) > 0 {
+		s.mu.Lock()
+		s.jobStats = stats.Merge(s.jobStats, snap)
+		s.jobSnaps++
+		s.mu.Unlock()
+	}
 	if err != nil {
 		j.setState(StateFailed)
-		s.logf("job %s failed: %v", j.ID, err)
+		s.log.Warn("job failed", "job", j.ID, "elapsed", time.Since(start), "err", err)
 		return
 	}
 	j.setState(StateDone)
-	s.logf("job %s done (%d artifact bytes)", j.ID, len(artifact))
+	s.log.Info("job done", "job", j.ID, "elapsed", time.Since(start), "artifact_bytes", len(artifact))
 }
 
 // Submit validates and enqueues a request. It fails with ErrQueueFull
 // when the queue is at depth.
 func (s *Server) Submit(req Request) (*Job, error) {
 	if err := req.Validate(); err != nil {
+		s.log.Debug("submission rejected", "type", req.Type, "err", err)
 		return nil, err
 	}
 	s.mu.Lock()
@@ -330,20 +412,33 @@ func (s *Server) Submit(req Request) (*Job, error) {
 		Req:     req,
 		state:   StateQueued,
 		updated: make(chan struct{}),
+		publish: s.fh.publish,
 	}
-	j.events = append(j.events, Event{Seq: 1, Type: "state", Msg: StateQueued})
 	s.mu.Unlock()
 
+	// The queued event is appended and published while j.mu is held across
+	// the enqueue, so the executor (which takes j.mu first thing) cannot
+	// emit the running event ahead of it.
+	j.mu.Lock()
 	select {
 	case s.queue <- j:
 	default:
+		j.mu.Unlock()
+		s.log.Warn("job refused: queue full", "type", req.Type, "queue_capacity", cap(s.queue))
 		return nil, ErrQueueFull
 	}
+	j.appendLocked("state", StateQueued)
+	j.mu.Unlock()
+
 	s.mu.Lock()
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	s.mu.Unlock()
-	s.logf("job %s (%s) queued", j.ID, req.Type)
+	depth, capacity := len(s.queue), cap(s.queue)
+	s.log.Info("job queued", "job", j.ID, "type", req.Type, "queue_depth", depth, "queue_capacity", capacity)
+	if depth*4 >= capacity*3 {
+		s.log.Warn("queue pressure", "queue_depth", depth, "queue_capacity", capacity)
+	}
 	return j, nil
 }
 
@@ -369,7 +464,7 @@ func (s *Server) Cancel(id string) error {
 	default:
 		j.setState(StateCancelled) // still queued; executor will skip it
 	}
-	s.logf("job %s cancel requested", id)
+	s.log.Info("job cancel requested", "job", id)
 	return nil
 }
 
@@ -380,21 +475,103 @@ func (s *Server) job(id string) (*Job, bool) {
 	return j, ok
 }
 
+// snapshotJobs returns every job in submission order.
+func (s *Server) snapshotJobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	return jobs
+}
+
+// jobsByState counts jobs per lifecycle state (every state present, zero
+// or not — a fixed label set keeps scrapers simple).
+func (s *Server) jobsByState() map[string]int {
+	counts := make(map[string]int, len(States))
+	for _, st := range States {
+		counts[st] = 0
+	}
+	for _, j := range s.snapshotJobs() {
+		counts[j.status().State]++
+	}
+	return counts
+}
+
+// uptime returns how long the executor has been running (0 before Start).
+func (s *Server) uptime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.startedAt.IsZero() {
+		return 0
+	}
+	return time.Since(s.startedAt)
+}
+
+// Health is the enriched /v1/healthz document.
+type Health struct {
+	OK            bool           `json:"ok"`
+	Version       string         `json:"version"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	QueueDepth    int            `json:"queue_depth"`
+	QueueCapacity int            `json:"queue_capacity"`
+	Jobs          map[string]int `json:"jobs"`
+	CacheEntries  int            `json:"cache_entries"`
+}
+
+func (s *Server) health() Health {
+	return Health{
+		OK:            true,
+		Version:       s.version,
+		UptimeSeconds: s.uptime().Seconds(),
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		Jobs:          s.jobsByState(),
+		CacheEntries:  s.cache.len(),
+	}
+}
+
+// doneCh returns a channel that closes when the server shuts down (never,
+// before Start) — long-lived streams select on it so shutdown does not
+// hang on idle subscribers.
+func (s *Server) doneCh() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ctx == nil {
+		return nil // nil channel: blocks forever
+	}
+	return s.ctx.Done()
+}
+
 // Handler returns the service's HTTP API:
 //
-//	GET    /v1/healthz           — liveness + version
+//	GET    /v1/healthz           — liveness: uptime, queue, jobs by state, version
+//	GET    /v1/metrics           — Prometheus text exposition (daemon + job series)
+//	GET    /v1/watch             — NDJSON firehose of every job's events (?after=cursor)
 //	POST   /v1/jobs              — submit a Request (202, or 400/503)
 //	GET    /v1/jobs              — all job statuses, submission order
 //	GET    /v1/jobs/{id}         — one job status
-//	GET    /v1/jobs/{id}/events  — NDJSON progress stream until terminal
+//	GET    /v1/jobs/{id}/events  — NDJSON progress stream until terminal (?after=seq)
 //	GET    /v1/jobs/{id}/artifact — rendered artifact (text/plain)
 //	DELETE /v1/jobs/{id}         — cooperative cancellation
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"ok": true, "version": s.version, "cache_entries": s.cache.len(),
-		})
+		writeJSON(w, http.StatusOK, s.health())
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		s.writeMetrics(w)
+	})
+	mux.HandleFunc("GET /v1/watch", func(w http.ResponseWriter, r *http.Request) {
+		after, err := afterParam(r, "cursor")
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		s.serveWatch(w, r, after)
 	})
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var req Request
@@ -413,12 +590,7 @@ func (s *Server) Handler() http.Handler {
 		}
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		s.mu.Lock()
-		jobs := make([]*Job, 0, len(s.order))
-		for _, id := range s.order {
-			jobs = append(jobs, s.jobs[id])
-		}
-		s.mu.Unlock()
+		jobs := s.snapshotJobs()
 		out := make([]JobStatus, len(jobs))
 		for i, j := range jobs {
 			out[i] = j.status()
@@ -456,11 +628,16 @@ func (s *Server) Handler() http.Handler {
 			httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
 			return
 		}
+		after, err := afterParam(r, "seq")
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.WriteHeader(http.StatusOK)
 		flusher, _ := w.(http.Flusher)
 		enc := json.NewEncoder(w)
-		seq := 0
+		seq := int(after)
 		for {
 			events, state, changed := j.eventsSince(seq)
 			for _, e := range events {
@@ -489,7 +666,112 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
-	return mux
+	return s.accessLog(mux)
+}
+
+// serveWatch streams the daemon firehose as NDJSON from the given cursor
+// until the client disconnects or the server shuts down. A subscriber that
+// falls behind the bounded ring receives an explicit drop marker before
+// delivery resumes at the oldest retained event.
+func (s *Server) serveWatch(w http.ResponseWriter, r *http.Request, after uint64) {
+	s.fh.subscribe()
+	defer s.fh.unsubscribe()
+	s.log.Debug("watch subscribed", "after", after, "remote", r.RemoteAddr)
+	defer s.log.Debug("watch unsubscribed", "remote", r.RemoteAddr)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush() // commit headers so clients see the stream open
+	}
+	enc := json.NewEncoder(w)
+	done := s.doneCh()
+	cur := after
+	for {
+		events, dropped, wait := s.fh.since(cur)
+		if dropped > 0 {
+			s.log.Warn("watch subscriber dropped events", "dropped", dropped, "remote", r.RemoteAddr)
+			if err := enc.Encode(s.fh.dropMarker(cur, dropped)); err != nil {
+				return
+			}
+			cur += dropped
+		}
+		for _, e := range events {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+			cur = e.Cursor
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-done:
+			return
+		case <-wait:
+		}
+	}
+}
+
+// afterParam parses an optional non-negative ?after= query parameter.
+func afterParam(r *http.Request, what string) (uint64, error) {
+	raw := r.URL.Query().Get("after")
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(raw, 10, 63)
+	if err != nil {
+		return 0, fmt.Errorf("bad after=%q (want a non-negative %s)", raw, what)
+	}
+	return v, nil
+}
+
+// accessLog wraps the API with a debug-level request log. The wrapper
+// forwards Flush so the streaming endpoints keep working.
+func (s *Server) accessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		lw := &loggingWriter{ResponseWriter: w}
+		next.ServeHTTP(lw, r)
+		status := lw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.log.Debug("request",
+			"method", r.Method, "path", r.URL.Path, "status", status,
+			"bytes", lw.bytes, "elapsed", time.Since(start), "remote", r.RemoteAddr)
+	})
+}
+
+type loggingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *loggingWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *loggingWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *loggingWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -181,6 +181,12 @@ type FanoutConfig struct {
 	// Progress, when non-nil, receives one line per finished cell in
 	// completion order (advisory; ordering varies with parallelism).
 	Progress func(msg string)
+	// OnWorkerStart/OnWorkerExit, when non-nil, observe worker-subprocess
+	// lifecycle: start fires just before the spawn with the worker's cell
+	// count, exit fires after the process finishes with its error (nil on
+	// success). Telemetry only — they never influence results.
+	OnWorkerStart func(worker, cells int)
+	OnWorkerExit  func(worker int, err error)
 	// Stderr receives the workers' stderr (default os.Stderr).
 	Stderr io.Writer
 }
@@ -270,6 +276,9 @@ func SweepFanout(ctx context.Context, cells []harness.SweepCell, cfg FanoutConfi
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			if cfg.OnWorkerStart != nil {
+				cfg.OnWorkerStart(w, len(parts[w]))
+			}
 			workerErrs[w] = runWorkerProc(ctx, argv, cfg.Env, stderr, workerRequest{
 				Jobs: cfg.Jobs, Traces: shippedTraces(parts[w], blobs), Cells: parts[w],
 			}, func(wr workerRow) error {
@@ -287,6 +296,9 @@ func SweepFanout(ctx context.Context, cells []harness.SweepCell, cfg FanoutConfi
 				}
 				return nil
 			})
+			if cfg.OnWorkerExit != nil {
+				cfg.OnWorkerExit(w, workerErrs[w])
+			}
 		}(w)
 	}
 	wg.Wait()

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file bridges the run-scoped registry to the Prometheus text
+// exposition format (version 0.0.4), the lingua franca of metrics
+// scrapers. A Snapshot is already an ordered immutable sample list, so the
+// encoding is a pure function of the snapshot: identical snapshots render
+// byte-identically, which keeps the `/v1/metrics` endpoint inside the
+// simulator's observation-purity discipline (scraping changes nothing and
+// is itself deterministic given the same daemon state).
+//
+// Mapping:
+//
+//	KindCounter   -> `# TYPE name counter` + one sample line
+//	KindGauge     -> `# TYPE name gauge` + one sample line (NaN/Inf -> 0,
+//	                 matching the JSON marshalling)
+//	KindHistogram -> `# TYPE name histogram` + cumulative `_bucket{le=...}`
+//	                 lines per non-empty bucket, `le="+Inf"`, `_sum`, `_count`
+//
+// Dotted sample names become underscore-joined Prometheus names
+// ("border.bcc.miss_ratio" -> "<prefix>border_bcc_miss_ratio").
+
+// PromName sanitizes a dotted sample name into a legal Prometheus metric
+// name under the given prefix: every character outside [a-zA-Z0-9_:] is
+// replaced with '_'.
+func PromName(prefix, name string) string {
+	var b strings.Builder
+	b.Grow(len(prefix) + len(name))
+	b.WriteString(prefix)
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format, every metric name prefixed with prefix. Samples render in name
+// order (the snapshot's canonical order), so the output is deterministic.
+func WritePrometheus(w io.Writer, prefix string, s Snapshot) error {
+	for _, smp := range s.Samples {
+		name := PromName(prefix, smp.Name)
+		var err error
+		switch smp.Kind {
+		case KindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatGauge(smp.Value))
+		case KindHistogram:
+			err = writePromHistogram(w, name, smp.Hist)
+		default:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, smp.Count)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram snapshot as a Prometheus
+// histogram: cumulative bucket counts keyed by inclusive upper bound, the
+// mandatory +Inf bucket, then _sum and _count.
+func writePromHistogram(w io.Writer, name string, h HistSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, strconv.FormatUint(b.Bound, 10), cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+		name, h.Count, name, h.Sum, name, h.Count)
+	return err
+}

@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	for _, tc := range []struct{ prefix, name, want string }{
+		{"bc_job_", "border.bcc.miss_ratio", "bc_job_border_bcc_miss_ratio"},
+		{"", "engine.events", "engine_events"},
+		{"x_", "a-b c/d", "x_a_b_c_d"},
+		{"p_", "already_fine:ok9", "p_already_fine:ok9"},
+	} {
+		if got := PromName(tc.prefix, tc.name); got != tc.want {
+			t.Errorf("PromName(%q, %q) = %q, want %q", tc.prefix, tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestWritePrometheus checks the three sample kinds render to valid,
+// deterministic exposition text.
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	sc := reg.Scope("gpu")
+	var c Counter
+	c.Add(42)
+	sc.Counter("l2.hits", &c)
+	sc.Gauge("util", func() float64 { return 0.25 })
+	sc.Gauge("bad", func() float64 { return math.NaN() })
+	var h Histogram
+	h.Record(1)
+	h.Record(3)
+	h.Record(100)
+	sc.Histogram("lat_ps", &h)
+	snap := reg.Snapshot()
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, "bc_", snap); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE bc_gpu_l2_hits counter\nbc_gpu_l2_hits 42\n",
+		"# TYPE bc_gpu_util gauge\nbc_gpu_util 0.25\n",
+		"bc_gpu_bad 0\n",
+		"# TYPE bc_gpu_lat_ps histogram\n",
+		"bc_gpu_lat_ps_bucket{le=\"1\"} 1\n",
+		"bc_gpu_lat_ps_bucket{le=\"3\"} 2\n",
+		"bc_gpu_lat_ps_bucket{le=\"+Inf\"} 3\n",
+		"bc_gpu_lat_ps_sum 104\n",
+		"bc_gpu_lat_ps_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Cumulative bucket counts: the 100 sample lands above the exact-bucket
+	// range, so the +Inf line must equal the total count.
+	var b2 strings.Builder
+	if err := WritePrometheus(&b2, "bc_", snap); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("WritePrometheus is not deterministic for the same snapshot")
+	}
+}
